@@ -1,0 +1,125 @@
+// Fig 11: vSwitch CPU utilization during offloading and FE scaling.
+// Paper: ramping the vNIC's CPS drives the BE vSwitch toward the offload
+// threshold (70%); activation drops BE CPU from ~70% to ~10%; when the FEs'
+// average CPU exceeds 40%, scale-out doubles the pool (4 → 8 FEs) and
+// halves FE utilization.
+//
+// Here the controller runs fully automatically (monitoring, thresholds,
+// Fig 8 decision logic); the bench only ramps the offered load.
+#include "bench/bench_util.h"
+#include "src/core/testbed.h"
+#include "src/workload/cps_workload.h"
+
+using namespace nezha;
+
+int main() {
+  benchutil::banner("Figure 11 — CPU utilization during offloading/scaling",
+                    "BE: ramps to 70% → drops to ~10% on offload; FEs "
+                    "scale out 4→8 when avg FE CPU > 40%");
+
+  core::TestbedConfig cfg;
+  cfg.num_vswitches = 40;
+  cfg.vswitch.cpu.cores = 2;
+  cfg.vswitch.cpu.hz_per_core = 0.25e9;
+  // Keep the buffer-in-packets comparable to the full-scale SmartNIC: the
+  // queue bound scales inversely with the CPU slow-down.
+  cfg.vswitch.cpu.max_queue_delay = common::milliseconds(16);
+  cfg.vswitch.cost = tables::CostModel::production();
+  cfg.controller.auto_offload = true;
+  cfg.controller.auto_scale = true;
+  cfg.controller.monitor_period = common::milliseconds(250);
+  core::Testbed bed(cfg);
+
+  constexpr std::uint32_t kVpc = 7;
+  constexpr tables::VnicId kServer = 100;
+  vswitch::VnicConfig server;
+  server.id = kServer;
+  server.addr = tables::OverlayAddr{kVpc, net::Ipv4Addr(10, 0, 0, 100)};
+  server.profile.synthetic_rule_bytes = 8 << 20;
+  bed.add_vnic(30, server);
+
+  constexpr int kClients = 4;
+  std::vector<std::unique_ptr<workload::CpsWorkload>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    vswitch::VnicConfig client;
+    client.id = static_cast<tables::VnicId>(c + 1);
+    client.addr = tables::OverlayAddr{
+        kVpc, net::Ipv4Addr(10, 0, 1, static_cast<std::uint8_t>(c + 1))};
+    const std::size_t client_switch = 32 + static_cast<std::size_t>(c);
+    bed.add_vnic(client_switch, client);
+    workload::CpsWorkloadConfig w;
+    w.attempts_per_sec = 2000;  // ramped below
+    w.seed = 300 + static_cast<std::uint64_t>(c);
+    w.server_kernel = workload::VmKernelConfig{
+        .vcpus = 32, .cps_per_core = 16500, .contention = 0.045};
+    w.client_kernel =
+        workload::VmKernelConfig{.vcpus = 64, .cps_per_core = 30000};
+    clients.push_back(std::make_unique<workload::CpsWorkload>(
+        bed, client_switch, client.id, 30, kServer, w));
+  }
+
+  bed.controller().start();
+  for (auto& c : clients) c->start();
+
+  // Ramp the per-client offered load 2K → 40K conn/s over 12 seconds.
+  for (int step = 0; step <= 24; ++step) {
+    bed.loop().schedule_at(common::milliseconds(500) * step, [&, step]() {
+      for (auto& c : clients) {
+        c->set_attempts_per_sec(2000 + step * 1150.0);
+      }
+    });
+  }
+
+  // Sample BE + average-FE utilization every 500ms.
+  vswitch::UtilizationSampler be_sampler;
+  std::vector<vswitch::UtilizationSampler> fe_samplers(bed.size());
+  benchutil::Table t({"t (s)", "offered CPS", "BE CPU", "avg FE CPU",
+                      "#FEs", "mode"});
+  double be_peak = 0, be_after_offload = 1.0;
+  bool offloaded_seen = false;
+  std::size_t max_fes = 0;
+
+  for (int tick = 1; tick <= 36; ++tick) {
+    bed.run_for(common::milliseconds(500));
+    const common::TimePoint now = bed.loop().now();
+    const double be_util = be_sampler.sample(bed.vswitch(30).cpu(), now);
+    const auto fes = bed.controller().fe_nodes_of(kServer);
+    double fe_util = 0;
+    for (sim::NodeId n : fes) {
+      fe_util += fe_samplers[n].sample(bed.vswitch(n).cpu(), now);
+    }
+    if (!fes.empty()) fe_util /= static_cast<double>(fes.size());
+    max_fes = std::max(max_fes, fes.size());
+
+    const auto* vnic = bed.vswitch(30).find_vnic(kServer);
+    const std::string mode = to_string(vnic->mode());
+    if (vnic->mode() == vswitch::VnicMode::kLocal) {
+      be_peak = std::max(be_peak, be_util);
+    }
+    if (vnic->mode() == vswitch::VnicMode::kOffloaded) {
+      offloaded_seen = true;
+      be_after_offload = std::min(be_after_offload, be_util);
+    }
+    if (tick % 2 == 0) {
+      double offered = 0;
+      for (auto& c : clients) offered += 2000 + std::min(tick, 24) * 1150.0;
+      t.add_row({benchutil::fmt(common::to_seconds(now), 1),
+                 benchutil::fmt_si(offered, 0), benchutil::fmt_pct(be_util),
+                 benchutil::fmt_pct(fe_util), std::to_string(fes.size()),
+                 mode});
+    }
+  }
+  t.print();
+
+  std::printf("\n  BE peak before offload: %s (paper: ~70%% trigger);"
+              " BE floor after offload: %s (paper: ~10%%)\n",
+              benchutil::fmt_pct(be_peak).c_str(),
+              benchutil::fmt_pct(be_after_offload).c_str());
+  std::printf("  Max #FEs: %zu (paper: scale-out 4 → 8)\n", max_fes);
+  benchutil::verdict(offloaded_seen && be_peak > 0.55 &&
+                         be_after_offload < 0.25,
+                     "offload drops BE CPU from ~70% to ~10%");
+  benchutil::verdict(max_fes >= 8 && max_fes <= 16,
+                     "FE pool scales out (4 -> 8+) when FE CPU crosses 40%");
+  return 0;
+}

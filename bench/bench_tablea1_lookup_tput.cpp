@@ -1,0 +1,115 @@
+// Table A1: rule-table lookup throughput (Mpps) vs packet size × #ACL rules.
+// Paper (8-core SmartNIC): 6.612M at 64B/0 rules, degrading to 4.762M at
+// 512B/1000 rules — throughput falls with both rule count (ACL scan cost)
+// and packet size (NIC→vSwitch data movement).
+//
+// Two reproductions: (a) the cost-model throughput at the paper's hardware
+// point (20e9 cycles/s), which is the series the table reports; (b) a live
+// host microbenchmark of RuleTableSet::lookup as a sanity check that the
+// real code's rule-count scaling matches the model's.
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "src/tables/acl.h"
+#include "src/tables/cost_model.h"
+#include "src/tables/rule_set.h"
+
+using namespace nezha;
+
+namespace {
+
+double model_mpps(const tables::CostModel& cost, std::size_t rules,
+                  std::size_t pkt_bytes) {
+  const double per_pkt = cost.slow_path_chain_cycles(rules, 5, true) +
+                         cost.parse_cycles + cost.session_insert_cycles +
+                         cost.encap_cycles +
+                         cost.per_byte_cycles * static_cast<double>(pkt_bytes);
+  return 20e9 / per_pkt / 1e6;  // 8 cores x 2.5GHz
+}
+
+tables::RuleTableSet make_rules(std::size_t acl_rules) {
+  tables::RuleTableSet rs;
+  for (std::size_t i = 0; i < acl_rules; ++i) {
+    rs.acl().add_rule(tables::AclRule{
+        .priority = static_cast<std::uint32_t>(i + 10),
+        .dst = tables::Prefix{net::Ipv4Addr(10, 1, static_cast<uint8_t>(i),
+                                            0),
+                              24},
+        .dst_ports = tables::PortRange{1000, 2000}});
+  }
+  rs.commit_update();
+  return rs;
+}
+
+double host_lookups_per_sec(std::size_t acl_rules) {
+  auto rs = make_rules(acl_rules);
+  net::FiveTuple ft{net::Ipv4Addr(10, 0, 0, 1), net::Ipv4Addr(10, 250, 0, 2),
+                    40000, 80, net::IpProto::kTcp};
+  constexpr int kIters = 200000;
+  volatile std::uint32_t sink = 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    ft.src_port = static_cast<std::uint16_t>(1024 + i % 60000);
+    sink += static_cast<std::uint32_t>(
+        rs.lookup(ft).tx.acl_verdict == flow::Verdict::kAccept);
+  }
+  const auto elapsed = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - start).count();
+  return kIters / elapsed;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner("Table A1 — rule-table lookup throughput (Mpps)",
+                    "6.612M @ 64B/0 rules → 4.762M @ 512B/1000 rules");
+
+  const tables::CostModel cost;  // Table A1 calibration (microbench tables)
+  const std::size_t pkt_sizes[] = {64, 128, 256, 512};
+  const std::size_t rule_counts[] = {0, 1, 8, 64, 100, 1000};
+  const double paper[4][6] = {
+      {6.612, 6.609, 6.333, 5.973, 5.966, 5.422},
+      {6.543, 6.455, 6.303, 5.826, 5.702, 5.365},
+      {6.415, 6.341, 6.030, 5.430, 5.685, 5.228},
+      {5.985, 5.925, 5.455, 5.258, 5.035, 4.762},
+  };
+
+  benchutil::Table t({"pkt size", "#rules", "paper (Mpps)", "model (Mpps)"});
+  double worst_rel_err = 0;
+  for (int p = 0; p < 4; ++p) {
+    for (int r = 0; r < 6; ++r) {
+      const double measured = model_mpps(cost, rule_counts[r], pkt_sizes[p]);
+      const double rel_err =
+          std::abs(measured - paper[p][r]) / paper[p][r];
+      worst_rel_err = std::max(worst_rel_err, rel_err);
+      t.add_row({std::to_string(pkt_sizes[p]) + "B",
+                 std::to_string(rule_counts[r]), benchutil::fmt(paper[p][r], 3),
+                 benchutil::fmt(measured, 3)});
+    }
+  }
+  t.print();
+  std::printf("\n  Worst cell relative error vs paper: %s\n",
+              benchutil::fmt_pct(worst_rel_err).c_str());
+  // The paper's table itself is non-monotonic in places (e.g. 256B row:
+  // 5.430 @ 64 rules but 5.685 @ 100) — measurement noise a smooth cost
+  // model cannot chase; 25% bounds every cell, most are within 10%.
+  benchutil::verdict(worst_rel_err < 0.25,
+                     "model within 25% of every Table A1 cell (paper data "
+                     "is non-monotonic in places)");
+
+  // Live microbenchmark: verify the real lookup code degrades with rule
+  // count the way the model says (ratio 0 → 1000 rules ≈ 6.6/5.4 ≈ 1.22).
+  std::printf("\n  Host microbenchmark of RuleTableSet::lookup:\n");
+  benchutil::Table h({"#rules", "host lookups/s"});
+  const double base = host_lookups_per_sec(0);
+  double with_1000 = 0;
+  for (std::size_t rules : {0ul, 100ul, 1000ul}) {
+    const double rate = rules == 0 ? base : host_lookups_per_sec(rules);
+    if (rules == 1000) with_1000 = rate;
+    h.add_row({std::to_string(rules), benchutil::fmt_si(rate)});
+  }
+  h.print();
+  benchutil::verdict(base > with_1000,
+                     "real lookup code slows with ACL rule count");
+  return 0;
+}

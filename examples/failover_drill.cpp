@@ -1,0 +1,100 @@
+// Failover drill (§4.4): crash an FE under live traffic and watch the
+// health monitor detect it, the controller fail over, and the pool heal
+// back to its 4-FE minimum — narrated as a timeline.
+//
+//   $ ./example_failover_drill
+#include <cstdio>
+
+#include "src/core/testbed.h"
+
+using namespace nezha;
+
+int main() {
+  core::TestbedConfig config;
+  config.num_vswitches = 16;
+  config.controller.auto_offload = false;
+  config.monitor.probe_interval = common::milliseconds(500);
+  config.monitor.miss_threshold = 3;
+  core::Testbed bed(config);
+
+  constexpr std::uint32_t kVpc = 3;
+  vswitch::VnicConfig server;
+  server.id = 9;
+  server.addr = {kVpc, net::Ipv4Addr(10, 0, 0, 9)};
+  bed.add_vnic(1, server);
+  vswitch::VnicConfig client;
+  client.id = 1;
+  client.addr = {kVpc, net::Ipv4Addr(10, 0, 0, 1)};
+  bed.add_vnic(14, client);
+
+  std::uint64_t delivered = 0;
+  bed.vswitch(1).set_vm_delivery(
+      [&](tables::VnicId, const net::Packet&) { ++delivered; });
+
+  (void)bed.controller().trigger_offload(server.id);
+  bed.run_for(common::seconds(4));
+  bed.watch_fe_hosts();
+  bed.monitor().start();
+
+  // 100 flows at 50pps each = 5K pps of steady traffic.
+  auto pump = std::make_shared<std::function<void()>>();
+  std::uint64_t sent = 0;
+  *pump = [&, pump]() {
+    if (bed.loop().now() > common::seconds(20)) return;
+    for (int f = 0; f < 100; ++f) {
+      net::FiveTuple ft{client.addr.ip, server.addr.ip,
+                        static_cast<std::uint16_t>(20000 + f), 80,
+                        net::IpProto::kUdp};
+      bed.vswitch(14).from_vm(1, net::make_udp_packet(ft, 64, kVpc));
+      ++sent;
+    }
+    bed.loop().schedule_after(common::milliseconds(20), *pump);
+  };
+  bed.loop().schedule_after(0, *pump);
+  bed.run_for(common::seconds(2));
+
+  auto fes = bed.controller().fe_nodes_of(server.id);
+  sim::NodeId victim = fes[0] == 14 ? fes[1] : fes[0];
+  std::printf("t=%.1fs  FE pool:", common::to_seconds(bed.loop().now()));
+  for (auto n : fes) std::printf(" vswitch-%u", n);
+  std::printf("\nt=%.1fs  !!! crashing vswitch-%u (SmartNIC failure)\n",
+              common::to_seconds(bed.loop().now()), victim);
+  const common::TimePoint crash_at = bed.loop().now();
+  bed.network().crash(victim);
+
+  std::uint64_t prev_sent = sent, prev_del = delivered;
+  bool recovered = false;
+  for (int w = 0; w < 20 && !recovered; ++w) {
+    bed.run_for(common::milliseconds(500));
+    const double loss =
+        sent == prev_sent
+            ? 0.0
+            : 1.0 - static_cast<double>(delivered - prev_del) /
+                        static_cast<double>(sent - prev_sent);
+    std::printf("t=%.1fs  window loss %.1f%%  crashes declared %llu  "
+                "failovers %llu\n",
+                common::to_seconds(bed.loop().now()), loss * 100,
+                static_cast<unsigned long long>(
+                    bed.monitor().crashes_declared()),
+                static_cast<unsigned long long>(
+                    bed.controller().failover_events()));
+    if (bed.controller().failover_events() > 0 && loss < 0.001) {
+      recovered = true;
+      std::printf("t=%.1fs  recovered %.2fs after the crash\n",
+                  common::to_seconds(bed.loop().now()),
+                  common::to_seconds(bed.loop().now() - crash_at));
+    }
+    prev_sent = sent;
+    prev_del = delivered;
+  }
+
+  fes = bed.controller().fe_nodes_of(server.id);
+  std::printf("final FE pool (min-4 maintained):");
+  for (auto n : fes) std::printf(" vswitch-%u", n);
+  std::printf("\nprobes sent %llu, replies %llu, suppressed declarations %llu\n",
+              static_cast<unsigned long long>(bed.monitor().probes_sent()),
+              static_cast<unsigned long long>(bed.monitor().replies_received()),
+              static_cast<unsigned long long>(
+                  bed.monitor().declarations_suppressed()));
+  return recovered ? 0 : 1;
+}

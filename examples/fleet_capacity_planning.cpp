@@ -1,0 +1,81 @@
+// Fleet capacity planning: the operator-facing question behind §2.2 —
+// given a region's utilization distribution, how much idle SmartNIC
+// capacity exists for Nezha's resource pool, and what does each offload
+// buy in CPS / #flows / #vNICs headroom?
+//
+//   $ ./example_fleet_capacity_planning
+#include <cstdio>
+
+#include "src/baseline/capacity_model.h"
+#include "src/common/stats.h"
+#include "src/workload/fleet_model.h"
+
+using namespace nezha;
+
+int main() {
+  workload::FleetModelConfig cfg;
+  cfg.num_vswitches = 10000;
+  workload::FleetModel fleet(cfg);
+
+  const auto cpu = fleet.sample_cpu_utilization();
+  const auto mem = fleet.sample_memory_utilization();
+
+  // Pool inventory: vSwitches idle enough to serve as FEs (below the 40%
+  // scale threshold, App B.1).
+  std::size_t eligible = 0;
+  double spare_cpu = 0;
+  for (std::size_t i = 0; i < cpu.size(); ++i) {
+    if (cpu[i] < 0.40 && mem[i] < 0.40) {
+      ++eligible;
+      spare_cpu += 0.40 - cpu[i];
+    }
+  }
+  std::printf("region fleet: %zu vSwitches\n", cpu.size());
+  std::printf("FE-eligible (cpu & mem < 40%%): %zu (%.1f%%)\n", eligible,
+              100.0 * static_cast<double>(eligible) /
+                  static_cast<double>(cpu.size()));
+  std::printf("aggregate spare CPU in the pool: %.0f vSwitch-equivalents\n",
+              spare_cpu);
+
+  // Hotspots needing help: above the 70% offload threshold.
+  std::size_t hot = 0;
+  for (std::size_t i = 0; i < cpu.size(); ++i) {
+    if (cpu[i] > 0.70 || mem[i] > 0.70) ++hot;
+  }
+  std::printf("hotspots (cpu or mem > 70%%): %zu → %zu FEs needed at 4 per "
+              "offload\n", hot, hot * 4);
+  std::printf("pool-to-demand ratio: %.0fx — reuse comfortably covers the "
+              "tail\n",
+              static_cast<double>(eligible) / static_cast<double>(hot * 4));
+
+  // What one offload buys, per the calibrated capacity model.
+  baseline::DeploymentParams p;
+  std::printf("\nper-offload headroom (4 FEs):\n");
+  std::printf("  CPS: %.0fK → %.0fK (%.1fx)\n",
+              baseline::CapacityModel::local_cps(p) / 1e3,
+              baseline::CapacityModel::nezha_cps(p, 4) / 1e3,
+              baseline::CapacityModel::nezha_cps(p, 4) /
+                  baseline::CapacityModel::local_cps(p));
+  std::printf("  #concurrent flows: %.1fM → %.1fM (%.1fx)\n",
+              static_cast<double>(baseline::CapacityModel::local_max_flows(p)) / 1e6,
+              static_cast<double>(baseline::CapacityModel::nezha_max_flows(p, 4)) / 1e6,
+              static_cast<double>(baseline::CapacityModel::nezha_max_flows(p, 4)) /
+                  static_cast<double>(baseline::CapacityModel::local_max_flows(p)));
+  std::printf("  #vNICs: %zu → %zu (%.0fx)\n",
+              baseline::CapacityModel::local_max_vnics(p),
+              baseline::CapacityModel::nezha_max_vnics(p, 4),
+              static_cast<double>(baseline::CapacityModel::nezha_max_vnics(p, 4)) /
+                  static_cast<double>(baseline::CapacityModel::local_max_vnics(p)));
+
+  // Sensitivity: the pool stays useful even if the fleet heats up.
+  std::printf("\nsensitivity (uniform fleet heat-up):\n");
+  for (double extra : {0.0, 0.10, 0.20, 0.30}) {
+    std::size_t still_eligible = 0;
+    for (std::size_t i = 0; i < cpu.size(); ++i) {
+      if (cpu[i] + extra < 0.40 && mem[i] < 0.40) ++still_eligible;
+    }
+    std::printf("  +%2.0f%% fleet load → %5zu eligible FEs\n", extra * 100,
+                still_eligible);
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "src/baseline/capacity_model.h"
+
+#include <algorithm>
+
+namespace nezha::baseline {
+
+double CapacityModel::local_cps(const DeploymentParams& p) {
+  return std::min(p.vswitch_cycles_per_sec / p.conn_cycles_local,
+                  p.vm_kernel_cps_limit);
+}
+
+double CapacityModel::nezha_cps(const DeploymentParams& p,
+                                std::size_t num_fes) {
+  if (num_fes == 0) return local_cps(p);
+  const double be_bound = p.vswitch_cycles_per_sec / p.conn_cycles_be;
+  const double fe_bound = static_cast<double>(num_fes) *
+                          p.vswitch_cycles_per_sec / p.conn_cycles_fe;
+  return std::min({be_bound, fe_bound, p.vm_kernel_cps_limit});
+}
+
+double CapacityModel::sirius_cps(double per_card_cps, std::size_t cards) {
+  // In-line replication: packets that change state ping-pong between the
+  // primary and secondary card, so each connection consumes capacity twice.
+  return per_card_cps * static_cast<double>(cards) / 2.0;
+}
+
+std::size_t CapacityModel::local_max_flows(const DeploymentParams& p) {
+  return p.session_pool_bytes / p.full_entry_bytes;
+}
+
+std::size_t CapacityModel::nezha_max_flows(const DeploymentParams& p,
+                                           std::size_t num_fes) {
+  if (num_fes == 0) return local_max_flows(p);
+  // BE: states only, plus the memory released by evicting rule tables.
+  const std::size_t be_state_bytes =
+      p.session_pool_bytes +
+      static_cast<std::size_t>(p.freed_rule_to_state_fraction *
+                               static_cast<double>(p.freed_rule_bytes));
+  const std::size_t be_bound = be_state_bytes / p.state_entry_bytes;
+  // FE: every live flow needs a cached-flow entry at its FE.
+  const std::size_t fe_bound =
+      num_fes * (p.fe_cache_pool_bytes / p.cache_entry_bytes);
+  return std::min(be_bound, fe_bound);
+}
+
+std::size_t CapacityModel::local_max_vnics(const DeploymentParams& p) {
+  return std::max<std::size_t>(1, p.local_rule_free_bytes / p.vnic_rule_bytes);
+}
+
+std::size_t CapacityModel::nezha_max_vnics(const DeploymentParams& p,
+                                           std::size_t num_fes) {
+  if (num_fes == 0) return local_max_vnics(p);
+  const std::size_t fe_bound =
+      num_fes * (p.fe_rule_pool_bytes / p.vnic_rule_bytes);
+  const std::size_t be_bound =
+      (p.local_rule_free_bytes + p.freed_rule_bytes) / p.be_metadata_bytes;
+  return std::min(fe_bound, be_bound);
+}
+
+}  // namespace nezha::baseline

@@ -1,0 +1,76 @@
+#include "src/baseline/sirius_model.h"
+
+#include <algorithm>
+
+namespace nezha::baseline {
+
+SiriusModel::SiriusModel(std::size_t cards, std::size_t buckets)
+    : cards_(cards), bucket_to_card_(buckets) {
+  for (std::size_t b = 0; b < buckets; ++b) bucket_to_card_[b] = b % cards;
+}
+
+std::size_t SiriusModel::bucket_of(const net::FiveTuple& ft) const {
+  return net::flow_hash(ft) % bucket_to_card_.size();
+}
+
+std::size_t SiriusModel::card_of(const net::FiveTuple& ft) const {
+  auto it = flows_.find(ft);
+  if (it != flows_.end()) return it->second.card;  // pinned
+  return bucket_to_card_[bucket_of(ft)];
+}
+
+void SiriusModel::flow_started(const net::FiveTuple& ft, bool long_lived) {
+  const std::size_t bucket = bucket_of(ft);
+  flows_[ft] = FlowInfo{bucket, long_lived, bucket_to_card_[bucket]};
+}
+
+void SiriusModel::flow_finished(const net::FiveTuple& ft) {
+  flows_.erase(ft);
+}
+
+std::vector<std::size_t> SiriusModel::card_loads() const {
+  std::vector<std::size_t> loads(cards_, 0);
+  for (const auto& [ft, info] : flows_) ++loads[info.card];
+  return loads;
+}
+
+std::size_t SiriusModel::rebalance(std::size_t n_buckets) {
+  auto loads = card_loads();
+  const std::size_t src = static_cast<std::size_t>(
+      std::max_element(loads.begin(), loads.end()) - loads.begin());
+  const std::size_t dst = static_cast<std::size_t>(
+      std::min_element(loads.begin(), loads.end()) - loads.begin());
+  if (src == dst) return 0;
+
+  // Pick the busiest buckets currently on src.
+  std::vector<std::size_t> bucket_load(bucket_to_card_.size(), 0);
+  for (const auto& [ft, info] : flows_) {
+    if (bucket_to_card_[info.bucket] == src) ++bucket_load[info.bucket];
+  }
+  std::vector<std::size_t> candidates;
+  for (std::size_t b = 0; b < bucket_to_card_.size(); ++b) {
+    if (bucket_to_card_[b] == src) candidates.push_back(b);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&](std::size_t a, std::size_t b) {
+              return bucket_load[a] > bucket_load[b];
+            });
+  candidates.resize(std::min(n_buckets, candidates.size()));
+
+  std::size_t transfers = 0;
+  for (std::size_t b : candidates) {
+    bucket_to_card_[b] = dst;
+    // Existing flows stay pinned to src until completion — except
+    // long-lived flows, whose state must move (§8).
+    for (auto& [ft, info] : flows_) {
+      if (info.bucket == b && info.long_lived) {
+        info.card = dst;
+        ++transfers;
+      }
+    }
+  }
+  state_transfers_ += transfers;
+  return transfers;
+}
+
+}  // namespace nezha::baseline

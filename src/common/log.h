@@ -1,0 +1,29 @@
+// Minimal leveled logger. Off by default so tests and benches stay quiet;
+// experiments flip the level to Info for timeline narration.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace nezha::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_message(LogLevel level, const std::string& msg);
+
+#define NEZHA_LOG(level, msg)                                      \
+  do {                                                             \
+    if (static_cast<int>(level) >=                                 \
+        static_cast<int>(::nezha::common::log_level())) {          \
+      ::nezha::common::log_message((level), (msg));                \
+    }                                                              \
+  } while (0)
+
+#define NEZHA_LOG_INFO(msg) NEZHA_LOG(::nezha::common::LogLevel::kInfo, msg)
+#define NEZHA_LOG_WARN(msg) NEZHA_LOG(::nezha::common::LogLevel::kWarn, msg)
+#define NEZHA_LOG_DEBUG(msg) NEZHA_LOG(::nezha::common::LogLevel::kDebug, msg)
+
+}  // namespace nezha::common

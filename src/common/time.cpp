@@ -1,0 +1,28 @@
+#include "src/common/time.h"
+
+#include <cstdio>
+
+namespace nezha::common {
+
+std::string format_duration(Duration d) {
+  char buf[64];
+  const bool neg = d < 0;
+  const std::int64_t abs = neg ? -d : d;
+  const char* sign = neg ? "-" : "";
+  if (abs >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fs", sign,
+                  static_cast<double>(abs) / kSecond);
+  } else if (abs >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fms", sign,
+                  static_cast<double>(abs) / kMillisecond);
+  } else if (abs >= kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.3fus", sign,
+                  static_cast<double>(abs) / kMicrosecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%ldns", sign,
+                  static_cast<long>(abs));
+  }
+  return buf;
+}
+
+}  // namespace nezha::common

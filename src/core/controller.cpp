@@ -1,0 +1,538 @@
+#include "src/core/controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/log.h"
+
+namespace nezha::core {
+
+Controller::Controller(sim::EventLoop& loop, sim::Network& network,
+                       tables::VnicServerMap& gateway,
+                       ControllerConfig config)
+    : loop_(loop), network_(network), gateway_(gateway), config_(config),
+      rng_(config.seed) {}
+
+void Controller::add_vswitch(vswitch::VSwitch* vs) {
+  fleet_index_[vs->id()] = fleet_.size();
+  fleet_.push_back(SwitchState{vs, {}, 0.0});
+}
+
+void Controller::register_vnic(vswitch::VSwitch* home,
+                               const vswitch::VnicConfig& vnic_config,
+                               bool stateful_decap) {
+  VnicRecord rec;
+  rec.config = vnic_config;
+  rec.stateful_decap = stateful_decap;
+  rec.home = home;
+  vnics_[vnic_config.id] = rec;
+  gateway_.set_placement(vnic_config.addr, vnic_config.id,
+                         {home->location()});
+}
+
+common::Duration Controller::sample_config_latency() {
+  // Lognormal with the configured mean: mu = ln(mean) - sigma^2/2.
+  const double sigma = config_.config_latency_sigma;
+  const double mu = std::log(config_.config_latency_mean_ms) -
+                    sigma * sigma / 2.0;
+  const double ms = rng_.lognormal(mu, sigma);
+  return static_cast<common::Duration>(ms * common::kMillisecond);
+}
+
+void Controller::publish_placement(const VnicRecord& rec) {
+  std::vector<tables::Location> locations;
+  if (rec.offloaded && !rec.fe_nodes.empty()) {
+    for (sim::NodeId n : rec.fe_nodes) {
+      auto it = fleet_index_.find(n);
+      if (it != fleet_index_.end()) {
+        locations.push_back(fleet_[it->second].vs->location());
+      }
+    }
+  }
+  if (locations.empty()) locations.push_back(rec.home->location());
+  gateway_.set_placement(rec.config.addr, rec.config.id,
+                         std::move(locations));
+}
+
+std::vector<vswitch::VSwitch*> Controller::select_frontends(
+    const vswitch::VSwitch& home, std::size_t count,
+    const std::vector<sim::NodeId>& exclude) const {
+  struct Candidate {
+    vswitch::VSwitch* vs;
+    int tier;
+    double util;
+  };
+  std::vector<Candidate> candidates;
+  const auto& topo = network_.topology();
+  for (const auto& state : fleet_) {
+    vswitch::VSwitch* vs = state.vs;
+    if (vs->id() == home.id()) continue;
+    if (network_.crashed(vs->id())) continue;
+    if (std::find(exclude.begin(), exclude.end(), vs->id()) != exclude.end()) {
+      continue;
+    }
+    // Idle enough to take load without becoming a bottleneck (App B.1), and
+    // with spare rule memory for the table copy.
+    if (state.last_cpu_util >= config_.scale_threshold) continue;
+    candidates.push_back(
+        Candidate{vs, topo.hop_tier(home.id(), vs->id()), state.last_cpu_util});
+  }
+  // Prefer close (same ToR first) then least-loaded, so the selected set has
+  // similar performance-affecting attributes.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.tier != b.tier) return a.tier < b.tier;
+              if (a.util != b.util) return a.util < b.util;
+              return a.vs->id() < b.vs->id();
+            });
+  std::vector<vswitch::VSwitch*> out;
+  for (const auto& c : candidates) {
+    if (out.size() >= count) break;
+    out.push_back(c.vs);
+  }
+  return out;
+}
+
+common::Status Controller::trigger_offload(tables::VnicId id,
+                                           std::size_t num_fes) {
+  auto it = vnics_.find(id);
+  if (it == vnics_.end()) return common::make_error("unknown vnic");
+  VnicRecord& rec = it->second;
+  if (rec.offloaded || rec.transition_pending) {
+    return common::make_error("offload already active/in flight");
+  }
+  vswitch::Vnic* v = rec.home->vnic(id);
+  if (v == nullptr || v->mode() != vswitch::VnicMode::kLocal) {
+    return common::make_error("vnic not in local mode");
+  }
+  if (num_fes == 0) num_fes = config_.initial_fes;
+
+  auto fes = select_frontends(*rec.home, num_fes, {});
+  if (fes.size() < num_fes) {
+    return common::make_error("not enough idle vSwitches for FE pool");
+  }
+
+  const common::TimePoint t0 = loop_.now();
+  rec.transition_pending = true;
+
+  // Dual-running stage (Fig 7):
+  //  (1) configure rule tables in every selected FE,
+  //  (2) configure BE/FE locations on both sides,
+  //  (3) update the gateway's vNIC-server table.
+  // Each push carries a sampled config latency; the stage completes when the
+  // slowest sender has re-learned the placement.
+  common::TimePoint fe_ready = t0;
+  const tables::RuleTableSet& rules = *v->rules();
+  std::vector<tables::Location> fe_locations;
+  for (vswitch::VSwitch* fe : fes) {
+    const common::TimePoint at = t0 + sample_config_latency();
+    fe_ready = std::max(fe_ready, at);
+    fe_locations.push_back(fe->location());
+    vswitch::VSwitch* fe_ptr = fe;
+    // Copy the rules now (controller snapshot) and install at the config
+    // arrival time.
+    loop_.schedule_at(at, [fe_ptr, cfg = rec.config, rules, stateful =
+                           rec.stateful_decap, be = rec.home->location()]() {
+      (void)fe_ptr->install_frontend(cfg, rules, be, stateful);
+    });
+    rec.fe_nodes.push_back(fe->id());
+  }
+  fes_provisioned_ += fes.size();
+
+  // (2) BE configuration lands after the FEs are live.
+  const common::TimePoint be_ready = fe_ready + sample_config_latency();
+  vswitch::VSwitch* home = rec.home;
+  loop_.schedule_at(be_ready, [this, home, id, fe_locations]() {
+    const common::TimePoint dual_until =
+        loop_.now() + config_.learning_interval + config_.rtt_allowance;
+    (void)home->begin_offload(id, fe_locations, dual_until);
+    auto rit = vnics_.find(id);
+    if (rit != vnics_.end()) rit->second.offloaded = true;
+  });
+
+  // (3) Gateway update, then the learning interval bounds sender staleness.
+  const common::TimePoint gw_done = be_ready + sample_config_latency();
+  loop_.schedule_at(gw_done, [this, id]() {
+    auto rit = vnics_.find(id);
+    if (rit != vnics_.end()) publish_placement(rit->second);
+  });
+
+  const common::TimePoint complete = gw_done + config_.learning_interval;
+  offload_completion_.add(common::to_millis(complete - t0));
+
+  // Final stage: drop the retained local tables once in-flight stale
+  // packets have drained (learning interval + RTT, §4.2.1).
+  loop_.schedule_at(complete + config_.rtt_allowance, [this, home, id]() {
+    home->finalize_offload(id);
+    auto rit = vnics_.find(id);
+    if (rit != vnics_.end()) rit->second.transition_pending = false;
+  });
+
+  ++offload_events_;
+  NEZHA_LOG_INFO("offload vnic " + std::to_string(id) + " to " +
+                 std::to_string(fes.size()) + " FEs");
+  return common::Status::ok_status();
+}
+
+common::Status Controller::trigger_fallback(tables::VnicId id) {
+  auto it = vnics_.find(id);
+  if (it == vnics_.end()) return common::make_error("unknown vnic");
+  VnicRecord& rec = it->second;
+  if (!rec.offloaded || rec.transition_pending) {
+    return common::make_error("vnic not offloaded / transition in flight");
+  }
+  // Estimate: fallback only if the home vSwitch can absorb the load (§4.2.2).
+  auto fit = fleet_index_.find(rec.home->id());
+  if (fit != fleet_index_.end() &&
+      fleet_[fit->second].last_cpu_util >= config_.fallback_safe_level) {
+    return common::make_error("home vSwitch too loaded for fallback");
+  }
+
+  const common::TimePoint t0 = loop_.now();
+  rec.transition_pending = true;
+  vswitch::VSwitch* home = rec.home;
+
+  // Dual-running: restore local tables, then point the gateway back at the
+  // BE; FEs keep serving stale senders until learning completes.
+  const common::TimePoint local_ready = t0 + sample_config_latency();
+  loop_.schedule_at(local_ready, [this, home, id]() {
+    const common::TimePoint dual_until =
+        loop_.now() + config_.learning_interval + config_.rtt_allowance;
+    (void)home->begin_fallback(id, dual_until);
+  });
+  const common::TimePoint gw_done = local_ready + sample_config_latency();
+  loop_.schedule_at(gw_done, [this, id]() {
+    auto rit = vnics_.find(id);
+    if (rit == vnics_.end()) return;
+    rit->second.offloaded = false;  // placement reverts to the BE
+    publish_placement(rit->second);
+  });
+
+  const common::TimePoint complete =
+      gw_done + config_.learning_interval + config_.rtt_allowance;
+  const std::vector<sim::NodeId> old_fes = rec.fe_nodes;
+  loop_.schedule_at(complete, [this, home, id, old_fes]() {
+    home->finalize_fallback(id);
+    for (sim::NodeId n : old_fes) {
+      auto fit2 = fleet_index_.find(n);
+      if (fit2 != fleet_index_.end()) {
+        fleet_[fit2->second].vs->remove_frontend(id);
+      }
+    }
+    auto rit = vnics_.find(id);
+    if (rit != vnics_.end()) {
+      rit->second.fe_nodes.clear();
+      rit->second.transition_pending = false;
+    }
+  });
+
+  ++fallback_events_;
+  return common::Status::ok_status();
+}
+
+common::Status Controller::scale_out(
+    tables::VnicId id, std::size_t additional,
+    const std::vector<sim::NodeId>& extra_exclude) {
+  auto it = vnics_.find(id);
+  if (it == vnics_.end()) return common::make_error("unknown vnic");
+  VnicRecord& rec = it->second;
+  if (!rec.offloaded) return common::make_error("vnic not offloaded");
+
+  std::vector<sim::NodeId> exclude = rec.fe_nodes;
+  exclude.insert(exclude.end(), extra_exclude.begin(), extra_exclude.end());
+  auto extra = select_frontends(*rec.home, additional, exclude);
+  if (extra.empty()) return common::make_error("no idle vSwitches available");
+
+  const common::TimePoint t0 = loop_.now();
+  vswitch::Vnic* v = rec.home->vnic(id);
+  // The BE no longer holds the rule tables; clone from an existing FE.
+  const tables::RuleTableSet* source = nullptr;
+  for (sim::NodeId n : rec.fe_nodes) {
+    auto fit = fleet_index_.find(n);
+    if (fit == fleet_index_.end()) continue;
+    if (auto* fe = fleet_[fit->second].vs->frontend(id)) {
+      source = &fe->rules;
+      break;
+    }
+  }
+  if (source == nullptr && v != nullptr && v->rules() != nullptr) {
+    source = v->rules();
+  }
+  if (source == nullptr) return common::make_error("no rule source for clone");
+
+  common::TimePoint fe_ready = t0;
+  for (vswitch::VSwitch* fe : extra) {
+    const common::TimePoint at = t0 + sample_config_latency();
+    fe_ready = std::max(fe_ready, at);
+    loop_.schedule_at(at, [fe, cfg = rec.config, rules = *source,
+                           stateful = rec.stateful_decap,
+                           be = rec.home->location()]() {
+      (void)fe->install_frontend(cfg, rules, be, stateful);
+    });
+    rec.fe_nodes.push_back(fe->id());
+  }
+  fes_provisioned_ += extra.size();
+
+  // Insert the new locations into the BE's FE-location config and the
+  // gateway's vNIC-server table (§4.3).
+  const common::TimePoint apply_at = fe_ready + sample_config_latency();
+  vswitch::VSwitch* home = rec.home;
+  loop_.schedule_at(apply_at, [this, home, id]() {
+    auto rit = vnics_.find(id);
+    if (rit == vnics_.end()) return;
+    std::vector<tables::Location> locations;
+    for (sim::NodeId n : rit->second.fe_nodes) {
+      auto fit = fleet_index_.find(n);
+      if (fit != fleet_index_.end()) {
+        locations.push_back(fleet_[fit->second].vs->location());
+      }
+    }
+    home->update_fe_locations(id, locations);
+    publish_placement(rit->second);
+  });
+
+  ++scale_out_events_;
+  return common::Status::ok_status();
+}
+
+void Controller::scale_in_vswitch(sim::NodeId node) {
+  bool any = false;
+  for (auto& [id, rec] : vnics_) {
+    auto pos = std::find(rec.fe_nodes.begin(), rec.fe_nodes.end(), node);
+    if (pos == rec.fe_nodes.end()) continue;
+    any = true;
+    rec.fe_nodes.erase(pos);
+
+    // Update BE config + gateway now; retain the FE's tables until stale
+    // senders drain (learning interval + RTT, §4.3).
+    vswitch::VSwitch* home = rec.home;
+    const tables::VnicId vnic_id = id;
+    const common::TimePoint apply_at = loop_.now() + sample_config_latency();
+    loop_.schedule_at(apply_at, [this, home, vnic_id]() {
+      auto rit = vnics_.find(vnic_id);
+      if (rit == vnics_.end()) return;
+      std::vector<tables::Location> locations;
+      for (sim::NodeId n : rit->second.fe_nodes) {
+        auto fit = fleet_index_.find(n);
+        if (fit != fleet_index_.end()) {
+          locations.push_back(fleet_[fit->second].vs->location());
+        }
+      }
+      home->update_fe_locations(vnic_id, locations);
+      publish_placement(rit->second);
+    });
+    const common::TimePoint remove_at =
+        apply_at + config_.learning_interval + config_.rtt_allowance;
+    loop_.schedule_at(remove_at, [this, node, vnic_id]() {
+      auto fit = fleet_index_.find(node);
+      if (fit != fleet_index_.end()) {
+        fleet_[fit->second].vs->remove_frontend(vnic_id);
+      }
+    });
+
+    // Scale-in may trigger scale-out elsewhere if the pool is now too small;
+    // the vSwitch that just prioritized local traffic is not re-selected.
+    if (rec.fe_nodes.size() < config_.min_fes) {
+      (void)scale_out(id, config_.min_fes - rec.fe_nodes.size(), {node});
+    }
+  }
+  if (any) ++scale_in_events_;
+}
+
+void Controller::handle_fe_crash(sim::NodeId node) {
+  bool any = false;
+  for (auto& [id, rec] : vnics_) {
+    auto pos = std::find(rec.fe_nodes.begin(), rec.fe_nodes.end(), node);
+    if (pos == rec.fe_nodes.end()) continue;
+    any = true;
+    rec.fe_nodes.erase(pos);
+
+    // Failover (§4.4): delete the faulty FE from the BE's config and the
+    // gateway immediately (one config push); add a replacement only when
+    // the pool would drop below the minimum.
+    vswitch::VSwitch* home = rec.home;
+    std::vector<tables::Location> locations;
+    for (sim::NodeId n : rec.fe_nodes) {
+      auto fit = fleet_index_.find(n);
+      if (fit != fleet_index_.end()) {
+        locations.push_back(fleet_[fit->second].vs->location());
+      }
+    }
+    home->update_fe_locations(id, locations);
+    publish_placement(rec);
+
+    if (rec.fe_nodes.size() < config_.min_fes) {
+      (void)scale_out(id, config_.min_fes - rec.fe_nodes.size(), {node});
+    }
+  }
+  if (any) {
+    ++failover_events_;
+    NEZHA_LOG_WARN("failover: removed crashed FE node " +
+                   std::to_string(node));
+  }
+}
+
+void Controller::handle_link_failure(tables::VnicId id, sim::NodeId fe_node) {
+  auto it = vnics_.find(id);
+  if (it == vnics_.end()) return;
+  VnicRecord& rec = it->second;
+  auto pos = std::find(rec.fe_nodes.begin(), rec.fe_nodes.end(), fe_node);
+  if (pos == rec.fe_nodes.end()) return;
+  rec.fe_nodes.erase(pos);
+
+  std::vector<tables::Location> locations;
+  for (sim::NodeId n : rec.fe_nodes) {
+    auto fit = fleet_index_.find(n);
+    if (fit != fleet_index_.end()) {
+      locations.push_back(fleet_[fit->second].vs->location());
+    }
+  }
+  rec.home->update_fe_locations(id, locations);
+  publish_placement(rec);
+  // The FE instance itself stays configured on the (healthy but
+  // unreachable) host; the controller retires it like a scale-in.
+  const common::TimePoint remove_at =
+      loop_.now() + config_.learning_interval + config_.rtt_allowance;
+  loop_.schedule_at(remove_at, [this, fe_node, id]() {
+    auto fit = fleet_index_.find(fe_node);
+    if (fit != fleet_index_.end()) {
+      fleet_[fit->second].vs->remove_frontend(id);
+    }
+  });
+  if (rec.fe_nodes.size() < config_.min_fes) {
+    (void)scale_out(id, config_.min_fes - rec.fe_nodes.size(), {fe_node});
+  }
+  ++failover_events_;
+}
+
+void Controller::reseed_fe_hash(std::uint64_t seed) {
+  for (auto& state : fleet_) state.vs->set_fe_hash_seed(seed);
+}
+
+common::Status Controller::migrate_backend(tables::VnicId id,
+                                           vswitch::VSwitch* new_home) {
+  auto it = vnics_.find(id);
+  if (it == vnics_.end()) return common::make_error("unknown vnic");
+  VnicRecord& rec = it->second;
+  if (!rec.offloaded) {
+    return common::make_error("BE migration requires an offloaded vnic");
+  }
+  vswitch::VSwitch* old_home = rec.home;
+  vswitch::Vnic* v = old_home->vnic(id);
+  if (v == nullptr) return common::make_error("vnic missing at home");
+
+  // Create the vNIC at the new home in offloaded (BE) shape.
+  (void)new_home->add_vnic(rec.config, rec.stateful_decap);
+  std::vector<tables::Location> fe_locations;
+  for (sim::NodeId n : rec.fe_nodes) {
+    auto fit = fleet_index_.find(n);
+    if (fit != fleet_index_.end()) {
+      fe_locations.push_back(fleet_[fit->second].vs->location());
+    }
+  }
+  (void)new_home->begin_offload(id, fe_locations, loop_.now());
+  new_home->finalize_offload(id);
+
+  // §7.2: only the BE-location config on the FEs changes; this takes effect
+  // in <1ms, independent of VM size.
+  for (sim::NodeId n : rec.fe_nodes) {
+    auto fit = fleet_index_.find(n);
+    if (fit == fleet_index_.end()) continue;
+    if (auto* fe = fleet_[fit->second].vs->frontend(id)) {
+      fe->be_location = new_home->location();
+    }
+  }
+  old_home->remove_vnic(id);
+  rec.home = new_home;
+  return common::Status::ok_status();
+}
+
+bool Controller::is_offloaded(tables::VnicId id) const {
+  auto it = vnics_.find(id);
+  return it != vnics_.end() && it->second.offloaded;
+}
+
+std::vector<sim::NodeId> Controller::fe_nodes_of(tables::VnicId id) const {
+  auto it = vnics_.find(id);
+  return it == vnics_.end() ? std::vector<sim::NodeId>{} : it->second.fe_nodes;
+}
+
+vswitch::VSwitch* Controller::home_of(tables::VnicId id) const {
+  auto it = vnics_.find(id);
+  return it == vnics_.end() ? nullptr : it->second.home;
+}
+
+void Controller::start() {
+  if (started_) return;
+  started_ = true;
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, tick]() {
+    monitor_tick();
+    loop_.schedule_after(config_.monitor_period, *tick);
+  };
+  loop_.schedule_after(config_.monitor_period, *tick);
+}
+
+void Controller::monitor_tick() {
+  const common::TimePoint now = loop_.now();
+  for (auto& state : fleet_) {
+    vswitch::VSwitch* vs = state.vs;
+    if (network_.crashed(vs->id())) continue;
+    const double cpu_util = state.sampler.sample(vs->cpu(), now);
+    state.last_cpu_util = cpu_util;
+    const double mem_util = std::max(vs->rule_memory().utilization(),
+                                     vs->session_memory().utilization());
+    const double util = std::max(cpu_util, mem_util);
+    if (utilization_hook_) utilization_hook_(now, vs->id(), cpu_util);
+
+    const double fe_share = vs->fe_cycles();
+    const double local_share = vs->local_cycles();
+    vs->reset_cycle_attribution();
+
+    if (util > config_.offload_threshold && config_.auto_offload) {
+      // Offload the heaviest local vNICs until utilization is projected to
+      // fall to a safe level (§4.2.1). Heaviness here: rule memory (the
+      // measurable slow-path footprint) — the CPS share follows the vNIC
+      // under test in all our workloads.
+      struct Cand { tables::VnicId id; std::size_t weight; };
+      std::vector<Cand> cands;
+      for (auto& [id, rec] : vnics_) {
+        if (rec.home != vs || rec.offloaded || rec.transition_pending) continue;
+        vswitch::Vnic* v = vs->vnic(id);
+        if (v == nullptr || v->rules() == nullptr) continue;
+        cands.push_back(Cand{id, v->rules()->memory_bytes()});
+      }
+      std::sort(cands.begin(), cands.end(),
+                [](const Cand& a, const Cand& b) { return a.weight > b.weight; });
+      if (!cands.empty()) (void)trigger_offload(cands.front().id);
+    } else if (util > config_.scale_threshold && config_.auto_scale &&
+               vs->frontend_count() > 0) {
+      // Fig 8: between the scale and offload thresholds on an FE-hosting
+      // vSwitch, the source of pressure decides the action.
+      if (fe_share > local_share) {
+        // Remote offloading dominates → add FEs for the vNICs served here.
+        // The per-vNIC cooldown keeps one alert round from growing the same
+        // pool once per alerting host.
+        for (auto& [id, rec] : vnics_) {
+          if (std::find(rec.fe_nodes.begin(), rec.fe_nodes.end(), vs->id()) ==
+              rec.fe_nodes.end()) {
+            continue;
+          }
+          auto lit = last_scale_at_.find(id);
+          if (lit != last_scale_at_.end() &&
+              now - lit->second < config_.scale_cooldown) {
+            continue;
+          }
+          if (scale_out(id, config_.scale_out_step).ok()) {
+            last_scale_at_[id] = now;
+          }
+        }
+      } else {
+        // Local traffic dominates → evict all FEs to prioritize local vNICs.
+        scale_in_vswitch(vs->id());
+      }
+    }
+  }
+}
+
+}  // namespace nezha::core

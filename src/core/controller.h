@@ -1,0 +1,177 @@
+// The Nezha controller (§4): detects overloaded vSwitches, orchestrates
+// user-transparent offload/fallback via the dual-stage workflow, scales the
+// remote pool out/in per Fig 8, and performs FE failover with the
+// minimum-4-FE rule.
+//
+// Control-plane operations are modeled with sampled configuration latencies
+// (lognormal), so activation completion times form a distribution comparable
+// to Table 4. The dataplane consequences (stale senders hitting retained
+// tables, rehashed flows missing FE caches) emerge from the vSwitch and
+// learned-map models rather than being scripted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/time.h"
+#include "src/sim/network.h"
+#include "src/tables/vnic_server_map.h"
+#include "src/vswitch/vswitch.h"
+
+namespace nezha::core {
+
+struct ControllerConfig {
+  /// Offload trigger: vSwitch resource utilization above this (Fig 8).
+  double offload_threshold = 0.70;
+  /// Scale-out/-in trigger on FE-hosting vSwitches (Fig 8).
+  double scale_threshold = 0.40;
+  /// Fallback requires projected local utilization below this safe level.
+  double fallback_safe_level = 0.40;
+  /// Initial and minimum #FEs (App B.2: init 4; §4.4: maintain ≥ 4).
+  std::size_t initial_fes = 4;
+  std::size_t min_fes = 4;
+  /// FEs added per scale-out step (Fig 11 doubles 4 → 8).
+  std::size_t scale_out_step = 4;
+  common::Duration monitor_period = common::milliseconds(500);
+  /// Minimum spacing between scale decisions for one vNIC's pool —
+  /// prevents every alerting FE host from independently growing the same
+  /// pool in a single monitoring round.
+  common::Duration scale_cooldown = common::seconds(2);
+  common::Duration learning_interval = common::milliseconds(200);
+  common::Duration rtt_allowance = common::milliseconds(1);
+  /// Lognormal parameters of each config-push latency (seconds scale is via
+  /// mean_ms); calibrated so Table 4's activation distribution lands near
+  /// avg 1s / P99 2s.
+  double config_latency_mean_ms = 260.0;
+  double config_latency_sigma = 0.45;
+  std::uint64_t seed = 0x6e657a6861ULL;  // "nezha"
+  bool auto_offload = true;
+  bool auto_scale = true;
+  bool auto_fallback = false;
+};
+
+class Controller {
+ public:
+  Controller(sim::EventLoop& loop, sim::Network& network,
+             tables::VnicServerMap& gateway, ControllerConfig config = {});
+
+  const ControllerConfig& config() const { return config_; }
+
+  /// Adds a vSwitch to the managed fleet (usable as FE pool and monitored
+  /// for overload).
+  void add_vswitch(vswitch::VSwitch* vs);
+
+  /// Registers a tenant vNIC already hosted on `home` (home is its BE) and
+  /// publishes its placement at the gateway.
+  void register_vnic(vswitch::VSwitch* home,
+                     const vswitch::VnicConfig& config, bool stateful_decap);
+
+  /// Starts the periodic monitoring loop.
+  void start();
+
+  // ---------- explicit operations (monitoring calls these too) ----------
+  /// Runs the full offload workflow for a vNIC. num_fes = 0 uses the
+  /// configured initial count. Returns an error when no suitable FE set
+  /// exists or the vNIC is not in local mode.
+  common::Status trigger_offload(tables::VnicId id, std::size_t num_fes = 0);
+  common::Status trigger_fallback(tables::VnicId id);
+  common::Status scale_out(tables::VnicId id, std::size_t additional,
+                           const std::vector<sim::NodeId>& extra_exclude = {});
+  /// Removes every FE hosted on the given vSwitch (local-priority scale-in).
+  void scale_in_vswitch(sim::NodeId node);
+  /// Immediate removal + min-FE replacement after a detected crash (§4.4).
+  void handle_fe_crash(sim::NodeId node);
+  /// §C.1: the BE↔FE path (not the FE itself) failed for one vNIC — remove
+  /// that FE from that vNIC's pool only, replacing it if below the minimum.
+  void handle_link_failure(tables::VnicId id, sim::NodeId fe_node);
+  /// §7.5: pushes a new FE-selection hash seed to the whole fleet (sender
+  /// and BE hashing must agree for session-consistent FE mapping). Used to
+  /// redistribute traffic when 5-tuple hashing lands unevenly.
+  void reseed_fe_hash(std::uint64_t seed);
+  /// §7.2: VM live migration — re-point an offloaded vNIC's BE to a new
+  /// vSwitch by updating the BE location config on its FEs (takes effect in
+  /// <1ms, no gateway churn needed since senders address the FEs).
+  common::Status migrate_backend(tables::VnicId id, vswitch::VSwitch* new_home);
+
+  // ---------- queries ----------
+  bool is_offloaded(tables::VnicId id) const;
+  std::vector<sim::NodeId> fe_nodes_of(tables::VnicId id) const;
+  vswitch::VSwitch* home_of(tables::VnicId id) const;
+
+  // ---------- stats ----------
+  std::uint64_t offload_events() const { return offload_events_; }
+  std::uint64_t fallback_events() const { return fallback_events_; }
+  std::uint64_t scale_out_events() const { return scale_out_events_; }
+  std::uint64_t scale_in_events() const { return scale_in_events_; }
+  std::uint64_t failover_events() const { return failover_events_; }
+  std::uint64_t fes_provisioned_total() const { return fes_provisioned_; }
+  /// Activation completion times (trigger → all traffic through FEs),
+  /// one sample per offload event (Table 4).
+  const common::Percentiles& offload_completion() const {
+    return offload_completion_;
+  }
+
+  /// Monitoring hook for experiments: called after each monitor tick with
+  /// (node, cpu utilization) samples.
+  using UtilizationHook =
+      std::function<void(common::TimePoint, sim::NodeId, double)>;
+  void set_utilization_hook(UtilizationHook hook) {
+    utilization_hook_ = std::move(hook);
+  }
+
+ private:
+  struct VnicRecord {
+    vswitch::VnicConfig config;
+    bool stateful_decap = false;
+    vswitch::VSwitch* home = nullptr;
+    std::vector<sim::NodeId> fe_nodes;
+    bool offloaded = false;       // reaches true at begin_offload
+    bool transition_pending = false;  // a workflow is in flight
+  };
+
+  struct SwitchState {
+    vswitch::VSwitch* vs = nullptr;
+    vswitch::UtilizationSampler sampler;
+    double last_cpu_util = 0.0;
+  };
+
+  common::Duration sample_config_latency();
+  void monitor_tick();
+
+  /// Picks `count` idle vSwitches for a vNIC homed at `home`, preferring
+  /// the same ToR, then the same aggregation block (App B.1), excluding
+  /// nodes in `exclude`.
+  std::vector<vswitch::VSwitch*> select_frontends(
+      const vswitch::VSwitch& home, std::size_t count,
+      const std::vector<sim::NodeId>& exclude) const;
+
+  /// Pushes the current placement (FE set or BE) to the gateway.
+  void publish_placement(const VnicRecord& rec);
+
+  sim::EventLoop& loop_;
+  sim::Network& network_;
+  tables::VnicServerMap& gateway_;
+  ControllerConfig config_;
+  common::Rng rng_;
+
+  std::vector<SwitchState> fleet_;
+  std::unordered_map<sim::NodeId, std::size_t> fleet_index_;
+  std::unordered_map<tables::VnicId, VnicRecord> vnics_;
+  std::unordered_map<tables::VnicId, common::TimePoint> last_scale_at_;
+
+  std::uint64_t offload_events_ = 0;
+  std::uint64_t fallback_events_ = 0;
+  std::uint64_t scale_out_events_ = 0;
+  std::uint64_t scale_in_events_ = 0;
+  std::uint64_t failover_events_ = 0;
+  std::uint64_t fes_provisioned_ = 0;
+  common::Percentiles offload_completion_;
+  UtilizationHook utilization_hook_;
+  bool started_ = false;
+};
+
+}  // namespace nezha::core

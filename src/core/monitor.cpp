@@ -1,0 +1,101 @@
+#include "src/core/monitor.h"
+
+#include "src/vswitch/vswitch.h"
+
+namespace nezha::core {
+
+HealthMonitor::HealthMonitor(sim::NodeId id, net::Ipv4Addr underlay_ip,
+                             sim::EventLoop& loop, sim::Network& network,
+                             MonitorConfig config)
+    : Node(id, "health-monitor", underlay_ip, net::MacAddr(0xfeedULL)),
+      loop_(loop), network_(network), config_(config) {}
+
+void HealthMonitor::watch(sim::NodeId node, net::Ipv4Addr ip) {
+  targets_.emplace(node, Target{ip, 0, 0, false, false});
+}
+
+void HealthMonitor::unwatch(sim::NodeId node) { targets_.erase(node); }
+
+void HealthMonitor::start() {
+  if (started_) return;
+  started_ = true;
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, tick]() {
+    probe_all();
+    loop_.schedule_after(config_.probe_interval, *tick);
+  };
+  loop_.schedule_after(config_.probe_interval, *tick);
+}
+
+void HealthMonitor::probe_all() {
+  for (auto& [node, target] : targets_) {
+    if (!target.declared_dead) send_probe(node, target);
+  }
+}
+
+void HealthMonitor::send_probe(sim::NodeId node, Target& target) {
+  const std::uint64_t probe_id = next_probe_id_++;
+  net::FiveTuple ft{underlay_ip(), target.ip, 40000,
+                    vswitch::kHealthProbePort, net::IpProto::kUdp};
+  net::Packet probe = net::make_udp_packet(ft, 0, 0);
+  probe.id = probe_id;
+  target.outstanding_probe = probe_id;
+  target.reply_seen = false;
+  probe_owner_[probe_id] = node;
+  ++probes_sent_;
+  network_.send(id(), target.ip, std::move(probe));
+  loop_.schedule_after(config_.probe_timeout, [this, node, probe_id]() {
+    check_probe(node, probe_id);
+  });
+}
+
+void HealthMonitor::receive(net::Packet pkt) {
+  auto it = probe_owner_.find(pkt.id);
+  if (it == probe_owner_.end()) return;
+  const sim::NodeId node = it->second;
+  probe_owner_.erase(it);
+  auto tit = targets_.find(node);
+  if (tit == targets_.end()) return;
+  ++replies_;
+  if (tit->second.outstanding_probe == pkt.id) {
+    tit->second.reply_seen = true;
+    tit->second.consecutive_misses = 0;
+  }
+}
+
+std::size_t HealthMonitor::dead_count() const {
+  std::size_t n = 0;
+  for (const auto& [node, target] : targets_) {
+    if (target.declared_dead ||
+        target.consecutive_misses >= config_.miss_threshold) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void HealthMonitor::check_probe(sim::NodeId node, std::uint64_t probe_id) {
+  auto it = targets_.find(node);
+  if (it == targets_.end()) return;
+  Target& target = it->second;
+  if (target.outstanding_probe != probe_id) return;  // superseded
+  probe_owner_.erase(probe_id);
+  if (target.reply_seen || target.declared_dead) return;
+  ++target.consecutive_misses;
+  if (target.consecutive_misses < config_.miss_threshold) return;
+
+  // §C.2 guard: a sudden majority of "dead" FEs is more likely a monitoring
+  // bug than a real mass failure; suspend automatic removal.
+  const double dead_fraction =
+      static_cast<double>(dead_count()) /
+      static_cast<double>(targets_.empty() ? 1 : targets_.size());
+  if (dead_fraction > config_.widespread_failure_fraction) {
+    ++suppressed_;
+    return;
+  }
+  target.declared_dead = true;
+  ++crashes_;
+  if (on_crash_) on_crash_(node);
+}
+
+}  // namespace nezha::core

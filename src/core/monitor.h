@@ -1,0 +1,85 @@
+// Centralized FE crash monitoring (§4.4, Appendix C).
+//
+// The monitor ping-polls every vSwitch that hosts FEs. Probes carry a
+// specific destination port that the SmartNICs flow-direct straight to the
+// vSwitch VF, so the answer reflects vSwitch health rather than the other
+// hypervisors sharing the NIC. After `miss_threshold` consecutive unanswered
+// probes the target is declared crashed and the failover callback fires —
+// unless the widespread-failure guard trips (§C.2): when more than the
+// configured fraction of targets look dead at once, automatic removal is
+// suspended (production experience says that pattern is usually a monitoring
+// bug, handled by humans).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "src/common/time.h"
+#include "src/sim/network.h"
+#include "src/sim/node.h"
+
+namespace nezha::core {
+
+struct MonitorConfig {
+  common::Duration probe_interval = common::milliseconds(500);
+  common::Duration probe_timeout = common::milliseconds(300);
+  int miss_threshold = 3;
+  /// §C.2 guard: suspend auto-removal when more than this fraction of
+  /// watched targets appear dead simultaneously.
+  double widespread_failure_fraction = 0.5;
+};
+
+class HealthMonitor : public sim::Node {
+ public:
+  HealthMonitor(sim::NodeId id, net::Ipv4Addr underlay_ip,
+                sim::EventLoop& loop, sim::Network& network,
+                MonitorConfig config = {});
+
+  using CrashFn = std::function<void(sim::NodeId)>;
+  void set_crash_callback(CrashFn fn) { on_crash_ = std::move(fn); }
+
+  /// Starts probing a vSwitch.
+  void watch(sim::NodeId node, net::Ipv4Addr ip);
+  void unwatch(sim::NodeId node);
+  std::size_t watched() const { return targets_.size(); }
+
+  void start();
+
+  void receive(net::Packet pkt) override;
+
+  // --- stats ---
+  std::uint64_t probes_sent() const { return probes_sent_; }
+  std::uint64_t replies_received() const { return replies_; }
+  std::uint64_t crashes_declared() const { return crashes_; }
+  std::uint64_t declarations_suppressed() const { return suppressed_; }
+
+ private:
+  struct Target {
+    net::Ipv4Addr ip;
+    int consecutive_misses = 0;
+    std::uint64_t outstanding_probe = 0;  // probe id awaiting a reply
+    bool reply_seen = false;
+    bool declared_dead = false;
+  };
+
+  void probe_all();
+  void send_probe(sim::NodeId node, Target& target);
+  void check_probe(sim::NodeId node, std::uint64_t probe_id);
+  std::size_t dead_count() const;
+
+  sim::EventLoop& loop_;
+  sim::Network& network_;
+  MonitorConfig config_;
+  std::unordered_map<sim::NodeId, Target> targets_;
+  std::unordered_map<std::uint64_t, sim::NodeId> probe_owner_;
+  CrashFn on_crash_;
+  std::uint64_t next_probe_id_ = 1;
+  std::uint64_t probes_sent_ = 0;
+  std::uint64_t replies_ = 0;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t suppressed_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace nezha::core

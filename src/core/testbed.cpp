@@ -1,0 +1,60 @@
+#include "src/core/testbed.h"
+
+namespace nezha::core {
+
+Testbed::Testbed(TestbedConfig config) {
+  network_ = std::make_unique<sim::Network>(
+      loop_, sim::Topology(config.topology), config.network);
+  for (std::size_t i = 0; i < config.num_vswitches; ++i) {
+    auto vs = std::make_unique<vswitch::VSwitch>(
+        static_cast<sim::NodeId>(i), "vswitch-" + std::to_string(i),
+        underlay_ip(i), loop_, *network_, gateway_, config.vswitch);
+    network_->attach(*vs);
+    switches_.push_back(std::move(vs));
+  }
+  controller_ = std::make_unique<Controller>(loop_, *network_, gateway_,
+                                             config.controller);
+  for (auto& vs : switches_) controller_->add_vswitch(vs.get());
+  monitor_ = std::make_unique<HealthMonitor>(
+      static_cast<sim::NodeId>(config.num_vswitches + 1),
+      net::Ipv4Addr(10, 255, 0, 1), loop_, *network_, config.monitor);
+  network_->attach(*monitor_);
+  monitor_->set_crash_callback(
+      [this](sim::NodeId node) { controller_->handle_fe_crash(node); });
+  link_prober_ = std::make_unique<LinkProber>(loop_, *network_);
+  link_prober_->set_failure_callback(
+      [this](tables::VnicId id, sim::NodeId fe) {
+        controller_->handle_link_failure(id, fe);
+      });
+}
+
+void Testbed::watch_fe_links(tables::VnicId id) {
+  vswitch::VSwitch* home = controller_->home_of(id);
+  if (home == nullptr) return;
+  for (sim::NodeId fe : controller_->fe_nodes_of(id)) {
+    link_prober_->watch(id, home, fe, vswitch(fe).underlay_ip());
+  }
+  link_prober_->start();
+}
+
+vswitch::VSwitch& Testbed::add_vnic(std::size_t i,
+                                    const vswitch::VnicConfig& config,
+                                    bool stateful_decap) {
+  vswitch::VSwitch& vs = vswitch(i);
+  auto status = vs.add_vnic(config, stateful_decap);
+  if (!status.ok()) {
+    throw std::runtime_error("add_vnic failed: " + status.error().message);
+  }
+  controller_->register_vnic(&vs, config, stateful_decap);
+  return vs;
+}
+
+void Testbed::watch_fe_hosts() {
+  for (auto& vs : switches_) {
+    if (vs->frontend_count() > 0) {
+      monitor_->watch(vs->id(), vs->underlay_ip());
+    }
+  }
+}
+
+}  // namespace nezha::core

@@ -1,0 +1,76 @@
+// Testbed: wires an event loop, topology, underlay network, gateway map,
+// a fleet of vSwitches, the Nezha controller and the health monitor into a
+// ready-to-drive cluster — the programmatic equivalent of the paper's
+// small-scale testbed (§6.1). Used by integration tests, benches and the
+// examples.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/core/controller.h"
+#include "src/core/link_prober.h"
+#include "src/core/monitor.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/network.h"
+#include "src/sim/topology.h"
+#include "src/tables/vnic_server_map.h"
+#include "src/vswitch/vswitch.h"
+
+namespace nezha::core {
+
+struct TestbedConfig {
+  std::size_t num_vswitches = 16;
+  sim::TopologyConfig topology;
+  sim::NetworkConfig network;
+  vswitch::VSwitchConfig vswitch;
+  ControllerConfig controller;
+  MonitorConfig monitor;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config = {});
+
+  sim::EventLoop& loop() { return loop_; }
+  sim::Network& network() { return *network_; }
+  tables::VnicServerMap& gateway() { return gateway_; }
+  Controller& controller() { return *controller_; }
+  HealthMonitor& monitor() { return *monitor_; }
+  LinkProber& link_prober() { return *link_prober_; }
+
+  /// Starts §C.1 mutual probing on every (BE, FE) path of an offloaded
+  /// vNIC; link failures route to Controller::handle_link_failure.
+  void watch_fe_links(tables::VnicId id);
+
+  std::size_t size() const { return switches_.size(); }
+  vswitch::VSwitch& vswitch(std::size_t i) { return *switches_.at(i); }
+
+  /// Underlay IP assigned to vSwitch i (10.200.x.y scheme).
+  static net::Ipv4Addr underlay_ip(std::size_t i) {
+    return net::Ipv4Addr(10, 200, static_cast<std::uint8_t>(i / 250),
+                         static_cast<std::uint8_t>(i % 250 + 1));
+  }
+
+  /// Creates a vNIC on vSwitch i and registers it with the controller
+  /// (publishing its placement at the gateway). Returns the hosting switch.
+  vswitch::VSwitch& add_vnic(std::size_t i, const vswitch::VnicConfig& config,
+                             bool stateful_decap = false);
+
+  /// Convenience: watch every vSwitch that currently hosts FEs.
+  void watch_fe_hosts();
+
+  void run_for(common::Duration d) { loop_.run_until(loop_.now() + d); }
+
+ private:
+  sim::EventLoop loop_;
+  tables::VnicServerMap gateway_;
+  std::unique_ptr<sim::Network> network_;
+  std::vector<std::unique_ptr<vswitch::VSwitch>> switches_;
+  std::unique_ptr<Controller> controller_;
+  std::unique_ptr<HealthMonitor> monitor_;
+  std::unique_ptr<LinkProber> link_prober_;
+};
+
+}  // namespace nezha::core

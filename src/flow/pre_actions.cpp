@@ -1,0 +1,65 @@
+#include "src/flow/pre_actions.h"
+
+#include "src/net/bytes.h"
+
+namespace nezha::flow {
+namespace {
+
+void write_dir(net::ByteWriter& w, const DirPreAction& d) {
+  std::uint8_t flags = 0;
+  if (d.acl_verdict == Verdict::kDrop) flags |= 0x01;
+  if (d.nat_enabled) flags |= 0x02;
+  if (d.mirror) flags |= 0x04;
+  w.u8(flags);
+  w.u8(static_cast<std::uint8_t>(d.stats_mode));
+  w.u32(d.nat_ip.value());
+  w.u16(d.nat_port);
+  w.u32(d.rate_limit_kbps);
+  w.u32(d.next_hop.ip.value());
+  w.u64(d.next_hop.mac.value());
+  w.u32(d.mirror_target.ip.value());
+  w.u64(d.mirror_target.mac.value());
+}
+
+DirPreAction read_dir(net::ByteReader& r) {
+  DirPreAction d;
+  const std::uint8_t flags = r.u8();
+  d.acl_verdict = (flags & 0x01) ? Verdict::kDrop : Verdict::kAccept;
+  d.nat_enabled = flags & 0x02;
+  d.mirror = flags & 0x04;
+  d.stats_mode = static_cast<StatsMode>(r.u8());
+  d.nat_ip = net::Ipv4Addr(r.u32());
+  d.nat_port = r.u16();
+  d.rate_limit_kbps = r.u32();
+  d.next_hop.ip = net::Ipv4Addr(r.u32());
+  d.next_hop.mac = net::MacAddr(r.u64());
+  d.mirror_target.ip = net::Ipv4Addr(r.u32());
+  d.mirror_target.mac = net::MacAddr(r.u64());
+  return d;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> PreActions::serialize() const {
+  std::vector<std::uint8_t> out;
+  net::ByteWriter w(out);
+  w.u32(rule_version);
+  write_dir(w, tx);
+  write_dir(w, rx);
+  return out;
+}
+
+common::Result<PreActions> PreActions::parse(
+    std::span<const std::uint8_t> bytes) {
+  net::ByteReader r(bytes);
+  PreActions p;
+  p.rule_version = r.u32();
+  p.tx = read_dir(r);
+  p.rx = read_dir(r);
+  if (!r.ok() || r.remaining() != 0) {
+    return common::make_error("pre-actions: bad encoding");
+  }
+  return p;
+}
+
+}  // namespace nezha::flow

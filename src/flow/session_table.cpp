@@ -1,0 +1,100 @@
+#include "src/flow/session_table.h"
+
+namespace nezha::flow {
+
+bool SessionEntry::qos_admit(std::uint32_t kbps, std::size_t bits,
+                             common::TimePoint now) {
+  if (kbps == 0) return true;
+  const double rate_bps = static_cast<double>(kbps) * 1000.0;
+  const double burst_bits = rate_bps;  // one-second burst
+  if (qos_refilled_at == 0) {
+    qos_tokens_bits = burst_bits;
+  } else {
+    qos_tokens_bits += rate_bps * common::to_seconds(now - qos_refilled_at);
+    if (qos_tokens_bits > burst_bits) qos_tokens_bits = burst_bits;
+  }
+  qos_refilled_at = now;
+  if (qos_tokens_bits < static_cast<double>(bits)) return false;
+  qos_tokens_bits -= static_cast<double>(bits);
+  return true;
+}
+
+namespace {
+
+std::size_t compute_entry_bytes(const SessionTableConfig& config) {
+  std::size_t n = kSessionKeyBytes;
+  if (config.store_pre_actions) n += kPreActionsBytes;
+  if (config.store_state) n += kStateAllocBytes;
+  return n;
+}
+
+}  // namespace
+
+SessionTable::SessionTable(SessionTableConfig config)
+    : config_(config), entry_bytes_(compute_entry_bytes(config)) {}
+
+SessionEntry* SessionTable::find(const SessionKey& key) {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+const SessionEntry* SessionTable::find(const SessionKey& key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+SessionEntry* SessionTable::find_or_create(const SessionKey& key,
+                                           common::TimePoint now) {
+  if (auto it = entries_.find(key); it != entries_.end()) return &it->second;
+  if (full()) {
+    ++insert_failures_;
+    return nullptr;
+  }
+  auto [it, inserted] = entries_.emplace(key, SessionEntry{});
+  it->second.created_at = now;
+  it->second.state.last_active = now;
+  return &it->second;
+}
+
+bool SessionTable::erase(const SessionKey& key) {
+  return entries_.erase(key) > 0;
+}
+
+void SessionTable::clear() { entries_.clear(); }
+
+void SessionTable::invalidate_pre_actions() {
+  if (!config_.store_state) {
+    // Pure flow cache: the whole entry is the pre-action.
+    entries_.clear();
+    return;
+  }
+  for (auto& [key, entry] : entries_) entry.pre_actions.reset();
+}
+
+common::Duration SessionTable::ttl_of(const SessionEntry& entry) const {
+  if (!config_.store_state) return config_.established_ttl;
+  if (entry.state.fsm.closed()) return config_.closed_ttl;
+  if (entry.state.fsm.embryonic() &&
+      entry.state.fsm.state() != TcpFsmState::kNone) {
+    return config_.embryonic_ttl;
+  }
+  return config_.established_ttl;
+}
+
+std::size_t SessionTable::age_out(common::TimePoint now,
+                                  const EvictFn& on_evict) {
+  std::size_t removed = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const common::Duration idle = now - it->second.state.last_active;
+    if (idle >= ttl_of(it->second)) {
+      if (on_evict) on_evict(it->first, it->second);
+      it = entries_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+}  // namespace nezha::flow

@@ -1,0 +1,106 @@
+// Session table / flow cache.
+//
+// One class serves three deployment shapes (memory-accounted differently):
+//  * traditional vSwitch: entries hold cached pre-actions AND state;
+//  * Nezha BE:            entries hold state only (tables are remote);
+//  * Nezha FE flow cache: entries hold pre-actions only (stateless).
+//
+// Memory accounting mirrors §2.2.2: key ≈ 16B (5-tuple + VPC), pre-actions
+// ≈ 48B, state 64B fixed allocation — O(100B) per full entry. A byte
+// capacity bounds the table; insertion fails when full, which is exactly the
+// #concurrent-flows bottleneck.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "src/common/time.h"
+#include "src/flow/pre_actions.h"
+#include "src/flow/session.h"
+
+namespace nezha::flow {
+
+struct SessionEntry {
+  std::optional<PreActions> pre_actions;
+  SessionState state;
+  common::TimePoint created_at = 0;
+  /// Token bucket for the QoS pre-action (enforcement metadata, not session
+  /// state — it never needs to leave the enforcing node).
+  double qos_tokens_bits = 0;
+  common::TimePoint qos_refilled_at = 0;
+
+  /// Charges `bits` against the rate limit; returns false (drop) when the
+  /// bucket is empty. `kbps` == 0 means unlimited. Burst: one second's
+  /// worth of tokens.
+  bool qos_admit(std::uint32_t kbps, std::size_t bits, common::TimePoint now);
+};
+
+struct SessionTableConfig {
+  bool store_pre_actions = true;
+  bool store_state = true;
+  /// Byte budget; 0 means unlimited (useful in unit tests).
+  std::size_t capacity_bytes = 0;
+  /// Aging TTLs (§7.3: embryonic/SYN sessions age fast; the paper cites an
+  /// 8s average lifetime for normal connections).
+  common::Duration established_ttl = common::seconds(8);
+  common::Duration embryonic_ttl = common::seconds(1);
+  common::Duration closed_ttl = common::milliseconds(100);
+};
+
+class SessionTable {
+ public:
+  explicit SessionTable(SessionTableConfig config = {});
+
+  /// Per-entry footprint under this table's configuration.
+  std::size_t entry_bytes() const { return entry_bytes_; }
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t memory_bytes() const { return entries_.size() * entry_bytes_; }
+  std::size_t capacity_bytes() const { return config_.capacity_bytes; }
+  bool full() const {
+    return config_.capacity_bytes != 0 &&
+           memory_bytes() + entry_bytes_ > config_.capacity_bytes;
+  }
+
+  SessionEntry* find(const SessionKey& key);
+  const SessionEntry* find(const SessionKey& key) const;
+
+  /// Finds or creates an entry; returns nullptr when the table is full.
+  SessionEntry* find_or_create(const SessionKey& key, common::TimePoint now);
+
+  bool erase(const SessionKey& key);
+  void clear();
+
+  /// Drops every cached pre-action (rule-table update invalidation, §3.2.2);
+  /// state-bearing entries survive, pure flow-cache entries are erased.
+  void invalidate_pre_actions();
+
+  /// Removes entries idle beyond their FSM-dependent TTL; returns the count.
+  /// `on_evict` (optional) observes each removed entry — used by the
+  /// vSwitch to release per-entry memory-pool reservations.
+  using EvictFn = std::function<void(const SessionKey&, const SessionEntry&)>;
+  std::size_t age_out(common::TimePoint now, const EvictFn& on_evict = {});
+
+  /// TTL applicable to an entry (embryonic sessions age fast, §7.3).
+  common::Duration ttl_of(const SessionEntry& entry) const;
+
+  std::uint64_t insert_failures() const { return insert_failures_; }
+
+  const SessionTableConfig& config() const { return config_; }
+
+  /// Iteration support for censuses (e.g. the Fig 15 state-size census).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [key, entry] : entries_) fn(key, entry);
+  }
+
+ private:
+  SessionTableConfig config_;
+  std::size_t entry_bytes_;
+  std::unordered_map<SessionKey, SessionEntry, SessionKeyHash> entries_;
+  std::uint64_t insert_failures_ = 0;
+};
+
+}  // namespace nezha::flow

@@ -1,0 +1,39 @@
+#include "src/net/addr.h"
+
+#include <cstdio>
+
+namespace nezha::net {
+
+std::string Ipv4Addr::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (v_ >> 24) & 0xff,
+                (v_ >> 16) & 0xff, (v_ >> 8) & 0xff, v_ & 0xff);
+  return buf;
+}
+
+bool Ipv4Addr::try_parse(const std::string& s, Ipv4Addr& out) {
+  unsigned a, b, c, d;
+  char tail;
+  if (std::sscanf(s.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail) != 4) {
+    return false;
+  }
+  if (a > 255 || b > 255 || c > 255 || d > 255) return false;
+  out = Ipv4Addr(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                 static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+  return true;
+}
+
+Ipv4Addr Ipv4Addr::parse(const std::string& s) {
+  Ipv4Addr out;
+  try_parse(s, out);
+  return out;
+}
+
+std::string MacAddr::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", b_[0],
+                b_[1], b_[2], b_[3], b_[4], b_[5]);
+  return buf;
+}
+
+}  // namespace nezha::net

@@ -1,0 +1,75 @@
+// IPv4 and MAC address value types.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace nezha::net {
+
+/// IPv4 address stored host-order for arithmetic; serialized big-endian.
+class Ipv4Addr {
+ public:
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(std::uint32_t host_order) : v_(host_order) {}
+  constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                     std::uint8_t d)
+      : v_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+           (std::uint32_t{c} << 8) | d) {}
+
+  constexpr std::uint32_t value() const { return v_; }
+  std::string to_string() const;
+
+  /// Parses dotted-quad; returns 0.0.0.0 on malformed input (see try_parse).
+  static Ipv4Addr parse(const std::string& s);
+  static bool try_parse(const std::string& s, Ipv4Addr& out);
+
+  auto operator<=>(const Ipv4Addr&) const = default;
+
+ private:
+  std::uint32_t v_ = 0;
+};
+
+/// Ethernet MAC address.
+class MacAddr {
+ public:
+  constexpr MacAddr() = default;
+  constexpr explicit MacAddr(std::uint64_t low48) {
+    for (int i = 5; i >= 0; --i) {
+      b_[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(low48);
+      low48 >>= 8;
+    }
+  }
+  explicit MacAddr(const std::array<std::uint8_t, 6>& bytes) : b_(bytes) {}
+
+  const std::array<std::uint8_t, 6>& bytes() const { return b_; }
+  std::uint64_t value() const {
+    std::uint64_t v = 0;
+    for (auto byte : b_) v = (v << 8) | byte;
+    return v;
+  }
+  std::string to_string() const;
+
+  auto operator<=>(const MacAddr&) const = default;
+
+ private:
+  std::array<std::uint8_t, 6> b_{};
+};
+
+}  // namespace nezha::net
+
+template <>
+struct std::hash<nezha::net::Ipv4Addr> {
+  std::size_t operator()(const nezha::net::Ipv4Addr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<nezha::net::MacAddr> {
+  std::size_t operator()(const nezha::net::MacAddr& a) const noexcept {
+    return std::hash<std::uint64_t>{}(a.value());
+  }
+};

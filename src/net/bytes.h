@@ -1,0 +1,98 @@
+// Big-endian byte serialization helpers used by all header codecs.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace nezha::net {
+
+/// Appends big-endian (network order) fields to a growing byte buffer.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+  void zeros(std::size_t n) { out_.insert(out_.end(), n, 0); }
+
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Reads big-endian fields from a byte span with bounds checking.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+
+  std::uint8_t u8() {
+    if (!require(1)) return 0;
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    if (!require(2)) return 0;
+    std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] << 8) |
+                      data_[pos_ + 1];
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t hi = u16();
+    std::uint32_t lo = u16();
+    return (hi << 16) | lo;
+  }
+  std::uint64_t u64() {
+    std::uint64_t hi = u32();
+    std::uint64_t lo = u32();
+    return (hi << 32) | lo;
+  }
+  std::vector<std::uint8_t> bytes(std::size_t n) {
+    if (!require(n)) return {};
+    std::vector<std::uint8_t> out(data_.begin() + static_cast<long>(pos_),
+                                  data_.begin() + static_cast<long>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+  void skip(std::size_t n) {
+    if (require(n)) pos_ += n;
+  }
+
+ private:
+  bool require(std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      ok_ = false;
+      return false;
+    }
+    return ok_;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace nezha::net

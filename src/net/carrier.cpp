@@ -1,0 +1,62 @@
+#include "src/net/carrier.h"
+
+namespace nezha::net {
+
+void CarrierHeader::add(CarrierTlvType type, std::vector<std::uint8_t> value) {
+  tlvs_.push_back(CarrierTlv{type, std::move(value)});
+}
+
+const CarrierTlv* CarrierHeader::find(CarrierTlvType type) const {
+  for (const auto& tlv : tlvs_) {
+    if (tlv.type == type) return &tlv;
+  }
+  return nullptr;
+}
+
+std::size_t CarrierHeader::wire_size() const {
+  std::size_t n = kBaseSize;
+  for (const auto& tlv : tlvs_) n += 4 + tlv.value.size();
+  return n;
+}
+
+void CarrierHeader::serialize(ByteWriter& w) const {
+  w.u8(kVersion);
+  std::uint8_t f = 0;
+  if (flags.is_notify) f |= 0x01;
+  if (flags.from_frontend) f |= 0x02;
+  w.u8(f);
+  w.u16(static_cast<std::uint16_t>(wire_size()));
+  for (const auto& tlv : tlvs_) {
+    w.u16(static_cast<std::uint16_t>(tlv.type));
+    w.u16(static_cast<std::uint16_t>(tlv.value.size()));
+    w.bytes(tlv.value);
+  }
+}
+
+common::Result<CarrierHeader> CarrierHeader::parse(ByteReader& r) {
+  CarrierHeader h;
+  const std::uint8_t version = r.u8();
+  if (version != kVersion) {
+    return common::make_error("carrier: unsupported version");
+  }
+  const std::uint8_t f = r.u8();
+  h.flags.is_notify = f & 0x01;
+  h.flags.from_frontend = f & 0x02;
+  const std::uint16_t total = r.u16();
+  if (total < kBaseSize) return common::make_error("carrier: bad length");
+  std::size_t consumed = kBaseSize;
+  while (consumed < total) {
+    const auto type = static_cast<CarrierTlvType>(r.u16());
+    const std::uint16_t len = r.u16();
+    auto value = r.bytes(len);
+    if (!r.ok()) return common::make_error("carrier: truncated TLV");
+    h.tlvs_.push_back(CarrierTlv{type, std::move(value)});
+    consumed += 4 + len;
+  }
+  if (consumed != total || !r.ok()) {
+    return common::make_error("carrier: length mismatch");
+  }
+  return h;
+}
+
+}  // namespace nezha::net

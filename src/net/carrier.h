@@ -1,0 +1,67 @@
+// Nezha carrier header: the NSH-like shim (§3.2.1, RFC 8300 in the paper)
+// that lets data packets transport the processing inputs that the receiving
+// side lacks — session state in TX packets travelling BE→FE, pre-actions in
+// RX packets travelling FE→BE, plus notify and stateful-decap info TLVs.
+//
+// The carrier is a base header followed by TLVs with opaque payloads; the
+// Nezha core defines the payload encodings (keeping this layer free of any
+// dependency on flow/NF types).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/net/bytes.h"
+
+namespace nezha::net {
+
+enum class CarrierTlvType : std::uint16_t {
+  kStateSnapshot = 1,  // BE→FE on TX: the session state needed at the FE
+  kPreActions = 2,     // FE→BE on RX: bidirectional pre-actions from tables
+  kNotify = 3,         // FE→BE notify packet: rule-table-derived state update
+  kDecapInfo = 4,      // FE→BE on RX: info lost at FE (e.g. overlay src IP)
+  kVnicId = 5,         // which offloaded vNIC this packet belongs to
+};
+
+struct CarrierTlv {
+  CarrierTlvType type = CarrierTlvType::kStateSnapshot;
+  std::vector<std::uint8_t> value;
+
+  bool operator==(const CarrierTlv&) const = default;
+};
+
+/// Flags in the carrier base header.
+struct CarrierFlags {
+  bool is_notify = false;   // standalone notify packet (no user payload)
+  bool from_frontend = false;  // direction marker for debugging/validation
+
+  bool operator==(const CarrierFlags&) const = default;
+};
+
+class CarrierHeader {
+ public:
+  static constexpr std::uint8_t kVersion = 1;
+  static constexpr std::size_t kBaseSize = 4;  // version, flags, total length
+
+  CarrierFlags flags;
+
+  void add(CarrierTlvType type, std::vector<std::uint8_t> value);
+  const CarrierTlv* find(CarrierTlvType type) const;
+  const std::vector<CarrierTlv>& tlvs() const { return tlvs_; }
+  bool empty() const { return tlvs_.empty(); }
+
+  /// Serialized size in bytes (base + sum of TLVs).
+  std::size_t wire_size() const;
+
+  void serialize(ByteWriter& w) const;
+  static common::Result<CarrierHeader> parse(ByteReader& r);
+
+  bool operator==(const CarrierHeader&) const = default;
+
+ private:
+  std::vector<CarrierTlv> tlvs_;
+};
+
+}  // namespace nezha::net

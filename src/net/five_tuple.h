@@ -1,0 +1,56 @@
+// Transport 5-tuple: the flow identity used throughout the vSwitch pipeline
+// and by Nezha's hash-based FE load balancing.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/net/addr.h"
+
+namespace nezha::net {
+
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+struct FiveTuple {
+  Ipv4Addr src_ip;
+  Ipv4Addr dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  IpProto proto = IpProto::kTcp;
+
+  /// The reverse-direction tuple of the same flow.
+  FiveTuple reversed() const {
+    return FiveTuple{dst_ip, src_ip, dst_port, src_port, proto};
+  }
+
+  /// Direction-insensitive canonical form: the lexicographically smaller of
+  /// (this, reversed()). Bidirectional flows of a session share one
+  /// canonical tuple, which keys the session table.
+  FiveTuple canonical() const;
+
+  /// True when this tuple is already in canonical orientation.
+  bool is_canonical() const;
+
+  std::string to_string() const;
+
+  auto operator<=>(const FiveTuple&) const = default;
+};
+
+/// Stable 64-bit flow hash (used for FE selection; must be deterministic
+/// across runs so tests can assert placement).
+std::uint64_t flow_hash(const FiveTuple& ft, std::uint64_t seed = 0);
+
+}  // namespace nezha::net
+
+template <>
+struct std::hash<nezha::net::FiveTuple> {
+  std::size_t operator()(const nezha::net::FiveTuple& ft) const noexcept {
+    return static_cast<std::size_t>(nezha::net::flow_hash(ft));
+  }
+};

@@ -1,0 +1,148 @@
+#include "src/net/headers.h"
+
+namespace nezha::net {
+
+void EthernetHeader::serialize(ByteWriter& w) const {
+  w.bytes(dst.bytes());
+  w.bytes(src.bytes());
+  w.u16(ethertype);
+}
+
+EthernetHeader EthernetHeader::parse(ByteReader& r) {
+  EthernetHeader h;
+  std::array<std::uint8_t, 6> mac{};
+  auto d = r.bytes(6);
+  if (d.size() == 6) std::copy(d.begin(), d.end(), mac.begin());
+  h.dst = MacAddr(mac);
+  d = r.bytes(6);
+  if (d.size() == 6) std::copy(d.begin(), d.end(), mac.begin());
+  h.src = MacAddr(mac);
+  h.ethertype = r.u16();
+  return h;
+}
+
+void Ipv4Header::serialize(ByteWriter& w) const {
+  std::vector<std::uint8_t> hdr;
+  hdr.reserve(kSize);
+  ByteWriter hw(hdr);
+  hw.u8(0x45);  // version 4, IHL 5
+  hw.u8(dscp);
+  hw.u16(total_length);
+  hw.u16(identification);
+  hw.u16(0);  // flags/fragment offset: never fragmented in the simulator
+  hw.u8(ttl);
+  hw.u8(static_cast<std::uint8_t>(protocol));
+  hw.u16(0);  // checksum placeholder
+  hw.u32(src.value());
+  hw.u32(dst.value());
+  const std::uint16_t csum = internet_checksum(hdr);
+  hdr[10] = static_cast<std::uint8_t>(csum >> 8);
+  hdr[11] = static_cast<std::uint8_t>(csum);
+  w.bytes(hdr);
+}
+
+Ipv4Header Ipv4Header::parse(ByteReader& r) {
+  Ipv4Header h;
+  r.u8();  // version/IHL
+  h.dscp = r.u8();
+  h.total_length = r.u16();
+  h.identification = r.u16();
+  r.u16();  // flags/frag
+  h.ttl = r.u8();
+  h.protocol = static_cast<IpProto>(r.u8());
+  r.u16();  // checksum (verified separately when needed)
+  h.src = Ipv4Addr(r.u32());
+  h.dst = Ipv4Addr(r.u32());
+  return h;
+}
+
+void UdpHeader::serialize(ByteWriter& w) const {
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u16(length);
+  w.u16(0);  // checksum optional for IPv4; the simulator leaves it zero
+}
+
+UdpHeader UdpHeader::parse(ByteReader& r) {
+  UdpHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.length = r.u16();
+  r.u16();  // checksum
+  return h;
+}
+
+std::uint8_t TcpFlags::to_byte() const {
+  std::uint8_t b = 0;
+  if (fin) b |= 0x01;
+  if (syn) b |= 0x02;
+  if (rst) b |= 0x04;
+  if (psh) b |= 0x08;
+  if (ack) b |= 0x10;
+  return b;
+}
+
+TcpFlags TcpFlags::from_byte(std::uint8_t b) {
+  TcpFlags f;
+  f.fin = b & 0x01;
+  f.syn = b & 0x02;
+  f.rst = b & 0x04;
+  f.psh = b & 0x08;
+  f.ack = b & 0x10;
+  return f;
+}
+
+void TcpHeader::serialize(ByteWriter& w) const {
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u32(seq);
+  w.u32(ack);
+  w.u8(0x50);  // data offset 5 words
+  w.u8(flags.to_byte());
+  w.u16(window);
+  w.u16(0);  // checksum (not modeled)
+  w.u16(0);  // urgent pointer
+}
+
+TcpHeader TcpHeader::parse(ByteReader& r) {
+  TcpHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.seq = r.u32();
+  h.ack = r.u32();
+  r.u8();  // data offset
+  h.flags = TcpFlags::from_byte(r.u8());
+  h.window = r.u16();
+  r.u16();  // checksum
+  r.u16();  // urgent
+  return h;
+}
+
+void VxlanHeader::serialize(ByteWriter& w) const {
+  w.u8(0x08);  // I flag set: VNI valid
+  w.u8(0);
+  w.u16(0);
+  w.u32(vni << 8);  // 24-bit VNI + reserved byte
+}
+
+VxlanHeader VxlanHeader::parse(ByteReader& r) {
+  VxlanHeader h;
+  r.u8();
+  r.u8();
+  r.u16();
+  h.vni = r.u32() >> 8;
+  return h;
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>(data[i]) << 8 | data[i + 1];
+  }
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+}  // namespace nezha::net

@@ -1,0 +1,234 @@
+#include "src/net/packet.h"
+
+namespace nezha::net {
+
+std::size_t InnerFrame::wire_size() const {
+  const std::size_t l4 = (ft.proto == IpProto::kTcp) ? TcpHeader::kSize
+                                                     : UdpHeader::kSize;
+  return EthernetHeader::kSize + Ipv4Header::kSize + l4 + payload_len;
+}
+
+void Packet::encap(Ipv4Addr outer_src_ip, MacAddr outer_src_mac,
+                   Ipv4Addr outer_dst_ip, MacAddr outer_dst_mac) {
+  Overlay o;
+  o.src_mac = outer_src_mac;
+  o.dst_mac = outer_dst_mac;
+  o.src_ip = outer_src_ip;
+  o.dst_ip = outer_dst_ip;
+  o.vni = vpc_id & 0xffffff;
+  // Entropy port in the IANA-suggested ephemeral range, derived from the
+  // inner flow so a flow's packets take one underlay ECMP path.
+  o.src_port = static_cast<std::uint16_t>(
+      0xc000 | (flow_hash(inner.ft) & 0x3fff));
+  overlay = o;
+}
+
+std::optional<Overlay> Packet::decap() {
+  auto removed = overlay;
+  overlay.reset();
+  carrier.reset();
+  return removed;
+}
+
+std::size_t Packet::wire_size() const {
+  std::size_t n = inner.wire_size();
+  if (carrier) n += carrier->wire_size();
+  if (overlay) n += Overlay::kSize;
+  return n;
+}
+
+std::vector<std::uint8_t> Packet::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(wire_size());
+  ByteWriter w(out);
+
+  // Build inner frame bytes first so outer lengths are exact.
+  std::vector<std::uint8_t> inner_bytes;
+  {
+    ByteWriter iw(inner_bytes);
+    EthernetHeader eth{inner.dst_mac, inner.src_mac, kEtherTypeIpv4};
+    eth.serialize(iw);
+    Ipv4Header ip;
+    ip.protocol = inner.ft.proto;
+    ip.src = inner.ft.src_ip;
+    ip.dst = inner.ft.dst_ip;
+    const std::size_t l4 = (inner.ft.proto == IpProto::kTcp)
+                               ? TcpHeader::kSize
+                               : UdpHeader::kSize;
+    ip.total_length =
+        static_cast<std::uint16_t>(Ipv4Header::kSize + l4 + inner.payload_len);
+    ip.serialize(iw);
+    if (inner.ft.proto == IpProto::kTcp) {
+      TcpHeader tcp;
+      tcp.src_port = inner.ft.src_port;
+      tcp.dst_port = inner.ft.dst_port;
+      tcp.seq = inner.seq;
+      tcp.ack = inner.ack_no;
+      tcp.flags = inner.tcp_flags;
+      tcp.serialize(iw);
+    } else {
+      UdpHeader udp;
+      udp.src_port = inner.ft.src_port;
+      udp.dst_port = inner.ft.dst_port;
+      udp.length =
+          static_cast<std::uint16_t>(UdpHeader::kSize + inner.payload_len);
+      udp.serialize(iw);
+    }
+    iw.zeros(inner.payload_len);
+  }
+
+  if (overlay) {
+    std::size_t shim = carrier ? carrier->wire_size() : 0;
+    EthernetHeader eth{overlay->dst_mac, overlay->src_mac, kEtherTypeIpv4};
+    eth.serialize(w);
+    Ipv4Header ip;
+    ip.protocol = IpProto::kUdp;
+    ip.src = overlay->src_ip;
+    ip.dst = overlay->dst_ip;
+    ip.total_length = static_cast<std::uint16_t>(
+        Ipv4Header::kSize + UdpHeader::kSize + VxlanHeader::kSize + shim +
+        inner_bytes.size());
+    ip.serialize(w);
+    UdpHeader udp;
+    udp.src_port = overlay->src_port;
+    udp.dst_port = kVxlanUdpPort;
+    udp.length = static_cast<std::uint16_t>(UdpHeader::kSize +
+                                            VxlanHeader::kSize + shim +
+                                            inner_bytes.size());
+    udp.serialize(w);
+    VxlanHeader vxlan{overlay->vni};
+    vxlan.serialize(w);
+    if (carrier) carrier->serialize(w);
+  }
+  w.bytes(inner_bytes);
+  return out;
+}
+
+namespace {
+
+common::Result<InnerFrame> parse_inner(ByteReader& r) {
+  InnerFrame in;
+  EthernetHeader eth = EthernetHeader::parse(r);
+  in.dst_mac = eth.dst;
+  in.src_mac = eth.src;
+  Ipv4Header ip = Ipv4Header::parse(r);
+  in.ft.proto = ip.protocol;
+  in.ft.src_ip = ip.src;
+  in.ft.dst_ip = ip.dst;
+  if (ip.protocol == IpProto::kTcp) {
+    TcpHeader tcp = TcpHeader::parse(r);
+    in.ft.src_port = tcp.src_port;
+    in.ft.dst_port = tcp.dst_port;
+    in.seq = tcp.seq;
+    in.ack_no = tcp.ack;
+    in.tcp_flags = tcp.flags;
+    in.payload_len = static_cast<std::uint16_t>(
+        ip.total_length - Ipv4Header::kSize - TcpHeader::kSize);
+  } else if (ip.protocol == IpProto::kUdp) {
+    UdpHeader udp = UdpHeader::parse(r);
+    in.ft.src_port = udp.src_port;
+    in.ft.dst_port = udp.dst_port;
+    in.payload_len = static_cast<std::uint16_t>(
+        ip.total_length - Ipv4Header::kSize - UdpHeader::kSize);
+  } else {
+    return common::make_error("packet: unsupported inner protocol");
+  }
+  r.skip(in.payload_len);
+  if (!r.ok()) return common::make_error("packet: truncated inner frame");
+  return in;
+}
+
+}  // namespace
+
+common::Result<Packet> Packet::parse(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  Packet pkt;
+
+  // Peek: an encapsulated packet has outer IPv4 proto UDP dst-port 4789.
+  // We parse optimistically as overlay; if the outer UDP port is not VXLAN,
+  // re-parse the whole buffer as a bare inner frame.
+  if (bytes.size() >= Overlay::kSize + EthernetHeader::kSize) {
+    ByteReader probe(bytes);
+    EthernetHeader oeth = EthernetHeader::parse(probe);
+    Ipv4Header oip = Ipv4Header::parse(probe);
+    if (oip.protocol == IpProto::kUdp) {
+      UdpHeader oudp = UdpHeader::parse(probe);
+      if (oudp.dst_port == kVxlanUdpPort) {
+        VxlanHeader vxlan = VxlanHeader::parse(probe);
+        Overlay o;
+        o.dst_mac = oeth.dst;
+        o.src_mac = oeth.src;
+        o.src_ip = oip.src;
+        o.dst_ip = oip.dst;
+        o.src_port = oudp.src_port;
+        o.vni = vxlan.vni;
+        pkt.overlay = o;
+        pkt.vpc_id = vxlan.vni;
+        // Optional carrier shim: detect by version byte.
+        const std::size_t shim_pos = probe.position();
+        if (probe.remaining() >= CarrierHeader::kBaseSize &&
+            bytes[shim_pos] == CarrierHeader::kVersion) {
+          auto carrier = CarrierHeader::parse(probe);
+          if (carrier.ok()) {
+            pkt.carrier = carrier.value();
+          } else {
+            return common::make_error(carrier.error().message);
+          }
+        }
+        auto inner = parse_inner(probe);
+        if (!inner.ok()) return common::make_error(inner.error().message);
+        pkt.inner = inner.value();
+        return pkt;
+      }
+    }
+  }
+  auto inner = parse_inner(r);
+  if (!inner.ok()) return common::make_error(inner.error().message);
+  pkt.inner = inner.value();
+  return pkt;
+}
+
+std::string Packet::to_string() const {
+  std::string s = inner.ft.to_string();
+  if (inner.ft.proto == IpProto::kTcp) {
+    s += " [";
+    if (inner.tcp_flags.syn) s += "S";
+    if (inner.tcp_flags.ack) s += "A";
+    if (inner.tcp_flags.fin) s += "F";
+    if (inner.tcp_flags.rst) s += "R";
+    s += "]";
+  }
+  if (overlay) {
+    s += " @" + overlay->src_ip.to_string() + "->" +
+         overlay->dst_ip.to_string() + " vni=" + std::to_string(overlay->vni);
+  }
+  if (carrier) s += " +carrier(" + std::to_string(carrier->tlvs().size()) + ")";
+  return s;
+}
+
+Packet make_tcp_packet(const FiveTuple& ft, TcpFlags flags,
+                       std::uint16_t payload_len, std::uint32_t vpc_id) {
+  Packet pkt;
+  pkt.inner.ft = ft;
+  pkt.inner.ft.proto = IpProto::kTcp;
+  pkt.inner.tcp_flags = flags;
+  pkt.inner.payload_len = payload_len;
+  pkt.inner.src_mac = MacAddr(0x020000000001ULL + ft.src_ip.value());
+  pkt.inner.dst_mac = MacAddr(0x020000000001ULL + ft.dst_ip.value());
+  pkt.vpc_id = vpc_id;
+  return pkt;
+}
+
+Packet make_udp_packet(const FiveTuple& ft, std::uint16_t payload_len,
+                       std::uint32_t vpc_id) {
+  Packet pkt;
+  pkt.inner.ft = ft;
+  pkt.inner.ft.proto = IpProto::kUdp;
+  pkt.inner.payload_len = payload_len;
+  pkt.inner.src_mac = MacAddr(0x020000000001ULL + ft.src_ip.value());
+  pkt.inner.dst_mac = MacAddr(0x020000000001ULL + ft.dst_ip.value());
+  pkt.vpc_id = vpc_id;
+  return pkt;
+}
+
+}  // namespace nezha::net

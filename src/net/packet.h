@@ -1,0 +1,90 @@
+// The simulator's packet representation.
+//
+// A Packet is a structured view of a frame: an inner Ethernet/IPv4/TCP|UDP
+// frame, optionally wrapped in a VXLAN overlay, with an optional Nezha
+// carrier shim between the VXLAN header and the inner frame. serialize()
+// produces the exact wire bytes and parse() inverts it; wire_size() is the
+// serialized length and drives the link bandwidth model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/time.h"
+#include "src/net/addr.h"
+#include "src/net/carrier.h"
+#include "src/net/five_tuple.h"
+#include "src/net/headers.h"
+
+namespace nezha::net {
+
+/// The tenant-visible inner frame. payload_len models application bytes; the
+/// payload content itself is irrelevant to any vSwitch decision and is
+/// serialized as zeros.
+struct InnerFrame {
+  MacAddr src_mac;
+  MacAddr dst_mac;
+  FiveTuple ft;
+  TcpFlags tcp_flags;          // meaningful when ft.proto == kTcp
+  std::uint32_t seq = 0;       // TCP sequence number
+  std::uint32_t ack_no = 0;    // TCP acknowledgement number
+  std::uint16_t payload_len = 0;
+
+  std::size_t wire_size() const;
+  bool operator==(const InnerFrame&) const = default;
+};
+
+/// Underlay VXLAN overlay: outer Ethernet + IPv4 + UDP + VXLAN.
+struct Overlay {
+  MacAddr src_mac;
+  MacAddr dst_mac;
+  Ipv4Addr src_ip;
+  Ipv4Addr dst_ip;
+  std::uint16_t src_port = 0xbeef;  // 5-tuple-entropy source port
+  std::uint32_t vni = 0;            // carries the VPC ID on the wire
+
+  static constexpr std::size_t kSize = EthernetHeader::kSize +
+                                       Ipv4Header::kSize + UdpHeader::kSize +
+                                       VxlanHeader::kSize;
+  bool operator==(const Overlay&) const = default;
+};
+
+struct Packet {
+  std::optional<Overlay> overlay;
+  std::optional<CarrierHeader> carrier;
+  InnerFrame inner;
+
+  // --- simulation metadata (never serialized) ---
+  std::uint64_t id = 0;                   // unique per generated packet
+  common::TimePoint created_at = 0;       // for end-to-end latency
+  std::uint32_t vpc_id = 0;               // tenant; mirrored into vni on encap
+
+  bool encapsulated() const { return overlay.has_value(); }
+
+  /// Wraps the inner frame in a VXLAN overlay addressed to (dst_ip, dst_mac),
+  /// setting the VNI from vpc_id and deriving an entropy source port from the
+  /// inner 5-tuple so underlay ECMP stays flow-consistent.
+  void encap(Ipv4Addr outer_src_ip, MacAddr outer_src_mac, Ipv4Addr outer_dst_ip,
+             MacAddr outer_dst_mac);
+
+  /// Removes the overlay (and any carrier shim). Returns the removed overlay.
+  std::optional<Overlay> decap();
+
+  std::size_t wire_size() const;
+  std::vector<std::uint8_t> serialize() const;
+  static common::Result<Packet> parse(std::span<const std::uint8_t> bytes);
+
+  std::string to_string() const;
+};
+
+/// A factory for inner frames with convenient defaults, used by workloads
+/// and tests.
+Packet make_tcp_packet(const FiveTuple& ft, TcpFlags flags,
+                       std::uint16_t payload_len = 0, std::uint32_t vpc_id = 0);
+Packet make_udp_packet(const FiveTuple& ft, std::uint16_t payload_len = 0,
+                       std::uint32_t vpc_id = 0);
+
+}  // namespace nezha::net

@@ -1,0 +1,60 @@
+#include "src/net/pcap.h"
+
+#include <memory>
+
+namespace nezha::net {
+namespace {
+
+void put_u16le(std::ofstream& out, std::uint16_t v) {
+  const char b[2] = {static_cast<char>(v & 0xff),
+                     static_cast<char>((v >> 8) & 0xff)};
+  out.write(b, 2);
+}
+
+void put_u32le(std::ofstream& out, std::uint32_t v) {
+  const char b[4] = {static_cast<char>(v & 0xff),
+                     static_cast<char>((v >> 8) & 0xff),
+                     static_cast<char>((v >> 16) & 0xff),
+                     static_cast<char>((v >> 24) & 0xff)};
+  out.write(b, 4);
+}
+
+}  // namespace
+
+common::Result<PcapWriter> PcapWriter::open(const std::string& path) {
+  auto out = std::make_unique<std::ofstream>(
+      path, std::ios::binary | std::ios::trunc);
+  if (!out->is_open()) {
+    return common::make_error("pcap: cannot open " + path);
+  }
+  // Global header: magic (microsecond timestamps), version 2.4,
+  // thiszone 0, sigfigs 0, snaplen 65535, linktype 1 (Ethernet).
+  put_u32le(*out, 0xa1b2c3d4u);
+  put_u16le(*out, 2);
+  put_u16le(*out, 4);
+  put_u32le(*out, 0);
+  put_u32le(*out, 0);
+  put_u32le(*out, 65535);
+  put_u32le(*out, 1);
+  return PcapWriter(std::move(out));
+}
+
+void PcapWriter::write(const Packet& pkt, common::TimePoint at) {
+  write_bytes(pkt.serialize(), at);
+}
+
+void PcapWriter::write_bytes(std::span<const std::uint8_t> frame,
+                             common::TimePoint at) {
+  const auto ts_sec = static_cast<std::uint32_t>(at / common::kSecond);
+  const auto ts_usec = static_cast<std::uint32_t>(
+      (at % common::kSecond) / common::kMicrosecond);
+  put_u32le(*out_, ts_sec);
+  put_u32le(*out_, ts_usec);
+  put_u32le(*out_, static_cast<std::uint32_t>(frame.size()));
+  put_u32le(*out_, static_cast<std::uint32_t>(frame.size()));
+  out_->write(reinterpret_cast<const char*>(frame.data()),
+              static_cast<std::streamsize>(frame.size()));
+  ++packets_;
+}
+
+}  // namespace nezha::net

@@ -1,0 +1,46 @@
+// Classic pcap (libpcap) file writer for simulated traffic.
+//
+// Packets in this library serialize to real Ethernet frames, so captures
+// taken from a simulation open directly in Wireshark/tcpdump — the VXLAN
+// overlay, the inner frame, and (as unknown payload between VXLAN and the
+// inner Ethernet header) the Nezha carrier shim. Attach via
+// sim::Network::set_trace to capture everything crossing the fabric.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/common/time.h"
+#include "src/net/packet.h"
+
+namespace nezha::net {
+
+class PcapWriter {
+ public:
+  /// Opens (truncates) `path` and writes the pcap global header.
+  static common::Result<PcapWriter> open(const std::string& path);
+
+  PcapWriter(PcapWriter&&) = default;
+  PcapWriter& operator=(PcapWriter&&) = default;
+
+  /// Appends one packet record stamped with the virtual capture time.
+  void write(const Packet& pkt, common::TimePoint at);
+
+  /// Appends pre-serialized frame bytes.
+  void write_bytes(std::span<const std::uint8_t> frame, common::TimePoint at);
+
+  std::uint64_t packets_written() const { return packets_; }
+  void flush() { out_->flush(); }
+
+ private:
+  explicit PcapWriter(std::unique_ptr<std::ofstream> out)
+      : out_(std::move(out)) {}
+
+  std::unique_ptr<std::ofstream> out_;
+  std::uint64_t packets_ = 0;
+};
+
+}  // namespace nezha::net

@@ -1,0 +1,49 @@
+#include "src/nf/middlebox.h"
+
+namespace nezha::nf {
+
+MiddleboxProfile MiddleboxProfile::load_balancer() {
+  MiddleboxProfile p{};
+  p.kind = MiddleboxKind::kLoadBalancer;
+  p.name = "load-balancer";
+  // LB performs ACL lookups plus advanced features (health probing policies,
+  // mirroring): a long lookup chain, hence a high CPS gain (4X).
+  p.rule_profile = tables::RuleSetProfile{
+      .acl_enabled = true,
+      .num_tables = 9,
+      .synthetic_rule_bytes = 100ull * 1024 * 1024};
+  p.stateful_decap = true;
+  // Persistent connections to real servers dominate the session table.
+  p.mean_connection_lifetime = common::seconds(60);
+  p.persistent_fraction = 0.6;
+  return p;
+}
+
+MiddleboxProfile MiddleboxProfile::nat_gateway() {
+  MiddleboxProfile p{};
+  p.kind = MiddleboxKind::kNatGateway;
+  p.name = "nat-gateway";
+  // NAT has the heaviest chain (ACL + NAT allocation + port policies):
+  // highest CPS gain (4.4X).
+  p.rule_profile = tables::RuleSetProfile{
+      .acl_enabled = true,
+      .num_tables = 12,
+      .synthetic_rule_bytes = 120ull * 1024 * 1024};
+  p.mean_connection_lifetime = common::seconds(8);
+  return p;
+}
+
+MiddleboxProfile MiddleboxProfile::transit_router() {
+  MiddleboxProfile p{};
+  p.kind = MiddleboxKind::kTransitRouter;
+  p.name = "transit-router";
+  // TR bypasses ACL rules (§6.3.1): the simplest chain, lowest CPS gain (3X).
+  p.rule_profile = tables::RuleSetProfile{
+      .acl_enabled = false,
+      .num_tables = 5,
+      .synthetic_rule_bytes = 150ull * 1024 * 1024};
+  p.mean_connection_lifetime = common::seconds(15);
+  return p;
+}
+
+}  // namespace nezha::nf

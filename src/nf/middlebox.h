@@ -1,0 +1,39 @@
+// Cloud middlebox profiles used by the paper's production evaluation
+// (§6.3.1, Table 3): Server Load Balancer, NAT gateway and Transit Router.
+//
+// Each profile fixes the characteristics that drive the differing Nezha
+// gains: the slow-path lookup chain (TR bypasses the ACL → lowest CPS gain),
+// rule-table bulk (all are O(100MB)) and session longevity (LB keeps
+// long-lived connections to its real servers → largest session table,
+// smallest #flows gain).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "src/common/time.h"
+#include "src/tables/rule_set.h"
+
+namespace nezha::nf {
+
+enum class MiddleboxKind { kLoadBalancer, kNatGateway, kTransitRouter };
+
+struct MiddleboxProfile {
+  MiddleboxKind kind;
+  std::string name;
+  /// Slow-path profile for the middlebox's vNICs.
+  tables::RuleSetProfile rule_profile;
+  /// Whether this middlebox performs stateful decapsulation (§5.2).
+  bool stateful_decap = false;
+  /// Mean connection lifetime (drives concurrent-flow accumulation: LB's
+  /// persistent real-server connections bloat the session table, §2.2.2).
+  common::Duration mean_connection_lifetime = common::seconds(8);
+  /// Fraction of connections that are long-lived/persistent.
+  double persistent_fraction = 0.0;
+
+  static MiddleboxProfile load_balancer();
+  static MiddleboxProfile nat_gateway();
+  static MiddleboxProfile transit_router();
+};
+
+}  // namespace nezha::nf

@@ -1,0 +1,53 @@
+#include "src/sim/event_loop.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace nezha::sim {
+
+EventId EventLoop::schedule_at(common::TimePoint t, Callback cb) {
+  if (t < now_) t = now_;  // never schedule into the past
+  const EventId id = next_id_++;
+  queue_.push(Event{t, id, std::move(cb)});
+  return id;
+}
+
+EventId EventLoop::schedule_after(common::Duration delay, Callback cb) {
+  if (delay < 0) delay = 0;
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+void EventLoop::cancel(EventId id) {
+  if (id != 0 && id < next_id_) cancelled_.insert(id);
+}
+
+bool EventLoop::fire_next() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.at;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::run() {
+  while (fire_next()) {
+  }
+}
+
+void EventLoop::run_until(common::TimePoint t) {
+  while (!queue_.empty() && queue_.top().at <= t) {
+    if (!fire_next()) break;
+  }
+  if (now_ < t) now_ = t;
+}
+
+bool EventLoop::step() { return fire_next(); }
+
+}  // namespace nezha::sim

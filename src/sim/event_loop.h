@@ -1,0 +1,67 @@
+// Discrete-event scheduler with virtual time.
+//
+// Determinism: events at equal timestamps fire in schedule order (a
+// monotonically increasing sequence number breaks ties), so a run is a pure
+// function of its inputs and seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace nezha::sim {
+
+using EventId = std::uint64_t;
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  common::TimePoint now() const { return now_; }
+
+  /// Schedules cb at absolute time t (>= now). Returns an id for cancel().
+  EventId schedule_at(common::TimePoint t, Callback cb);
+
+  /// Schedules cb after a relative delay (clamped to >= 0).
+  EventId schedule_after(common::Duration delay, Callback cb);
+
+  /// Cancels a pending event; harmless if already fired or unknown.
+  void cancel(EventId id);
+
+  /// Runs events until the queue is empty.
+  void run();
+
+  /// Runs events with timestamp <= t, then sets now to t.
+  void run_until(common::TimePoint t);
+
+  /// Runs exactly one event if any; returns false when the queue is empty.
+  bool step();
+
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    common::TimePoint at;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  bool fire_next();
+
+  common::TimePoint now_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace nezha::sim

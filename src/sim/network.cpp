@@ -1,0 +1,111 @@
+#include "src/sim/network.h"
+
+#include <utility>
+
+namespace nezha::sim {
+
+Network::Network(EventLoop& loop, Topology topology, NetworkConfig config)
+    : loop_(loop), topology_(topology), config_(config) {}
+
+void Network::attach(Node& node) {
+  nodes_[node.id()] = &node;
+  by_ip_[node.underlay_ip().value()] = &node;
+  ports_.emplace(node.id(), Port{});
+}
+
+void Network::detach(NodeId id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return;
+  by_ip_.erase(it->second->underlay_ip().value());
+  nodes_.erase(it);
+  ports_.erase(id);
+  crashed_.erase(id);
+}
+
+Node* Network::find_by_ip(net::Ipv4Addr ip) const {
+  auto it = by_ip_.find(ip.value());
+  return it == by_ip_.end() ? nullptr : it->second;
+}
+
+Node* Network::find_by_id(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? nullptr : it->second;
+}
+
+void Network::send(NodeId from, net::Ipv4Addr to_ip, net::Packet pkt) {
+  if (crashed_.contains(from)) {
+    ++dropped_crashed_;
+    return;
+  }
+  Node* dst = find_by_ip(to_ip);
+  if (dst == nullptr) {
+    ++dropped_no_route_;
+    return;
+  }
+  if (partitions_.contains(pair_key(from, dst->id()))) {
+    ++dropped_partitioned_;
+    return;
+  }
+  const std::size_t bytes = pkt.wire_size();
+
+  // Sender-port serialization: the port transmits packets back to back at
+  // link_bps. busy_until tracks when the port frees up.
+  Port& port = ports_[from];
+  const common::TimePoint now = loop_.now();
+  if (port.busy_until < now) {
+    port.busy_until = now;
+    port.queued_bytes = 0;
+  }
+  if (port.queued_bytes + bytes > config_.egress_queue_bytes) {
+    ++dropped_queue_full_;
+    return;
+  }
+  const auto serialization = static_cast<common::Duration>(
+      static_cast<double>(bytes) * 8.0 / config_.link_bps *
+      static_cast<double>(common::kSecond));
+  port.busy_until += serialization;
+  port.queued_bytes += bytes;
+  const common::TimePoint tx_done = port.busy_until;
+
+  const common::TimePoint arrival = tx_done + topology_.latency(from, dst->id());
+  total_bytes_ += bytes;
+
+  const NodeId to = dst->id();
+  loop_.schedule_at(arrival, [this, from, to, pkt = std::move(pkt),
+                              bytes]() mutable {
+    // Drain the sender queue accounting as the bytes leave the port.
+    auto pit = ports_.find(from);
+    if (pit != ports_.end() && pit->second.queued_bytes >= bytes) {
+      pit->second.queued_bytes -= bytes;
+    }
+    if (crashed_.contains(to)) {
+      ++dropped_crashed_;
+      return;
+    }
+    Node* node = find_by_id(to);
+    if (node == nullptr) {
+      ++dropped_no_route_;
+      return;
+    }
+    ++delivered_;
+    if (trace_) trace_(loop_.now(), pkt, from, to);
+    node->receive(std::move(pkt));
+  });
+}
+
+void Network::crash(NodeId id) { crashed_.insert(id); }
+void Network::heal(NodeId id) { crashed_.erase(id); }
+
+void Network::partition(NodeId a, NodeId b) {
+  partitions_.insert(pair_key(a, b));
+}
+
+void Network::heal_partition(NodeId a, NodeId b) {
+  partitions_.erase(pair_key(a, b));
+}
+
+bool Network::partitioned(NodeId a, NodeId b) const {
+  return partitions_.contains(pair_key(a, b));
+}
+
+}  // namespace nezha::sim

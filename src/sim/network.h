@@ -1,0 +1,104 @@
+// The underlay network: registers nodes, routes packets by underlay IP,
+// models per-port serialization (link bandwidth) plus fabric latency, and
+// injects node crashes for failover experiments.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/time.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/node.h"
+#include "src/sim/topology.h"
+
+namespace nezha::sim {
+
+struct NetworkConfig {
+  /// Per-server NIC port rate in bits per second (2x100G in the paper's
+  /// testbed; a single logical 100G port suffices for the load model).
+  double link_bps = 100e9;
+  /// Egress queue capacity in bytes; beyond this, packets are tail-dropped.
+  std::size_t egress_queue_bytes = 4 * 1024 * 1024;
+};
+
+class Network {
+ public:
+  Network(EventLoop& loop, Topology topology, NetworkConfig config = {});
+
+  EventLoop& loop() { return loop_; }
+  const Topology& topology() const { return topology_; }
+
+  /// Registers a node; the network does not take ownership.
+  void attach(Node& node);
+  void detach(NodeId id);
+
+  Node* find_by_ip(net::Ipv4Addr ip) const;
+  Node* find_by_id(NodeId id) const;
+
+  /// Sends pkt from `from` to the node owning `to_ip`. The packet first
+  /// waits in the sender's egress queue (serialization at link_bps), then
+  /// crosses the fabric (topology latency), then is delivered — unless the
+  /// destination is unknown, crashed, or the egress queue overflows.
+  void send(NodeId from, net::Ipv4Addr to_ip, net::Packet pkt);
+
+  /// Fault injection: a crashed node neither sends nor receives.
+  void crash(NodeId id);
+  void heal(NodeId id);
+  bool crashed(NodeId id) const { return crashed_.contains(id); }
+
+  /// Link-level fault injection: drops all traffic between a and b (both
+  /// directions) while both nodes stay healthy — the §C.1 scenario where
+  /// the centralized monitor still sees an FE as alive but the FE-BE path
+  /// is gone.
+  void partition(NodeId a, NodeId b);
+  void heal_partition(NodeId a, NodeId b);
+  bool partitioned(NodeId a, NodeId b) const;
+  std::uint64_t dropped_partitioned() const { return dropped_partitioned_; }
+
+  // --- observability ---
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t dropped_no_route() const { return dropped_no_route_; }
+  std::uint64_t dropped_crashed() const { return dropped_crashed_; }
+  std::uint64_t dropped_queue_full() const { return dropped_queue_full_; }
+  std::uint64_t total_bytes_sent() const { return total_bytes_; }
+
+  using TraceFn = std::function<void(common::TimePoint, const net::Packet&,
+                                     NodeId from, NodeId to)>;
+  void set_trace(TraceFn fn) { trace_ = std::move(fn); }
+
+ private:
+  struct Port {
+    // Virtual time at which the egress link becomes free.
+    common::TimePoint busy_until = 0;
+    std::size_t queued_bytes = 0;
+  };
+
+  EventLoop& loop_;
+  Topology topology_;
+  NetworkConfig config_;
+  std::unordered_map<NodeId, Node*> nodes_;
+  std::unordered_map<std::uint32_t, Node*> by_ip_;
+  static std::uint64_t pair_key(NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+  std::unordered_map<NodeId, Port> ports_;
+  std::unordered_set<NodeId> crashed_;
+  std::unordered_set<std::uint64_t> partitions_;
+  TraceFn trace_;
+
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_no_route_ = 0;
+  std::uint64_t dropped_crashed_ = 0;
+  std::uint64_t dropped_queue_full_ = 0;
+  std::uint64_t dropped_partitioned_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace nezha::sim

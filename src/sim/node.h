@@ -1,0 +1,42 @@
+// Simulation node interface: anything that terminates underlay packets —
+// a server's SmartNIC vSwitch, a VM host stub, the gateway, the monitor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/net/addr.h"
+#include "src/net/packet.h"
+
+namespace nezha::sim {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0xffffffff;
+
+class Node {
+ public:
+  Node(NodeId id, std::string name, net::Ipv4Addr underlay_ip,
+       net::MacAddr mac)
+      : id_(id), name_(std::move(name)), underlay_ip_(underlay_ip),
+        mac_(mac) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  net::Ipv4Addr underlay_ip() const { return underlay_ip_; }
+  net::MacAddr mac() const { return mac_; }
+
+  /// Delivers a packet that arrived on this node's NIC port.
+  virtual void receive(net::Packet pkt) = 0;
+
+ private:
+  NodeId id_;
+  std::string name_;
+  net::Ipv4Addr underlay_ip_;
+  net::MacAddr mac_;
+};
+
+}  // namespace nezha::sim

@@ -1,0 +1,21 @@
+#include "src/sim/topology.h"
+
+namespace nezha::sim {
+
+int Topology::hop_tier(NodeId a, NodeId b) const {
+  if (a == b) return 0;
+  if (same_tor(a, b)) return 1;
+  if (same_agg(a, b)) return 2;
+  return 3;
+}
+
+common::Duration Topology::latency(NodeId a, NodeId b) const {
+  switch (hop_tier(a, b)) {
+    case 0: return config_.same_host_latency;
+    case 1: return config_.same_tor_latency;
+    case 2: return config_.same_agg_latency;
+    default: return config_.core_latency;
+  }
+}
+
+}  // namespace nezha::sim

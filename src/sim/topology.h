@@ -1,0 +1,51 @@
+// Data-center topology model: servers under ToR switches, ToRs under
+// aggregation blocks, blocks under a core. Only latency/locality matter to
+// Nezha (FE selection prefers same-ToR idle vSwitches, §4.2.1/App B.1), so
+// the fabric is modeled as per-tier one-way latencies rather than explicit
+// switch nodes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/sim/node.h"
+
+namespace nezha::sim {
+
+struct TopologyConfig {
+  std::uint32_t servers_per_tor = 40;
+  std::uint32_t tors_per_agg = 16;
+  common::Duration same_host_latency = common::microseconds(1);
+  common::Duration same_tor_latency = common::microseconds(5);
+  common::Duration same_agg_latency = common::microseconds(15);
+  common::Duration core_latency = common::microseconds(30);
+};
+
+class Topology {
+ public:
+  explicit Topology(TopologyConfig config = {}) : config_(config) {}
+
+  const TopologyConfig& config() const { return config_; }
+
+  std::uint32_t tor_of(NodeId node) const {
+    return node / config_.servers_per_tor;
+  }
+  std::uint32_t agg_of(NodeId node) const {
+    return tor_of(node) / config_.tors_per_agg;
+  }
+
+  bool same_tor(NodeId a, NodeId b) const { return tor_of(a) == tor_of(b); }
+  bool same_agg(NodeId a, NodeId b) const { return agg_of(a) == agg_of(b); }
+
+  /// Number of fabric tiers a packet must cross (0 = same host).
+  int hop_tier(NodeId a, NodeId b) const;
+
+  /// One-way propagation + switching latency between two servers.
+  common::Duration latency(NodeId a, NodeId b) const;
+
+ private:
+  TopologyConfig config_;
+};
+
+}  // namespace nezha::sim

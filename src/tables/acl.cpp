@@ -1,0 +1,30 @@
+#include "src/tables/acl.h"
+
+#include <algorithm>
+
+namespace nezha::tables {
+
+void AclTable::add_rule(AclRule rule) {
+  auto pos = std::lower_bound(
+      rules_.begin(), rules_.end(), rule,
+      [](const AclRule& a, const AclRule& b) { return a.priority < b.priority; });
+  rules_.insert(pos, std::move(rule));
+}
+
+void AclTable::clear() { rules_.clear(); }
+
+flow::Verdict AclTable::lookup(const net::FiveTuple& ft,
+                               flow::Direction dir) const {
+  for (const auto& rule : rules_) {
+    if (rule.direction && *rule.direction != dir) continue;
+    if (rule.proto && *rule.proto != ft.proto) continue;
+    if (!rule.src.contains(ft.src_ip)) continue;
+    if (!rule.dst.contains(ft.dst_ip)) continue;
+    if (!rule.src_ports.contains(ft.src_port)) continue;
+    if (!rule.dst_ports.contains(ft.dst_port)) continue;
+    return rule.verdict;
+  }
+  return default_verdict_;
+}
+
+}  // namespace nezha::tables

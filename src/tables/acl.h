@@ -1,0 +1,53 @@
+// ACL rule table: priority-ordered 5-tuple rules with prefix and port-range
+// matching — the most expensive lookup in the slow-path chain (§2.2.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/flow/direction.h"
+#include "src/flow/pre_actions.h"
+#include "src/net/five_tuple.h"
+#include "src/tables/prefix.h"
+
+namespace nezha::tables {
+
+struct AclRule {
+  std::uint32_t priority = 0;  // lower value wins
+  Prefix src = Prefix::any();
+  Prefix dst = Prefix::any();
+  PortRange src_ports = PortRange::any();
+  PortRange dst_ports = PortRange::any();
+  std::optional<net::IpProto> proto;  // nullopt = any
+  std::optional<flow::Direction> direction;  // nullopt = both directions
+  flow::Verdict verdict = flow::Verdict::kAccept;
+};
+
+class AclTable {
+ public:
+  /// Default verdict when no rule matches.
+  explicit AclTable(flow::Verdict default_verdict = flow::Verdict::kAccept)
+      : default_verdict_(default_verdict) {}
+
+  void add_rule(AclRule rule);
+  void clear();
+  std::size_t rule_count() const { return rules_.size(); }
+
+  /// Highest-priority matching verdict for a packet in `dir`.
+  flow::Verdict lookup(const net::FiveTuple& ft, flow::Direction dir) const;
+
+  flow::Verdict default_verdict() const { return default_verdict_; }
+  void set_default_verdict(flow::Verdict v) { default_verdict_ = v; }
+
+  /// Per-rule memory footprint (prefixes, ranges, metadata), for the
+  /// slow-path memory model (#vNICs bottleneck, §2.2.2).
+  static constexpr std::size_t kRuleBytes = 40;
+  std::size_t memory_bytes() const { return rules_.size() * kRuleBytes; }
+
+ private:
+  std::vector<AclRule> rules_;  // kept sorted by priority
+  flow::Verdict default_verdict_;
+};
+
+}  // namespace nezha::tables

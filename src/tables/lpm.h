@@ -1,0 +1,69 @@
+// Longest-prefix-match table over IPv4, generic in the stored value.
+//
+// Implementation: one exact-match hash map per prefix length, probed from
+// /32 down — simple, allocation-friendly, and plenty fast for simulation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "src/net/addr.h"
+#include "src/tables/prefix.h"
+
+namespace nezha::tables {
+
+template <typename V>
+class LpmTable {
+ public:
+  void insert(Prefix prefix, V value) {
+    auto& level = levels_[prefix.length];
+    auto [it, inserted] = level.insert_or_assign(prefix.network(),
+                                                 std::move(value));
+    (void)it;
+    if (inserted) ++size_;
+  }
+
+  bool erase(Prefix prefix) {
+    const bool removed = levels_[prefix.length].erase(prefix.network()) > 0;
+    if (removed) --size_;
+    return removed;
+  }
+
+  void clear() {
+    for (auto& level : levels_) level.clear();
+    size_ = 0;
+  }
+
+  std::size_t size() const { return size_; }
+
+  /// Longest-prefix match; nullptr when no prefix covers ip.
+  const V* lookup(net::Ipv4Addr ip) const {
+    for (int len = 32; len >= 0; --len) {
+      const auto& level = levels_[static_cast<std::size_t>(len)];
+      if (level.empty()) continue;
+      const std::uint32_t mask = (len == 0) ? 0u : (~0u << (32 - len));
+      auto it = level.find(ip.value() & mask);
+      if (it != level.end()) return &it->second;
+    }
+    return nullptr;
+  }
+
+  /// Exact lookup of a specific prefix entry.
+  const V* find_exact(Prefix prefix) const {
+    const auto& level = levels_[prefix.length];
+    auto it = level.find(prefix.network());
+    return it == level.end() ? nullptr : &it->second;
+  }
+
+  /// Per-entry footprint: prefix key + value payload, modeled at 32B.
+  static constexpr std::size_t kEntryBytes = 32;
+  std::size_t memory_bytes() const { return size_ * kEntryBytes; }
+
+ private:
+  std::array<std::unordered_map<std::uint32_t, V>, 33> levels_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace nezha::tables

@@ -1,0 +1,20 @@
+#include "src/tables/policy_tables.h"
+
+#include "src/net/five_tuple.h"
+
+namespace nezha::tables {
+
+std::optional<NatTable::NatResult> NatTable::lookup(
+    const net::FiveTuple& ft) const {
+  const Pool* pool = pools_.lookup(ft.dst_ip);
+  if (pool == nullptr) return std::nullopt;
+  const std::uint64_t h = net::flow_hash(ft, 0x4e41545fULL);  // "NAT_"
+  NatResult r;
+  r.ip = net::Ipv4Addr(pool->base_ip.value() +
+                       static_cast<std::uint32_t>(h % pool->ip_count));
+  r.port = static_cast<std::uint16_t>(
+      pool->base_port + (h / pool->ip_count) % pool->ports_per_ip);
+  return r;
+}
+
+}  // namespace nezha::tables

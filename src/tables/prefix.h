@@ -1,0 +1,43 @@
+// IPv4 prefix (CIDR) value type used by ACL/LPM/NAT matchers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/net/addr.h"
+
+namespace nezha::tables {
+
+struct Prefix {
+  net::Ipv4Addr addr;
+  std::uint8_t length = 0;  // 0..32
+
+  static Prefix any() { return Prefix{net::Ipv4Addr(0), 0}; }
+  static Prefix host(net::Ipv4Addr ip) { return Prefix{ip, 32}; }
+
+  std::uint32_t mask() const {
+    return length == 0 ? 0u : (~0u << (32 - length));
+  }
+  bool contains(net::Ipv4Addr ip) const {
+    return (ip.value() & mask()) == (addr.value() & mask());
+  }
+  std::uint32_t network() const { return addr.value() & mask(); }
+
+  std::string to_string() const {
+    return addr.to_string() + "/" + std::to_string(length);
+  }
+  bool operator==(const Prefix&) const = default;
+};
+
+/// Inclusive port range; {0, 65535} matches everything.
+struct PortRange {
+  std::uint16_t lo = 0;
+  std::uint16_t hi = 65535;
+
+  static PortRange any() { return {}; }
+  static PortRange exact(std::uint16_t p) { return PortRange{p, p}; }
+  bool contains(std::uint16_t p) const { return p >= lo && p <= hi; }
+  bool operator==(const PortRange&) const = default;
+};
+
+}  // namespace nezha::tables

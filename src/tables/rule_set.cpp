@@ -1,0 +1,49 @@
+#include "src/tables/rule_set.h"
+
+namespace nezha::tables {
+
+flow::PreActions RuleTableSet::lookup(const net::FiveTuple& tx_ft) const {
+  flow::PreActions pre;
+  pre.rule_version = version_;
+
+  const net::FiveTuple rx_ft = tx_ft.reversed();
+
+  // ACL: evaluated per direction (the classic stateful-ACL setup evaluates
+  // "deny all inbound" only on RX).
+  if (profile_.acl_enabled) {
+    pre.tx.acl_verdict = acl_.lookup(tx_ft, flow::Direction::kTx);
+    pre.rx.acl_verdict = acl_.lookup(rx_ft, flow::Direction::kRx);
+  }
+
+  // QoS keyed by the remote peer (the TX destination).
+  pre.tx.rate_limit_kbps = qos_.lookup(tx_ft.dst_ip);
+  pre.rx.rate_limit_kbps = qos_.lookup(tx_ft.dst_ip);
+
+  // Statistics policy applies to the session as a whole.
+  const flow::StatsMode stats = stats_policy_.lookup(tx_ft.dst_ip);
+  pre.tx.stats_mode = stats;
+  pre.rx.stats_mode = stats;
+
+  // NAT rewrites the TX direction (source NAT toward the destination).
+  if (auto nat = nat_.lookup(tx_ft)) {
+    pre.tx.nat_enabled = true;
+    pre.tx.nat_ip = nat->ip;
+    pre.tx.nat_port = nat->port;
+  }
+
+  // Policy routing can pre-pin the TX next hop; otherwise the vSwitch
+  // resolves it via the learned vNIC-server map.
+  if (auto hop = policy_routes_.lookup(tx_ft.dst_ip)) {
+    pre.tx.next_hop = *hop;
+  }
+
+  // Traffic mirroring: copies of this flow's packets go to the collector.
+  if (auto collector = mirrors_.lookup(tx_ft.dst_ip)) {
+    pre.tx.mirror = pre.rx.mirror = true;
+    pre.tx.mirror_target = pre.rx.mirror_target = *collector;
+  }
+
+  return pre;
+}
+
+}  // namespace nezha::tables

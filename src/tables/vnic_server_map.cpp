@@ -1,0 +1,23 @@
+#include "src/tables/vnic_server_map.h"
+
+namespace nezha::tables {
+
+void VnicServerMap::set_placement(OverlayAddr addr, VnicId vnic,
+                                  std::vector<Location> locations) {
+  Entry& e = entries_[addr];
+  e.vnic = vnic;
+  e.placement.locations = std::move(locations);
+  e.placement.version = next_version_++;
+}
+
+const VnicServerMap::Entry* VnicServerMap::lookup(
+    const OverlayAddr& addr) const {
+  auto it = entries_.find(addr);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool VnicServerMap::erase(const OverlayAddr& addr) {
+  return entries_.erase(addr) > 0;
+}
+
+}  // namespace nezha::tables

@@ -1,0 +1,52 @@
+#include "src/vswitch/resources.h"
+
+namespace nezha::vswitch {
+
+CpuModel::CpuModel(CpuConfig config)
+    : config_(config),
+      rate_(static_cast<double>(config.cores) * config.hz_per_core) {}
+
+CpuModel::Outcome CpuModel::consume(double cycles, common::TimePoint now) {
+  Outcome out;
+  const auto service = static_cast<common::Duration>(
+      cycles / rate_ * static_cast<double>(common::kSecond));
+
+  if (busy_until_ <= now) {
+    // Idle gap [busy_until_, now): close the previous busy run.
+    cumulative_busy_ += busy_until_ - frontier_;
+    frontier_ = now;
+    busy_until_ = now;
+  }
+  const common::Duration queue_delay = busy_until_ - now;
+  if (queue_delay > config_.max_queue_delay) {
+    ++rejected_;
+    return out;
+  }
+  busy_until_ += service;
+  ++accepted_;
+  out.accepted = true;
+  out.done = busy_until_;
+  out.queue_delay = queue_delay;
+  return out;
+}
+
+common::Duration CpuModel::busy_integral(common::TimePoint now) const {
+  common::Duration b = cumulative_busy_;
+  const common::TimePoint run_end = busy_until_ < now ? busy_until_ : now;
+  if (run_end > frontier_) b += run_end - frontier_;
+  return b;
+}
+
+double UtilizationSampler::sample(const CpuModel& cpu, common::TimePoint now) {
+  const common::Duration busy = cpu.busy_integral(now);
+  double util = 0.0;
+  if (now > last_t_) {
+    util = static_cast<double>(busy - last_busy_) /
+           static_cast<double>(now - last_t_);
+  }
+  last_t_ = now;
+  last_busy_ = busy;
+  return util;
+}
+
+}  // namespace nezha::vswitch

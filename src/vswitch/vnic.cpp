@@ -1,0 +1,15 @@
+#include "src/vswitch/vnic.h"
+
+namespace nezha::vswitch {
+
+std::string to_string(VnicMode mode) {
+  switch (mode) {
+    case VnicMode::kLocal: return "LOCAL";
+    case VnicMode::kOffloadDualRunning: return "OFFLOAD_DUAL_RUNNING";
+    case VnicMode::kOffloaded: return "OFFLOADED";
+    case VnicMode::kFallbackDualRunning: return "FALLBACK_DUAL_RUNNING";
+  }
+  return "?";
+}
+
+}  // namespace nezha::vswitch

@@ -1,0 +1,856 @@
+#include "src/vswitch/vswitch.h"
+
+#include <utility>
+
+#include "src/net/bytes.h"
+#include "src/nf/stateful.h"
+
+namespace nezha::vswitch {
+namespace {
+
+// Per-session-entry bytes: key + state allocation (fixed, or the §7.1
+// variable-length average when enabled).
+std::size_t state_entry_bytes(const VSwitchConfig& config) {
+  const std::size_t state = config.variable_length_states
+                                ? config.variable_state_avg_bytes
+                                : flow::kStateAllocBytes;
+  return flow::kSessionKeyBytes + state;
+}
+/// Extra bytes reserved when an entry caches pre-actions locally.
+constexpr std::size_t kPreActionCacheBytes = flow::kPreActionsBytes;
+/// FE flow-cache entry bytes (key + pre-actions, no state).
+constexpr std::size_t kFeCacheEntryBytes =
+    flow::kSessionKeyBytes + flow::kPreActionsBytes;
+
+std::vector<std::uint8_t> encode_vnic_id(tables::VnicId id) {
+  std::vector<std::uint8_t> out;
+  net::ByteWriter w(out);
+  w.u64(id);
+  return out;
+}
+
+tables::VnicId decode_vnic_id(std::span<const std::uint8_t> bytes) {
+  net::ByteReader r(bytes);
+  return r.u64();
+}
+
+flow::SessionTableConfig with_shape(flow::SessionTableConfig base,
+                                    bool pre_actions, bool state) {
+  base.store_pre_actions = pre_actions;
+  base.store_state = state;
+  base.capacity_bytes = 0;  // capacity enforced by the vSwitch memory pool
+  return base;
+}
+
+}  // namespace
+
+VSwitch::VSwitch(sim::NodeId id, std::string name, net::Ipv4Addr underlay_ip,
+                 sim::EventLoop& loop, sim::Network& network,
+                 const tables::VnicServerMap& gateway_map,
+                 VSwitchConfig config)
+    : Node(id, std::move(name), underlay_ip, net::MacAddr(0x020000000000ULL | id)),
+      config_(config),
+      loop_(loop),
+      network_(network),
+      cpu_(config.cpu),
+      rule_pool_(config.rule_memory_bytes),
+      session_pool_(config.session_memory_bytes),
+      learned_map_(gateway_map, config.learning_interval),
+      sessions_(with_shape(config.session_config, true, true)) {}
+
+// ---------------------------------------------------------------- vNICs
+
+common::Status VSwitch::add_vnic(const VnicConfig& vnic_config,
+                                 bool stateful_decap) {
+  if (vnics_.contains(vnic_config.id)) {
+    return common::make_error("vnic already exists");
+  }
+  Vnic v(vnic_config);
+  const std::size_t bytes = v.rules()->memory_bytes();
+  if (!rule_pool_.reserve(bytes)) {
+    return common::make_error("rule memory exhausted (#vNICs limit)");
+  }
+  vnic_by_addr_[vnic_config.addr] = vnic_config.id;
+  stateful_decap_[vnic_config.id] = stateful_decap;
+  vnics_.emplace(vnic_config.id, std::move(v));
+  return common::Status::ok_status();
+}
+
+void VSwitch::remove_vnic(tables::VnicId id) {
+  auto it = vnics_.find(id);
+  if (it == vnics_.end()) return;
+  if (it->second.has_local_tables()) {
+    rule_pool_.release(it->second.rules()->memory_bytes());
+  } else {
+    rule_pool_.release(kBackendMetadataBytes);
+  }
+  vnic_by_addr_.erase(it->second.addr());
+  stateful_decap_.erase(id);
+  vnics_.erase(it);
+}
+
+Vnic* VSwitch::vnic(tables::VnicId id) {
+  auto it = vnics_.find(id);
+  return it == vnics_.end() ? nullptr : &it->second;
+}
+
+const Vnic* VSwitch::find_vnic(tables::VnicId id) const {
+  auto it = vnics_.find(id);
+  return it == vnics_.end() ? nullptr : &it->second;
+}
+
+// ------------------------------------------------------------ frontends
+
+common::Status VSwitch::install_frontend(const VnicConfig& vnic_config,
+                                         const tables::RuleTableSet& rules,
+                                         tables::Location be_location,
+                                         bool stateful_decap) {
+  if (frontends_.contains(vnic_config.id)) {
+    // Re-installation refreshes config (e.g. new BE location after a VM
+    // live migration, §7.2).
+    frontends_.at(vnic_config.id).be_location = be_location;
+    return common::Status::ok_status();
+  }
+  const std::size_t bytes = rules.memory_bytes();
+  if (!rule_pool_.reserve(bytes)) {
+    return common::make_error("FE rule memory exhausted");
+  }
+  FrontendInstance fe{vnic_config.id,
+                      vnic_config.addr,
+                      rules,  // full copy: every FE holds the whole table set
+                      flow::SessionTable(
+                          with_shape(config_.session_config, true, false)),
+                      be_location,
+                      stateful_decap};
+  frontend_by_addr_[vnic_config.addr] = vnic_config.id;
+  frontends_.emplace(vnic_config.id, std::move(fe));
+  return common::Status::ok_status();
+}
+
+void VSwitch::remove_frontend(tables::VnicId id) {
+  auto it = frontends_.find(id);
+  if (it == frontends_.end()) return;
+  rule_pool_.release(it->second.rules.memory_bytes());
+  session_pool_.release(it->second.flow_cache.size() * kFeCacheEntryBytes);
+  frontend_by_addr_.erase(it->second.addr);
+  frontends_.erase(it);
+}
+
+FrontendInstance* VSwitch::frontend(tables::VnicId id) {
+  auto it = frontends_.find(id);
+  return it == frontends_.end() ? nullptr : &it->second;
+}
+
+// ------------------------------------------------------- BE transitions
+
+common::Status VSwitch::begin_offload(tables::VnicId id,
+                                      std::vector<tables::Location> fes,
+                                      common::TimePoint dual_running_until) {
+  Vnic* v = vnic(id);
+  if (v == nullptr) return common::make_error("unknown vnic");
+  if (v->mode() != VnicMode::kLocal) {
+    return common::make_error("vnic not in local mode");
+  }
+  // BE metadata (FE locations + essential config) is pinned for the whole
+  // offloaded lifetime (§6.2.1: ~2KB).
+  if (!rule_pool_.reserve(kBackendMetadataBytes)) {
+    return common::make_error("no memory for BE metadata");
+  }
+  v->set_fe_locations(std::move(fes));
+  v->set_dual_running_until(dual_running_until);
+  v->set_mode(VnicMode::kOffloadDualRunning);
+  return common::Status::ok_status();
+}
+
+void VSwitch::finalize_offload(tables::VnicId id) {
+  Vnic* v = vnic(id);
+  if (v == nullptr || v->mode() != VnicMode::kOffloadDualRunning) return;
+  // Final stage (§4.2.1): delete the local rule tables and cached flows.
+  rule_pool_.release(v->release_local_tables());
+  invalidate_cached_flows(id);
+  v->set_mode(VnicMode::kOffloaded);
+}
+
+common::Status VSwitch::begin_fallback(tables::VnicId id,
+                                       common::TimePoint dual_running_until) {
+  Vnic* v = vnic(id);
+  if (v == nullptr) return common::make_error("unknown vnic");
+  if (v->mode() != VnicMode::kOffloaded) {
+    return common::make_error("vnic not offloaded");
+  }
+  // Restore local tables first so the vSwitch can process packets that
+  // arrive directly once senders re-learn the BE address.
+  Vnic probe(v->config());
+  const std::size_t bytes = probe.rules()->memory_bytes();
+  if (!rule_pool_.reserve(bytes)) {
+    return common::make_error("fallback would exceed local rule memory");
+  }
+  v->restore_local_tables();
+  v->set_dual_running_until(dual_running_until);
+  v->set_mode(VnicMode::kFallbackDualRunning);
+  return common::Status::ok_status();
+}
+
+void VSwitch::finalize_fallback(tables::VnicId id) {
+  Vnic* v = vnic(id);
+  if (v == nullptr || v->mode() != VnicMode::kFallbackDualRunning) return;
+  v->set_fe_locations({});
+  rule_pool_.release(kBackendMetadataBytes);
+  v->set_mode(VnicMode::kLocal);
+}
+
+void VSwitch::update_fe_locations(tables::VnicId id,
+                                  std::vector<tables::Location> fes) {
+  Vnic* v = vnic(id);
+  if (v == nullptr) return;
+  v->set_fe_locations(std::move(fes));
+}
+
+void VSwitch::pin_flow(tables::VnicId id, const net::FiveTuple& ft,
+                       tables::Location fe) {
+  const Vnic* v = vnic(id);
+  if (v == nullptr) return;
+  pinned_flows_[flow::SessionKey::from_packet(v->addr().vpc_id, ft)] = fe;
+}
+
+void VSwitch::unpin_flow(tables::VnicId id, const net::FiveTuple& ft) {
+  const Vnic* v = vnic(id);
+  if (v == nullptr) return;
+  pinned_flows_.erase(flow::SessionKey::from_packet(v->addr().vpc_id, ft));
+}
+
+void VSwitch::invalidate_cached_flows(tables::VnicId id) {
+  const Vnic* v = vnic(id);
+  if (v == nullptr) return;
+  const tables::OverlayAddr addr = v->addr();
+  sessions_.for_each([&](const flow::SessionKey& key,
+                         const flow::SessionEntry& entry) {
+    if (key.vpc_id != addr.vpc_id) return;
+    if (key.canonical_ft.src_ip != addr.ip && key.canonical_ft.dst_ip != addr.ip) {
+      return;
+    }
+    if (entry.pre_actions.has_value()) {
+      // for_each is const; drop via the non-const find below.
+      auto* e = sessions_.find(key);
+      e->pre_actions.reset();
+      session_pool_.release(kPreActionCacheBytes);
+    }
+  });
+}
+
+// ------------------------------------------------------------- helpers
+
+bool VSwitch::consume_cpu(double cycles, std::function<void()> then) {
+  const CpuModel::Outcome out = cpu_.consume(cycles, loop_.now());
+  if (!out.accepted) {
+    counters_.inc("drop.cpu_overload");
+    return false;
+  }
+  loop_.schedule_at(out.done, std::move(then));
+  return true;
+}
+
+flow::SessionEntry* VSwitch::get_or_create_session(
+    const flow::SessionKey& key) {
+  if (auto* e = sessions_.find(key)) return e;
+  if (!session_pool_.reserve(state_entry_bytes(config_))) {
+    counters_.inc("drop.session_full");
+    return nullptr;
+  }
+  return sessions_.find_or_create(key, loop_.now());
+}
+
+flow::SessionEntry* VSwitch::get_or_create_cache_entry(
+    FrontendInstance& fe, const flow::SessionKey& key) {
+  if (auto* e = fe.flow_cache.find(key)) return e;
+  if (!session_pool_.reserve(kFeCacheEntryBytes)) {
+    counters_.inc("drop.fe_cache_full");
+    return nullptr;
+  }
+  return fe.flow_cache.find_or_create(key, loop_.now());
+}
+
+const flow::PreActions& VSwitch::ensure_pre_actions(
+    flow::SessionEntry& entry, const tables::RuleTableSet& rules,
+    const net::FiveTuple& tx_ft, double* cycles, flow::PreActions& fallback) {
+  if (entry.pre_actions.has_value() &&
+      entry.pre_actions->rule_version == rules.version()) {
+    ++fast_hits_;
+    *cycles += config_.cost.session_lookup_cycles;
+    return *entry.pre_actions;
+  }
+  // Miss (first packet) or stale (rule tables updated): run the chain.
+  ++slow_lookups_;
+  *cycles += rules.lookup_cycles(config_.cost) +
+             config_.cost.session_insert_cycles;
+  fallback = rules.lookup(tx_ft);
+  const bool had_cache = entry.pre_actions.has_value();
+  if (had_cache || session_pool_.reserve(kPreActionCacheBytes)) {
+    entry.pre_actions = fallback;
+    return *entry.pre_actions;
+  }
+  counters_.inc("cache_insert_fail");
+  return fallback;
+}
+
+std::optional<tables::Location> VSwitch::resolve_dst(
+    const tables::OverlayAddr& addr, const net::FiveTuple& ft) {
+  const tables::VnicServerMap::Entry* entry =
+      learned_map_.resolve(addr, loop_.now());
+  if (entry == nullptr || entry->placement.locations.empty()) {
+    return std::nullopt;
+  }
+  const auto& locs = entry->placement.locations;
+  if (locs.size() == 1) return locs[0];
+  // Offloaded destination: plain 5-tuple hashing across its FEs (§3.2.3).
+  const net::FiveTuple hash_ft =
+      config_.session_consistent_fe_hash ? ft.canonical() : ft;
+  return locs[net::flow_hash(hash_ft, fe_hash_seed_) % locs.size()];
+}
+
+void VSwitch::send_encapped(net::Packet pkt, const tables::Location& dst) {
+  pkt.encap(underlay_ip(), mac(), dst.ip, dst.mac);
+  network_.send(id(), dst.ip, std::move(pkt));
+}
+
+void VSwitch::mirror_copy(const net::Packet& pkt,
+                          const flow::DirPreAction& pre) {
+  if (!pre.mirror || !pre.mirror_target.valid()) return;
+  net::Packet copy = pkt;
+  copy.overlay.reset();
+  copy.carrier.reset();
+  ++mirrored_;
+  send_encapped(std::move(copy), tables::Location{pre.mirror_target.ip,
+                                                  pre.mirror_target.mac});
+}
+
+void VSwitch::release_session_entry(const flow::SessionEntry& entry) {
+  session_pool_.release(state_entry_bytes(config_));
+  if (entry.pre_actions.has_value()) {
+    session_pool_.release(kPreActionCacheBytes);
+  }
+}
+
+void VSwitch::start_aging() {
+  if (aging_started_) return;
+  aging_started_ = true;
+  auto sweep = std::make_shared<std::function<void()>>();
+  *sweep = [this, sweep]() {
+    sessions_.age_out(loop_.now(),
+                      [this](const flow::SessionKey&,
+                             const flow::SessionEntry& e) {
+                        release_session_entry(e);
+                      });
+    for (auto& [id, fe] : frontends_) {
+      fe.flow_cache.age_out(loop_.now(),
+                            [this](const flow::SessionKey&,
+                                   const flow::SessionEntry&) {
+                              session_pool_.release(kFeCacheEntryBytes);
+                            });
+    }
+    loop_.schedule_after(config_.aging_period, *sweep);
+  };
+  loop_.schedule_after(config_.aging_period, *sweep);
+}
+
+// ------------------------------------------------------------- TX entry
+
+void VSwitch::from_vm(tables::VnicId vnic_id, net::Packet pkt) {
+  Vnic* v = vnic(vnic_id);
+  if (v == nullptr) {
+    counters_.inc("drop.no_vnic");
+    return;
+  }
+  pkt.vpc_id = v->addr().vpc_id;
+  switch (v->mode()) {
+    case VnicMode::kLocal:
+    case VnicMode::kOffloadDualRunning:
+    case VnicMode::kFallbackDualRunning:
+      // Tables are local in all dual-running shapes: process locally.
+      local_tx(*v, std::move(pkt));
+      break;
+    case VnicMode::kOffloaded:
+      be_tx(*v, std::move(pkt));
+      break;
+  }
+}
+
+void VSwitch::local_tx(Vnic& v, net::Packet pkt) {
+  double cycles = config_.cost.parse_cycles +
+                  config_.cost.per_byte_cycles *
+                      static_cast<double>(pkt.inner.wire_size());
+  const flow::SessionKey key =
+      flow::SessionKey::from_packet(pkt.vpc_id, pkt.inner.ft);
+  flow::SessionEntry* entry = get_or_create_session(key);
+  if (entry == nullptr) return;
+
+  flow::PreActions scratch;
+  const flow::PreActions& pre =
+      ensure_pre_actions(*entry, *v.rules(), pkt.inner.ft, &cycles, scratch);
+
+  entry->state.observe(flow::Direction::kTx, pkt.inner.tcp_flags,
+                       pkt.inner.ft.proto == net::IpProto::kTcp,
+                       pkt.inner.wire_size(), loop_.now());
+  const flow::Verdict verdict =
+      nf::finalize_action(flow::Direction::kTx, pre, entry->state);
+  if (verdict == flow::Verdict::kDrop) {
+    counters_.inc("drop.acl");
+    local_cycles_ += cycles;
+    consume_cpu(cycles, [] {});
+    return;
+  }
+
+  // QoS pre-action: VM/flow-level rate limiting enforced at the single
+  // node that sees every packet of the flow (no distributed rate-limiting
+  // coordination needed, §2.3.3).
+  if (!entry->qos_admit(pre.tx.rate_limit_kbps, pkt.wire_size() * 8,
+                        loop_.now())) {
+    counters_.inc("drop.qos");
+    consume_cpu(cycles, [] {});
+    return;
+  }
+
+  // Traffic mirroring: duplicate toward the collector before any rewrite.
+  if (pre.tx.mirror) {
+    cycles += config_.cost.mirror_cycles;
+    mirror_copy(pkt, pre.tx);
+  }
+
+  // NAT rewrite recipe from the pre-actions.
+  if (pre.tx.nat_enabled) {
+    pkt.inner.ft.src_ip = pre.tx.nat_ip;
+    pkt.inner.ft.src_port = pre.tx.nat_port;
+  }
+
+  cycles += config_.cost.encap_cycles;
+  // Stateful decap (§5.2): responses return to the recorded LB address.
+  std::optional<tables::Location> dst;
+  if (entry->state.decap_src_ip.value() != 0) {
+    dst = tables::Location{entry->state.decap_src_ip, net::MacAddr(0)};
+  } else if (pre.tx.next_hop.valid()) {
+    dst = tables::Location{pre.tx.next_hop.ip, pre.tx.next_hop.mac};
+  } else {
+    dst = resolve_dst(tables::OverlayAddr{pkt.vpc_id, pkt.inner.ft.dst_ip},
+                      pkt.inner.ft);
+  }
+  if (!dst) {
+    counters_.inc("drop.no_route");
+    local_cycles_ += cycles;
+    consume_cpu(cycles, [] {});
+    return;
+  }
+  local_cycles_ += cycles;
+  consume_cpu(cycles, [this, pkt = std::move(pkt), d = *dst]() mutable {
+    send_encapped(std::move(pkt), d);
+  });
+}
+
+void VSwitch::be_tx(Vnic& v, net::Packet pkt) {
+  if (v.fe_locations().empty()) {
+    counters_.inc("drop.no_frontend");
+    return;
+  }
+  double cycles = (config_.cost.parse_cycles +
+                   config_.cost.state_update_cycles +
+                   config_.cost.carrier_codec_cycles +
+                   config_.cost.encap_cycles +
+                   config_.cost.per_byte_cycles *
+                       static_cast<double>(pkt.inner.wire_size())) *
+                  config_.cost.be_hw_accel_factor;  // §7.3 BE acceleration
+  const flow::SessionKey key =
+      flow::SessionKey::from_packet(pkt.vpc_id, pkt.inner.ft);
+  flow::SessionEntry* entry = get_or_create_session(key);
+  if (entry == nullptr) return;
+
+  // §5.1 TX workflow: query/initialize the state, then ship a snapshot of
+  // it to the FE inside the packet.
+  entry->state.observe(flow::Direction::kTx, pkt.inner.tcp_flags,
+                       pkt.inner.ft.proto == net::IpProto::kTcp,
+                       pkt.inner.wire_size(), loop_.now());
+
+  net::CarrierHeader carrier;
+  carrier.add(net::CarrierTlvType::kVnicId, encode_vnic_id(v.id()));
+  carrier.add(net::CarrierTlvType::kStateSnapshot,
+              entry->state.serialize_snapshot());
+  pkt.carrier = std::move(carrier);
+
+  // Flow-level (not packet-level) load balancing across FEs (§3.2.3),
+  // unless the flow was pinned to a dedicated FE (§7.5 elephant isolation).
+  const auto& fes = v.fe_locations();
+  const net::FiveTuple hash_ft = config_.session_consistent_fe_hash
+                                     ? pkt.inner.ft.canonical()
+                                     : pkt.inner.ft;
+  tables::Location fe = fes[net::flow_hash(hash_ft, fe_hash_seed_) %
+                            fes.size()];
+  if (auto pit = pinned_flows_.find(key); pit != pinned_flows_.end()) {
+    fe = pit->second;
+  }
+  local_cycles_ += cycles;
+  consume_cpu(cycles, [this, pkt = std::move(pkt), fe]() mutable {
+    send_encapped(std::move(pkt), fe);
+  });
+}
+
+// ------------------------------------------------------------ RX entry
+
+void VSwitch::receive(net::Packet pkt) {
+  if (!pkt.overlay) {
+    if (pkt.inner.ft.dst_port == kHealthProbePort) {
+      health_probe_reply(pkt);
+    } else if (pkt.inner.ft.dst_port == kLinkProbeReplyPort &&
+               link_probe_reply_) {
+      link_probe_reply_(pkt);
+    } else {
+      counters_.inc("drop.unroutable");
+    }
+    return;
+  }
+  if (pkt.overlay->dst_ip != underlay_ip()) {
+    counters_.inc("drop.misdelivered");
+    return;
+  }
+
+  if (pkt.carrier) {
+    const net::CarrierTlv* vid = pkt.carrier->find(net::CarrierTlvType::kVnicId);
+    if (vid == nullptr) {
+      counters_.inc("drop.bad_carrier");
+      return;
+    }
+    const tables::VnicId vnic_id = decode_vnic_id(vid->value);
+    if (pkt.carrier->flags.is_notify) {
+      if (Vnic* v = vnic(vnic_id)) be_notify(*v, pkt);
+      else counters_.inc("drop.no_vnic");
+      return;
+    }
+    if (pkt.carrier->find(net::CarrierTlvType::kStateSnapshot) != nullptr) {
+      if (FrontendInstance* fe = frontend(vnic_id)) fe_tx(*fe, std::move(pkt));
+      else counters_.inc("drop.no_frontend");
+      return;
+    }
+    if (pkt.carrier->find(net::CarrierTlvType::kPreActions) != nullptr) {
+      if (Vnic* v = vnic(vnic_id)) be_rx(*v, std::move(pkt));
+      else counters_.inc("drop.no_vnic");
+      return;
+    }
+    counters_.inc("drop.bad_carrier");
+    return;
+  }
+
+  // Plain overlay data packet: dispatch on the inner destination.
+  const tables::OverlayAddr dst{pkt.vpc_id, pkt.inner.ft.dst_ip};
+  if (auto it = frontend_by_addr_.find(dst); it != frontend_by_addr_.end()) {
+    fe_rx(frontends_.at(it->second), std::move(pkt));
+    return;
+  }
+  if (auto it = vnic_by_addr_.find(dst); it != vnic_by_addr_.end()) {
+    Vnic& v = vnics_.at(it->second);
+    if (v.has_local_tables()) {
+      // Local mode or a dual-running stage: retained tables serve senders
+      // that have not learned the new placement yet (gray flow, Fig 7).
+      local_rx(v, std::move(pkt));
+    } else {
+      // Final offloaded stage: this packet followed a stale route; it can
+      // no longer be processed here (§4.1) — rely on retransmission.
+      counters_.inc("drop.stale_route");
+    }
+    return;
+  }
+  counters_.inc("drop.no_vnic");
+}
+
+void VSwitch::local_rx(Vnic& v, net::Packet pkt) {
+  double cycles = config_.cost.parse_cycles + config_.cost.decap_cycles +
+                  config_.cost.per_byte_cycles *
+                      static_cast<double>(pkt.inner.wire_size());
+  const net::Ipv4Addr overlay_src = pkt.overlay->src_ip;
+  pkt.decap();
+
+  const flow::SessionKey key =
+      flow::SessionKey::from_packet(pkt.vpc_id, pkt.inner.ft);
+  flow::SessionEntry* entry = get_or_create_session(key);
+  if (entry == nullptr) return;
+
+  flow::PreActions scratch;
+  // RX packets are oriented responder→initiator from the vNIC's viewpoint;
+  // the rule chain is keyed by the TX-oriented tuple.
+  const flow::PreActions& pre = ensure_pre_actions(
+      *entry, *v.rules(), pkt.inner.ft.reversed(), &cycles, scratch);
+
+  entry->state.observe(flow::Direction::kRx, pkt.inner.tcp_flags,
+                       pkt.inner.ft.proto == net::IpProto::kTcp,
+                       pkt.inner.wire_size(), loop_.now());
+  entry->state.stats_mode = pre.rx.stats_mode;
+  if (stateful_decap_[v.id()] && entry->state.decap_src_ip.value() == 0) {
+    entry->state.decap_src_ip = overlay_src;
+  }
+
+  const flow::Verdict verdict =
+      nf::finalize_action(flow::Direction::kRx, pre, entry->state);
+  if (verdict == flow::Verdict::kDrop) {
+    counters_.inc("drop.acl");
+    local_cycles_ += cycles;
+    consume_cpu(cycles, [] {});
+    return;
+  }
+  // Traffic mirroring for the RX direction, at the pre-action evaluation
+  // point (locally here; at the FE when offloaded).
+  if (pre.rx.mirror) {
+    cycles += config_.cost.mirror_cycles;
+    mirror_copy(pkt, pre.rx);
+  }
+  local_cycles_ += cycles;
+  const tables::VnicId vid = v.id();
+  const tables::VnicId adapter = v.config().parent.value_or(vid);
+  consume_cpu(cycles, [this, vid, adapter, pkt = std::move(pkt)]() {
+    ++vm_deliveries_;
+    ++adapter_deliveries_[adapter];
+    if (vm_delivery_) vm_delivery_(vid, pkt);
+  });
+}
+
+void VSwitch::be_rx(Vnic& v, net::Packet pkt) {
+  double cycles = (config_.cost.parse_cycles + config_.cost.decap_cycles +
+                   config_.cost.carrier_codec_cycles +
+                   config_.cost.state_update_cycles +
+                   config_.cost.per_byte_cycles *
+                       static_cast<double>(pkt.inner.wire_size())) *
+                  config_.cost.be_hw_accel_factor;  // §7.3 BE acceleration
+
+  const net::CarrierTlv* pre_tlv =
+      pkt.carrier->find(net::CarrierTlvType::kPreActions);
+  auto pre = flow::PreActions::parse(pre_tlv->value);
+  if (!pre.ok()) {
+    counters_.inc("drop.bad_carrier");
+    return;
+  }
+  const net::CarrierTlv* decap_tlv =
+      pkt.carrier->find(net::CarrierTlvType::kDecapInfo);
+
+  const flow::SessionKey key =
+      flow::SessionKey::from_packet(pkt.vpc_id, pkt.inner.ft);
+  flow::SessionEntry* entry = get_or_create_session(key);
+  if (entry == nullptr) return;
+
+  // §5.1 RX workflow: initialize/refresh state, adopt the rule-table-derived
+  // state carried in the packet (§3.2.2: the FE does not verify, it informs).
+  entry->state.observe(flow::Direction::kRx, pkt.inner.tcp_flags,
+                       pkt.inner.ft.proto == net::IpProto::kTcp,
+                       pkt.inner.wire_size(), loop_.now());
+  entry->state.stats_mode = pre.value().rx.stats_mode;
+  if (decap_tlv != nullptr && stateful_decap_[v.id()] &&
+      entry->state.decap_src_ip.value() == 0) {
+    net::ByteReader r(decap_tlv->value);
+    entry->state.decap_src_ip = net::Ipv4Addr(r.u32());
+  }
+
+  const flow::Verdict verdict =
+      nf::finalize_action(flow::Direction::kRx, pre.value(), entry->state);
+  if (verdict == flow::Verdict::kDrop) {
+    counters_.inc("drop.acl");
+    local_cycles_ += cycles;
+    consume_cpu(cycles, [] {});
+    return;
+  }
+  local_cycles_ += cycles;
+  pkt.decap();
+  const tables::VnicId vid = v.id();
+  const tables::VnicId adapter = v.config().parent.value_or(vid);
+  consume_cpu(cycles, [this, vid, adapter, pkt = std::move(pkt)]() {
+    ++vm_deliveries_;
+    ++adapter_deliveries_[adapter];
+    if (vm_delivery_) vm_delivery_(vid, pkt);
+  });
+}
+
+void VSwitch::be_notify(Vnic& v, const net::Packet& pkt) {
+  (void)v;
+  double cycles = config_.cost.parse_cycles +
+                  config_.cost.carrier_codec_cycles +
+                  config_.cost.state_update_cycles;
+  const net::CarrierTlv* notify =
+      pkt.carrier->find(net::CarrierTlvType::kNotify);
+  if (notify == nullptr || notify->value.empty()) {
+    counters_.inc("drop.bad_carrier");
+    return;
+  }
+  const flow::SessionKey key =
+      flow::SessionKey::from_packet(pkt.vpc_id, pkt.inner.ft);
+  if (flow::SessionEntry* entry = sessions_.find(key)) {
+    entry->state.stats_mode =
+        static_cast<flow::StatsMode>(notify->value.front());
+  }
+  counters_.inc("notify_received");
+  local_cycles_ += cycles;
+  consume_cpu(cycles, [] {});
+}
+
+void VSwitch::fe_tx(FrontendInstance& fe, net::Packet pkt) {
+  double cycles = config_.cost.parse_cycles + config_.cost.decap_cycles +
+                  config_.cost.carrier_codec_cycles +
+                  config_.cost.per_byte_cycles *
+                      static_cast<double>(pkt.inner.wire_size());
+
+  const net::CarrierTlv* snap_tlv =
+      pkt.carrier->find(net::CarrierTlvType::kStateSnapshot);
+  auto snapshot = flow::SessionState::parse_snapshot(snap_tlv->value);
+  if (!snapshot.ok()) {
+    counters_.inc("drop.bad_carrier");
+    return;
+  }
+
+  const flow::SessionKey key =
+      flow::SessionKey::from_packet(pkt.vpc_id, pkt.inner.ft);
+  flow::SessionEntry* entry = get_or_create_cache_entry(fe, key);
+  flow::PreActions scratch;
+  const std::uint64_t lookups_before = slow_lookups_;
+  const flow::PreActions& pre =
+      (entry != nullptr)
+          ? ensure_pre_actions(*entry, fe.rules, pkt.inner.ft, &cycles, scratch)
+          : (scratch = fe.rules.lookup(pkt.inner.ft),
+             cycles += fe.rules.lookup_cycles(config_.cost), scratch);
+  const bool chain_ran = slow_lookups_ != lookups_before || entry == nullptr;
+  if (!chain_ran) cycles *= config_.cost.fe_cache_hit_accel_factor;
+
+  // The FE executes the same finalization code as before Nezha, with the
+  // state arriving in the packet instead of a local table (Fig 5).
+  const flow::Verdict verdict =
+      nf::finalize_action(flow::Direction::kTx, pre, snapshot.value());
+
+  // Notify the BE when the rule-table-derived state differs from what the
+  // packet carried (§3.2.2) — only on chain executions, which are rare.
+  if (chain_ran && pre.tx.stats_mode != snapshot.value().stats_mode) {
+    net::Packet notify_pkt = pkt;  // same inner flow identity
+    notify_pkt.inner.payload_len = 0;
+    net::CarrierHeader carrier;
+    carrier.flags.is_notify = true;
+    carrier.add(net::CarrierTlvType::kVnicId, encode_vnic_id(fe.vnic));
+    carrier.add(net::CarrierTlvType::kNotify,
+                {static_cast<std::uint8_t>(pre.tx.stats_mode)});
+    notify_pkt.carrier = std::move(carrier);
+    notify_pkt.overlay.reset();
+    ++notify_sent_;
+    cycles += config_.cost.carrier_codec_cycles;
+    const tables::Location be = fe.be_location;
+    consume_cpu(config_.cost.carrier_codec_cycles,
+                [this, notify_pkt = std::move(notify_pkt), be]() mutable {
+                  send_encapped(std::move(notify_pkt), be);
+                });
+  }
+
+  if (verdict == flow::Verdict::kDrop) {
+    counters_.inc("drop.acl");
+    fe_cycles_ += cycles;
+    consume_cpu(cycles, [] {});
+    return;
+  }
+
+  if (entry != nullptr &&
+      !entry->qos_admit(pre.tx.rate_limit_kbps, pkt.wire_size() * 8,
+                        loop_.now())) {
+    counters_.inc("drop.qos");
+    consume_cpu(cycles, [] {});
+    return;
+  }
+
+  if (pre.tx.mirror) {
+    cycles += config_.cost.mirror_cycles;
+    net::Packet unwrapped = pkt;
+    unwrapped.decap();
+    mirror_copy(unwrapped, pre.tx);
+  }
+
+  if (pre.tx.nat_enabled) {
+    pkt.inner.ft.src_ip = pre.tx.nat_ip;
+    pkt.inner.ft.src_port = pre.tx.nat_port;
+  }
+
+  cycles += config_.cost.encap_cycles;
+  std::optional<tables::Location> dst;
+  if (snapshot.value().decap_src_ip.value() != 0) {
+    dst = tables::Location{snapshot.value().decap_src_ip, net::MacAddr(0)};
+  } else if (pre.tx.next_hop.valid()) {
+    dst = tables::Location{pre.tx.next_hop.ip, pre.tx.next_hop.mac};
+  } else {
+    dst = resolve_dst(tables::OverlayAddr{pkt.vpc_id, pkt.inner.ft.dst_ip},
+                      pkt.inner.ft);
+  }
+  if (!dst) {
+    counters_.inc("drop.no_route");
+    fe_cycles_ += cycles;
+    consume_cpu(cycles, [] {});
+    return;
+  }
+  fe_cycles_ += cycles;
+  pkt.decap();  // strip the BE's overlay + carrier; re-encap toward the dst
+  consume_cpu(cycles, [this, pkt = std::move(pkt), d = *dst]() mutable {
+    send_encapped(std::move(pkt), d);
+  });
+}
+
+void VSwitch::fe_rx(FrontendInstance& fe, net::Packet pkt) {
+  double cycles = config_.cost.parse_cycles + config_.cost.decap_cycles +
+                  config_.cost.carrier_codec_cycles +
+                  config_.cost.encap_cycles +
+                  config_.cost.per_byte_cycles *
+                      static_cast<double>(pkt.inner.wire_size());
+
+  // Capture information the BE will lose once we rewrite the outer header
+  // (§3.2.2 "rule table not involved"): the overlay source IP.
+  const net::Ipv4Addr overlay_src = pkt.overlay->src_ip;
+
+  const flow::SessionKey key =
+      flow::SessionKey::from_packet(pkt.vpc_id, pkt.inner.ft);
+  flow::SessionEntry* entry = get_or_create_cache_entry(fe, key);
+  flow::PreActions scratch;
+  const std::uint64_t lookups_before = slow_lookups_;
+  const flow::PreActions& pre =
+      (entry != nullptr)
+          ? ensure_pre_actions(*entry, fe.rules, pkt.inner.ft.reversed(),
+                               &cycles, scratch)
+          : (scratch = fe.rules.lookup(pkt.inner.ft.reversed()),
+             cycles += fe.rules.lookup_cycles(config_.cost), scratch);
+  const bool chain_ran = slow_lookups_ != lookups_before || entry == nullptr;
+  if (!chain_ran) cycles *= config_.cost.fe_cache_hit_accel_factor;
+
+  // Traffic mirroring for the RX direction happens where the pre-actions
+  // are evaluated: at the FE.
+  if (pre.rx.mirror) {
+    cycles += config_.cost.mirror_cycles;
+    net::Packet unwrapped = pkt;
+    unwrapped.decap();
+    mirror_copy(unwrapped, pre.rx);
+  }
+
+  // Annotate the packet with the pre-actions and forward to the BE, which
+  // holds the state needed for the final decision (blue flow, Fig 5).
+  pkt.decap();
+  net::CarrierHeader carrier;
+  carrier.flags.from_frontend = true;
+  carrier.add(net::CarrierTlvType::kVnicId, encode_vnic_id(fe.vnic));
+  carrier.add(net::CarrierTlvType::kPreActions, pre.serialize());
+  if (fe.stateful_decap) {
+    std::vector<std::uint8_t> ip_bytes;
+    net::ByteWriter w(ip_bytes);
+    w.u32(overlay_src.value());
+    carrier.add(net::CarrierTlvType::kDecapInfo, std::move(ip_bytes));
+  }
+  pkt.carrier = std::move(carrier);
+
+  fe_cycles_ += cycles;
+  const tables::Location be = fe.be_location;
+  consume_cpu(cycles, [this, pkt = std::move(pkt), be]() mutable {
+    send_encapped(std::move(pkt), be);
+  });
+}
+
+void VSwitch::health_probe_reply(const net::Packet& pkt) {
+  // Flow-direct rule: probes bypass the normal pipeline (§4.4).
+  net::Packet reply = net::make_udp_packet(pkt.inner.ft.reversed(), 0, 0);
+  reply.id = pkt.id;  // echo the probe id so the monitor can match it
+  counters_.inc("probe_replied");
+  consume_cpu(100.0, [this, reply = std::move(reply)]() mutable {
+    network_.send(id(), reply.inner.ft.dst_ip, std::move(reply));
+  });
+}
+
+}  // namespace nezha::vswitch

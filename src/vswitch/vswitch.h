@@ -1,0 +1,298 @@
+// The SmartNIC vSwitch dataplane.
+//
+// One class implements all three roles a production vSwitch plays under
+// Nezha (the paper stresses Nezha changes <5% of vSwitch code — the roles
+// share the same fast/slow path machinery):
+//
+//  * LOCAL:   traditional processing (Fig 1) — slow-path rule chain on
+//             cache miss, fast-path session-table hits, for hosted vNICs.
+//  * BE:      for offloaded hosted vNICs — keeps ONLY session states; TX
+//             packets pick up a state snapshot and are forwarded to an FE
+//             chosen by 5-tuple hash; RX packets arrive from FEs carrying
+//             pre-actions and are finalized locally (Fig 5).
+//  * FE:      hosts frontend instances for other servers' vNICs — stateless
+//             rule tables + cached flows; finalizes TX packets using the
+//             carried state; annotates RX packets with pre-actions and
+//             forwards them to the BE; emits notify packets when a rule
+//             lookup contradicts the carried state (§3.2.2).
+//
+// CPU costs are charged per the cost model; memory for rule tables, session
+// states and flow caches is charged to the two pools, so every bottleneck
+// in §2.2.2 is observable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/stats.h"
+#include "src/common/time.h"
+#include "src/flow/session_table.h"
+#include "src/net/packet.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/network.h"
+#include "src/sim/node.h"
+#include "src/tables/cost_model.h"
+#include "src/tables/rule_set.h"
+#include "src/tables/vnic_server_map.h"
+#include "src/vswitch/learned_map.h"
+#include "src/vswitch/resources.h"
+#include "src/vswitch/vnic.h"
+
+namespace nezha::vswitch {
+
+/// Health probes (§4.4) are flow-directed straight to the vSwitch VF by
+/// destination port, bypassing the other hypervisors on the SmartNIC.
+inline constexpr std::uint16_t kHealthProbePort = 54321;
+/// Replies to FE-BE mutual link probes (§C.1) arrive on this port; the
+/// receiving vSwitch hands them to the registered link prober instead of
+/// the data path.
+inline constexpr std::uint16_t kLinkProbeReplyPort = 54322;
+
+struct VSwitchConfig {
+  CpuConfig cpu;
+  /// Slow-path memory for vNIC rule tables (limits #vNICs).
+  std::size_t rule_memory_bytes = 2ull * 1024 * 1024 * 1024;
+  /// Fast-path memory for the session table / flow caches / BE states
+  /// (limits #concurrent flows).
+  std::size_t session_memory_bytes = 1ull * 1024 * 1024 * 1024;
+  tables::CostModel cost;
+  common::Duration learning_interval = common::milliseconds(200);
+  flow::SessionTableConfig session_config;  // TTLs; capacity comes from pools
+  /// Period of the background aging sweep.
+  common::Duration aging_period = common::seconds(1);
+  /// FE selection hash. Nezha's state-locality means bidirectional flows
+  /// CAN go to different FEs (§3.2.3) — but doing so duplicates the rule
+  /// chain execution and the cached flow per direction. The default hashes
+  /// the canonical (direction-insensitive) tuple so one session maps to one
+  /// FE, maximizing cache friendliness; set false to split directions
+  /// (the ablation bench quantifies the cost).
+  bool session_consistent_fe_hash = true;
+  /// §7.1 variable-length states: most sessions use 5–8B of the fixed 64B
+  /// state allocation. When enabled, session entries reserve an
+  /// average-sized variable allocation instead of the fixed one, raising
+  /// #concurrent-flows capacity by up to 64B/8B = 8x.
+  bool variable_length_states = false;
+  std::size_t variable_state_avg_bytes = 8;
+};
+
+/// A frontend instance: one offloaded vNIC's stateless tables hosted on a
+/// remote (idle) vSwitch.
+struct FrontendInstance {
+  tables::VnicId vnic = 0;
+  tables::OverlayAddr addr;
+  tables::RuleTableSet rules;
+  flow::SessionTable flow_cache;
+  tables::Location be_location;
+  bool stateful_decap = false;
+};
+
+class VSwitch : public sim::Node {
+ public:
+  VSwitch(sim::NodeId id, std::string name, net::Ipv4Addr underlay_ip,
+          sim::EventLoop& loop, sim::Network& network,
+          const tables::VnicServerMap& gateway_map,
+          VSwitchConfig config = {});
+
+  const VSwitchConfig& config() const { return config_; }
+  tables::Location location() const {
+    return tables::Location{underlay_ip(), mac()};
+  }
+
+  // ---------- vNIC lifecycle ----------
+  /// Adds a hosted vNIC; fails when slow-path memory cannot hold its rule
+  /// tables (#vNICs bottleneck).
+  common::Status add_vnic(const VnicConfig& config, bool stateful_decap = false);
+  void remove_vnic(tables::VnicId id);
+  Vnic* vnic(tables::VnicId id);
+  const Vnic* find_vnic(tables::VnicId id) const;
+  std::size_t vnic_count() const { return vnics_.size(); }
+
+  // ---------- VM-side I/O ----------
+  using VmDeliveryFn =
+      std::function<void(tables::VnicId, const net::Packet&)>;
+  void set_vm_delivery(VmDeliveryFn fn) { vm_delivery_ = std::move(fn); }
+
+  /// TX entry point: the hosted VM hands the vSwitch a packet.
+  void from_vm(tables::VnicId vnic_id, net::Packet pkt);
+
+  // ---------- network side ----------
+  void receive(net::Packet pkt) override;
+
+  // ---------- Nezha configuration (driven by core::Controller) ----------
+  /// Installs an FE instance for a remote vNIC, cloning the given rule
+  /// tables; fails when rule memory is exhausted.
+  common::Status install_frontend(const VnicConfig& vnic_config,
+                                  const tables::RuleTableSet& rules,
+                                  tables::Location be_location,
+                                  bool stateful_decap);
+  void remove_frontend(tables::VnicId id);
+  FrontendInstance* frontend(tables::VnicId id);
+  std::size_t frontend_count() const { return frontends_.size(); }
+
+  /// BE transitions (§4.2).
+  common::Status begin_offload(tables::VnicId id,
+                               std::vector<tables::Location> fes,
+                               common::TimePoint dual_running_until);
+  void finalize_offload(tables::VnicId id);
+  common::Status begin_fallback(tables::VnicId id,
+                                common::TimePoint dual_running_until);
+  void finalize_fallback(tables::VnicId id);
+  /// Scale-out/-in and failover adjust the FE set (§4.3/§4.4).
+  void update_fe_locations(tables::VnicId id,
+                           std::vector<tables::Location> fes);
+
+  /// Invalidate cached flows after a rule-table change (§3.2.2).
+  void invalidate_cached_flows(tables::VnicId id);
+
+  /// §7.5 elephant-flow isolation: pins one flow of an offloaded vNIC to a
+  /// dedicated FE, overriding the hash. Applies to the TX path (the BE's
+  /// choice); clear with unpin_flow.
+  void pin_flow(tables::VnicId id, const net::FiveTuple& ft,
+                tables::Location fe);
+  void unpin_flow(tables::VnicId id, const net::FiveTuple& ft);
+
+  /// §7.5 hash reseeding: changes the seed of the 5-tuple FE-selection
+  /// hash (pushed fleet-wide by the controller so both directions keep
+  /// mapping to one FE). Ongoing flows rehash — at worst one extra rule
+  /// lookup per flow at its new FE.
+  void set_fe_hash_seed(std::uint64_t seed) { fe_hash_seed_ = seed; }
+  std::uint64_t fe_hash_seed() const { return fe_hash_seed_; }
+
+  /// §C.1 mutual FE-BE link probing: replies to probes sent by this node's
+  /// prober land here.
+  using LinkProbeReplyFn = std::function<void(const net::Packet&)>;
+  void set_link_probe_reply_handler(LinkProbeReplyFn fn) {
+    link_probe_reply_ = std::move(fn);
+  }
+
+  // ---------- telemetry ----------
+  CpuModel& cpu() { return cpu_; }
+  const CpuModel& cpu() const { return cpu_; }
+  MemoryPool& rule_memory() { return rule_pool_; }
+  const MemoryPool& rule_memory() const { return rule_pool_; }
+  MemoryPool& session_memory() { return session_pool_; }
+  const MemoryPool& session_memory() const { return session_pool_; }
+  common::Counter& counters() { return counters_; }
+  const common::Counter& counters() const { return counters_; }
+  std::uint64_t slow_path_lookups() const { return slow_lookups_; }
+  std::uint64_t fast_path_hits() const { return fast_hits_; }
+  std::uint64_t notify_sent() const { return notify_sent_; }
+  std::uint64_t vm_deliveries() const { return vm_deliveries_; }
+  std::uint64_t mirrored() const { return mirrored_; }
+
+  /// §7.4 child vNICs: deliveries are counted against the I/O adapter they
+  /// share — the parent's for a child vNIC, its own otherwise. The guest
+  /// demultiplexes children by tag on that one adapter.
+  std::uint64_t adapter_deliveries(tables::VnicId adapter) const {
+    auto it = adapter_deliveries_.find(adapter);
+    return it == adapter_deliveries_.end() ? 0 : it->second;
+  }
+
+  /// CPU cycles attributed to hosting FEs for remote vNICs vs serving local
+  /// vNICs — the discriminator in Fig 8's scale-out vs scale-in decision.
+  double fe_cycles() const { return fe_cycles_; }
+  double local_cycles() const { return local_cycles_; }
+  /// Resets the attribution window (called by the controller each
+  /// monitoring period).
+  void reset_cycle_attribution() { fe_cycles_ = local_cycles_ = 0.0; }
+
+  /// The unified session store. State always lives here in one copy (that
+  /// IS Nezha's BE store); pre-actions are cached per entry only for vNICs
+  /// processed locally, so offloaded vNICs' entries are smaller — the
+  /// memory margin behind the #concurrent-flows gain.
+  flow::SessionTable& sessions() { return sessions_; }
+  const flow::SessionTable& sessions() const { return sessions_; }
+
+  /// Starts the periodic aging sweep (optional; benches that only measure
+  /// steady-state throughput can skip it).
+  void start_aging();
+
+ private:
+  // --- datapath stages ---
+  void local_tx(Vnic& v, net::Packet pkt);
+  void be_tx(Vnic& v, net::Packet pkt);
+  void local_rx(Vnic& v, net::Packet pkt);
+  void be_rx(Vnic& v, net::Packet pkt);
+  void be_notify(Vnic& v, const net::Packet& pkt);
+  void fe_tx(FrontendInstance& fe, net::Packet pkt);
+  void fe_rx(FrontendInstance& fe, net::Packet pkt);
+  void health_probe_reply(const net::Packet& pkt);
+
+  // --- helpers ---
+  /// Charges `cycles`; on acceptance schedules `then` at completion and
+  /// returns true, otherwise counts an overload drop.
+  bool consume_cpu(double cycles, std::function<void()> then);
+
+  /// Session-entry creation with pool accounting (key + state bytes); null
+  /// when fast-path memory is full.
+  flow::SessionEntry* get_or_create_session(const flow::SessionKey& key);
+
+  /// FE flow-cache entry creation with pool accounting (key + pre-actions).
+  flow::SessionEntry* get_or_create_cache_entry(FrontendInstance& fe,
+                                                const flow::SessionKey& key);
+
+  /// Ensures `entry` holds fresh pre-actions for `tx_ft` under `rules`,
+  /// running the slow-path chain on miss/staleness (adding its cycles to
+  /// *cycles and reserving cache memory). Returns the pre-actions to use —
+  /// `fallback` when caching memory is unavailable.
+  const flow::PreActions& ensure_pre_actions(flow::SessionEntry& entry,
+                                             const tables::RuleTableSet& rules,
+                                             const net::FiveTuple& tx_ft,
+                                             double* cycles,
+                                             flow::PreActions& fallback);
+
+  /// Resolves the underlay location serving an overlay address, hashing
+  /// across FEs for offloaded placements.
+  std::optional<tables::Location> resolve_dst(const tables::OverlayAddr& addr,
+                                              const net::FiveTuple& ft);
+
+  void send_encapped(net::Packet pkt, const tables::Location& dst);
+
+  /// Sends a copy of `pkt` to the mirror collector named in the pre-action.
+  void mirror_copy(const net::Packet& pkt, const flow::DirPreAction& pre);
+
+  /// Releases the session-pool bytes an evicted/erased entry had reserved.
+  void release_session_entry(const flow::SessionEntry& entry);
+
+  VSwitchConfig config_;
+  sim::EventLoop& loop_;
+  sim::Network& network_;
+  CpuModel cpu_;
+  MemoryPool rule_pool_;
+  MemoryPool session_pool_;
+  LearnedVnicMap learned_map_;
+
+  std::unordered_map<tables::VnicId, Vnic> vnics_;
+  std::unordered_map<tables::OverlayAddr, tables::VnicId,
+                     tables::OverlayAddrHash>
+      vnic_by_addr_;
+  std::unordered_map<tables::VnicId, FrontendInstance> frontends_;
+  std::unordered_map<tables::OverlayAddr, tables::VnicId,
+                     tables::OverlayAddrHash>
+      frontend_by_addr_;
+  std::unordered_map<tables::VnicId, bool> stateful_decap_;
+  /// Elephant-flow pins: (vnic, canonical tuple) → dedicated FE (§7.5).
+  std::unordered_map<flow::SessionKey, tables::Location, flow::SessionKeyHash>
+      pinned_flows_;
+  std::uint64_t fe_hash_seed_ = 0;
+  LinkProbeReplyFn link_probe_reply_;
+  std::unordered_map<tables::VnicId, std::uint64_t> adapter_deliveries_;
+
+  flow::SessionTable sessions_;  // unified store; see sessions() docs
+
+  VmDeliveryFn vm_delivery_;
+  common::Counter counters_;
+  std::uint64_t slow_lookups_ = 0;
+  std::uint64_t fast_hits_ = 0;
+  std::uint64_t notify_sent_ = 0;
+  std::uint64_t vm_deliveries_ = 0;
+  std::uint64_t mirrored_ = 0;
+  double fe_cycles_ = 0.0;
+  double local_cycles_ = 0.0;
+  bool aging_started_ = false;
+};
+
+}  // namespace nezha::vswitch

@@ -1,0 +1,166 @@
+#include "src/workload/cps_workload.h"
+
+namespace nezha::workload {
+
+CpsWorkload::CpsWorkload(core::Testbed& bed, std::size_t client_switch,
+                         tables::VnicId client_vnic,
+                         std::size_t server_switch,
+                         tables::VnicId server_vnic, CpsWorkloadConfig config)
+    : bed_(bed),
+      client_switch_(bed.vswitch(client_switch)),
+      server_switch_(bed.vswitch(server_switch)),
+      client_vnic_(client_vnic),
+      server_vnic_(server_vnic),
+      config_(config),
+      rng_(config.seed),
+      client_kernel_(config.client_kernel),
+      server_kernel_(config.server_kernel) {
+  const vswitch::Vnic* c = client_switch_.find_vnic(client_vnic);
+  const vswitch::Vnic* s = server_switch_.find_vnic(server_vnic);
+  if (c == nullptr || s == nullptr) {
+    throw std::runtime_error("CpsWorkload: endpoints missing");
+  }
+  client_ip_ = c->addr().ip;
+  server_ip_ = s->addr().ip;
+  vpc_ = c->addr().vpc_id;
+  client_switch_.set_vm_delivery(
+      [this](tables::VnicId v, const net::Packet& p) {
+        if (v == client_vnic_) on_client_delivery(p);
+      });
+  server_switch_.set_vm_delivery(
+      [this](tables::VnicId v, const net::Packet& p) {
+        if (v == server_vnic_) on_server_delivery(p);
+      });
+}
+
+void CpsWorkload::start() {
+  running_ = true;
+  if (config_.concurrency > 0) {
+    for (int i = 0; i < config_.concurrency; ++i) attempt();
+  } else {
+    schedule_next_attempt();
+  }
+}
+
+void CpsWorkload::schedule_next_attempt() {
+  if (!running_) return;
+  const double gap_s = rng_.exponential(1.0 / config_.attempts_per_sec);
+  bed_.loop().schedule_after(common::from_seconds(gap_s), [this]() {
+    attempt();
+    schedule_next_attempt();
+  });
+}
+
+net::FiveTuple CpsWorkload::next_tuple() {
+  const std::uint32_t seq = conn_seq_++;
+  // Cycle src ports 1024..64511 × a handful of server ports: >10^9 distinct
+  // tuples before reuse.
+  const auto src_port =
+      static_cast<std::uint16_t>(1024 + seq % 63488);
+  const auto dst_port = static_cast<std::uint16_t>(
+      config_.base_port + (seq / 63488) % config_.server_ports);
+  return net::FiveTuple{client_ip_, server_ip_, src_port, dst_port,
+                        net::IpProto::kTcp};
+}
+
+void CpsWorkload::attempt() {
+  if (!running_) return;
+  ++attempted_;
+  // The client kernel must have capacity to even issue the connect().
+  const VmKernel::Outcome admit = client_kernel_.admit(bed_.loop().now());
+  if (!admit.accepted) {
+    if (config_.concurrency > 0) {
+      // Closed loop: don't lose the slot; retry when the kernel drains.
+      bed_.loop().schedule_after(common::milliseconds(5),
+                                 [this]() { attempt(); });
+    }
+    return;
+  }
+  const net::FiveTuple ft = next_tuple();
+  conns_[ft] = Conn{bed_.loop().now(), false, 0};
+  bed_.loop().schedule_at(admit.done,
+                          [this, ft]() { send_syn(ft, 0); });
+}
+
+void CpsWorkload::send_syn(const net::FiveTuple& ft, int attempt) {
+  auto it = conns_.find(ft);
+  if (it == conns_.end() || it->second.established) return;
+  net::Packet syn = net::make_tcp_packet(ft, net::TcpFlags{.syn = true}, 0,
+                                         vpc_);
+  syn.created_at = bed_.loop().now();
+  client_switch_.from_vm(client_vnic_, std::move(syn));
+  if (attempt >= config_.max_syn_retries) {
+    // Give up after one final RTO (frees the tracking entry and, in closed
+    // loop mode, the concurrency slot).
+    bed_.loop().schedule_after(config_.syn_rto << attempt, [this, ft]() {
+      auto rit = conns_.find(ft);
+      if (rit != conns_.end() && !rit->second.established) {
+        conns_.erase(rit);
+        if (config_.concurrency > 0) this->attempt();
+      }
+    });
+    return;
+  }
+  // Exponential backoff retransmission, as the guest TCP stack would do.
+  const common::Duration rto = config_.syn_rto << attempt;
+  bed_.loop().schedule_after(rto, [this, ft, attempt]() {
+    auto rit = conns_.find(ft);
+    if (rit == conns_.end() || rit->second.established) return;
+    ++rit->second.retries;
+    send_syn(ft, attempt + 1);
+  });
+}
+
+void CpsWorkload::on_server_delivery(const net::Packet& pkt) {
+  const net::TcpFlags flags = pkt.inner.tcp_flags;
+  if (flags.syn && !flags.ack) {
+    // Server kernel accepts and replies SYN-ACK when it gets CPU.
+    const VmKernel::Outcome admit = server_kernel_.admit(bed_.loop().now());
+    if (!admit.accepted) return;  // SYN queue overflow: client would retry
+    const net::FiveTuple reply = pkt.inner.ft.reversed();
+    bed_.loop().schedule_at(admit.done, [this, reply]() {
+      server_switch_.from_vm(
+          server_vnic_,
+          net::make_tcp_packet(reply, net::TcpFlags{.syn = true, .ack = true},
+                               0, vpc_));
+    });
+  }
+  // Final ACK / FIN handling needs no further server action in this model.
+}
+
+void CpsWorkload::on_client_delivery(const net::Packet& pkt) {
+  const net::TcpFlags flags = pkt.inner.tcp_flags;
+  if (!(flags.syn && flags.ack)) return;
+  const net::FiveTuple ft = pkt.inner.ft.reversed();  // client-oriented
+  auto it = conns_.find(ft);
+  if (it == conns_.end() || it->second.established) return;
+  it->second.established = true;
+  ++completed_;
+  completions_.push_back(bed_.loop().now());
+  latency_.add(common::to_micros(bed_.loop().now() - it->second.syn_sent));
+
+  // Complete the handshake; optionally close.
+  client_switch_.from_vm(
+      client_vnic_, net::make_tcp_packet(ft, net::TcpFlags{.ack = true}, 0,
+                                         vpc_));
+  if (config_.close_connections) {
+    client_switch_.from_vm(
+        client_vnic_,
+        net::make_tcp_packet(ft, net::TcpFlags{.ack = true, .fin = true}, 0,
+                             vpc_));
+  }
+  conns_.erase(it);
+  if (config_.concurrency > 0) attempt();
+}
+
+double CpsWorkload::cps_over(common::TimePoint t0,
+                             common::TimePoint t1) const {
+  if (t1 <= t0) return 0.0;
+  std::uint64_t n = 0;
+  for (common::TimePoint t : completions_) {
+    if (t >= t0 && t < t1) ++n;
+  }
+  return static_cast<double>(n) / common::to_seconds(t1 - t0);
+}
+
+}  // namespace nezha::workload

@@ -1,0 +1,113 @@
+// TCP_CRR-style connection workload (§6.2.1): a client VM opens short-lived
+// TCP connections to a server VM as fast as the configured offered load
+// allows; each connection is a real SYN / SYN-ACK / ACK / FIN exchange
+// through the simulated vSwitches, with both guest kernels modeled.
+//
+// The measured completed-connections-per-second is the paper's CPS metric;
+// connect latency (SYN sent → SYN-ACK delivered to the client VM) is the
+// latency metric of Fig 12.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/core/testbed.h"
+#include "src/workload/vm_model.h"
+
+namespace nezha::workload {
+
+struct CpsWorkloadConfig {
+  /// Offered load: connection attempts per second (Poisson arrivals).
+  /// Ignored when `concurrency` > 0.
+  double attempts_per_sec = 50000.0;
+  /// Closed-loop mode (netperf TCP_CRR): keep this many connections in
+  /// flight, starting a new one the moment one completes (or gives up).
+  /// Rides the system at capacity without retry-driven collapse.
+  int concurrency = 0;
+  VmKernelConfig client_kernel;
+  VmKernelConfig server_kernel;
+  /// Destination ports cycled to widen the 5-tuple space.
+  std::uint16_t server_ports = 16;
+  std::uint16_t base_port = 2000;
+  /// Whether to close connections with a FIN exchange after establishment.
+  bool close_connections = true;
+  /// TCP-style SYN retransmission: lost handshake packets (vSwitch overload
+  /// drops) are retried with exponential backoff, so completed CPS degrades
+  /// to the bottleneck capacity instead of collapsing.
+  int max_syn_retries = 8;
+  common::Duration syn_rto = common::milliseconds(25);
+  std::uint64_t seed = 42;
+};
+
+class CpsWorkload {
+ public:
+  /// Both endpoints must already exist: vNIC `client_vnic` on switch
+  /// `client_switch`, `server_vnic` on `server_switch`, same VPC.
+  CpsWorkload(core::Testbed& bed, std::size_t client_switch,
+              tables::VnicId client_vnic, std::size_t server_switch,
+              tables::VnicId server_vnic, CpsWorkloadConfig config = {});
+
+  /// Starts generating attempts; runs until stop() or forever.
+  void start();
+  void stop() { running_ = false; }
+
+  /// Changes the offered load on the fly (used by ramp scripts, Fig 11).
+  void set_attempts_per_sec(double rate) { config_.attempts_per_sec = rate; }
+
+  // --- results ---
+  std::uint64_t attempted() const { return attempted_; }
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t client_kernel_rejects() const {
+    return client_kernel_.rejected();
+  }
+  std::uint64_t server_kernel_rejects() const {
+    return server_kernel_.rejected();
+  }
+  /// Completed connections per second over [t0, t1].
+  double cps_over(common::TimePoint t0, common::TimePoint t1) const;
+  const common::Percentiles& connect_latency_us() const { return latency_; }
+
+  /// Completion timestamps (for windowed rates, e.g. Fig 11 timelines).
+  const std::vector<common::TimePoint>& completions() const {
+    return completions_;
+  }
+
+ private:
+  struct Conn {
+    common::TimePoint syn_sent = 0;
+    bool established = false;
+    int retries = 0;
+  };
+
+  void schedule_next_attempt();
+  void attempt();
+  void send_syn(const net::FiveTuple& ft, int attempt);
+  void on_client_delivery(const net::Packet& pkt);
+  void on_server_delivery(const net::Packet& pkt);
+  net::FiveTuple next_tuple();
+
+  core::Testbed& bed_;
+  vswitch::VSwitch& client_switch_;
+  vswitch::VSwitch& server_switch_;
+  tables::VnicId client_vnic_;
+  tables::VnicId server_vnic_;
+  net::Ipv4Addr client_ip_;
+  net::Ipv4Addr server_ip_;
+  std::uint32_t vpc_;
+  CpsWorkloadConfig config_;
+  common::Rng rng_;
+  VmKernel client_kernel_;
+  VmKernel server_kernel_;
+
+  std::uint32_t conn_seq_ = 0;
+  std::unordered_map<net::FiveTuple, Conn> conns_;
+  std::uint64_t attempted_ = 0;
+  std::uint64_t completed_ = 0;
+  common::Percentiles latency_;
+  std::vector<common::TimePoint> completions_;
+  bool running_ = false;
+};
+
+}  // namespace nezha::workload

@@ -1,0 +1,148 @@
+#include "src/workload/fleet_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nezha::workload {
+
+QuantileDistribution::QuantileDistribution(std::vector<Anchor> anchors)
+    : anchors_(std::move(anchors)) {
+  if (anchors_.size() < 2) {
+    throw std::invalid_argument("QuantileDistribution needs >= 2 anchors");
+  }
+  std::sort(anchors_.begin(), anchors_.end(),
+            [](const Anchor& a, const Anchor& b) {
+              return a.quantile < b.quantile;
+            });
+}
+
+double QuantileDistribution::value_at(double q) const {
+  if (q <= anchors_.front().quantile) return anchors_.front().value;
+  if (q >= anchors_.back().quantile) return anchors_.back().value;
+  for (std::size_t i = 1; i < anchors_.size(); ++i) {
+    if (q <= anchors_[i].quantile) {
+      const Anchor& lo = anchors_[i - 1];
+      const Anchor& hi = anchors_[i];
+      const double t = (q - lo.quantile) / (hi.quantile - lo.quantile);
+      // Log-linear interpolation keeps the heavy tail convex; fall back to
+      // linear when a value is zero.
+      if (lo.value > 0 && hi.value > 0) {
+        return std::exp(std::log(lo.value) +
+                        t * (std::log(hi.value) - std::log(lo.value)));
+      }
+      return lo.value + t * (hi.value - lo.value);
+    }
+  }
+  return anchors_.back().value;
+}
+
+double QuantileDistribution::sample(common::Rng& rng) const {
+  return value_at(rng.uniform());
+}
+
+std::string to_string(HotspotCause cause) {
+  switch (cause) {
+    case HotspotCause::kCps: return "CPS";
+    case HotspotCause::kConcurrentFlows: return "#concurrent-flows";
+    case HotspotCause::kVnics: return "#vNICs";
+  }
+  return "?";
+}
+
+FleetModel::FleetModel(FleetModelConfig config)
+    : config_(config), rng_(config.seed) {}
+
+std::vector<double> FleetModel::sample_cpu_utilization() {
+  // Fig 4a anchors. The low quantiles are set so the mean lands near 5%.
+  static const QuantileDistribution dist({{0.0, 0.002},
+                                          {0.50, 0.025},
+                                          {0.90, 0.15},
+                                          {0.99, 0.41},
+                                          {0.999, 0.68},
+                                          {0.9999, 0.90},
+                                          {1.0, 0.98}});
+  std::vector<double> out(config_.num_vswitches);
+  for (auto& v : out) v = dist.sample(rng_);
+  return out;
+}
+
+std::vector<double> FleetModel::sample_memory_utilization() {
+  // Fig 4b anchors; memory is even more skewed than CPU.
+  static const QuantileDistribution dist({{0.0, 0.001},
+                                          {0.50, 0.006},
+                                          {0.90, 0.15},
+                                          {0.99, 0.34},
+                                          {0.999, 0.93},
+                                          {0.9999, 0.96},
+                                          {1.0, 0.96}});
+  std::vector<double> out(config_.num_vswitches);
+  for (auto& v : out) v = dist.sample(rng_);
+  return out;
+}
+
+std::vector<double> FleetModel::sample_usage(HotspotCause kind,
+                                             std::size_t n) {
+  // Table 1 anchors, normalized to the P9999 user.
+  const QuantileDistribution* dist = nullptr;
+  static const QuantileDistribution cps({{0.0, 0.0005},
+                                         {0.50, 0.0053},
+                                         {0.90, 0.0141},
+                                         {0.99, 0.0641},
+                                         {0.999, 0.1838},
+                                         {0.9999, 1.0},
+                                         {1.0, 1.0}});
+  static const QuantileDistribution flows({{0.0, 0.0008},
+                                           {0.50, 0.0078},
+                                           {0.90, 0.0236},
+                                           {0.99, 0.0639},
+                                           {0.999, 0.2917},
+                                           {0.9999, 1.0},
+                                           {1.0, 1.0}});
+  static const QuantileDistribution vnics({{0.0, 0.0006},
+                                           {0.50, 0.0065},
+                                           {0.90, 0.01},
+                                           {0.99, 0.06},
+                                           {0.999, 0.55},
+                                           {0.9999, 1.0},
+                                           {1.0, 1.0}});
+  switch (kind) {
+    case HotspotCause::kCps: dist = &cps; break;
+    case HotspotCause::kConcurrentFlows: dist = &flows; break;
+    case HotspotCause::kVnics: dist = &vnics; break;
+  }
+  std::vector<double> out(n);
+  for (auto& v : out) v = dist->sample(rng_);
+  return out;
+}
+
+std::vector<HotspotCause> FleetModel::sample_hotspot_causes(std::size_t n) {
+  // Fig 3 / App A.1: CPS 61%, #concurrent flows 30%, #vNICs 9%.
+  std::vector<HotspotCause> out(n);
+  for (auto& c : out) {
+    const double u = rng_.uniform();
+    if (u < 0.61) c = HotspotCause::kCps;
+    else if (u < 0.91) c = HotspotCause::kConcurrentFlows;
+    else c = HotspotCause::kVnics;
+  }
+  return out;
+}
+
+std::vector<FleetModel::HighCpsPair> FleetModel::sample_high_cps_pairs(
+    std::size_t n) {
+  // Fig 2: the vSwitch is saturated (>95%) for every high-CPS VM, while the
+  // VM itself is mostly idle: 90% of VMs below 60% CPU.
+  static const QuantileDistribution vm_cpu({{0.0, 0.05},
+                                            {0.50, 0.28},
+                                            {0.90, 0.60},
+                                            {0.99, 0.85},
+                                            {1.0, 0.97}});
+  std::vector<HighCpsPair> out(n);
+  for (auto& p : out) {
+    p.vm_cpu = vm_cpu.sample(rng_);
+    p.vswitch_cpu = rng_.uniform(0.95, 1.0);
+  }
+  return out;
+}
+
+}  // namespace nezha::workload

@@ -1,0 +1,82 @@
+// Fleet telemetry model: regenerates the production distributions behind
+// Figs 2–4 and Table 1 from their published percentile anchors.
+//
+// The paper reports quantiles of CPU/memory utilization over O(10K)
+// vSwitches and of per-VM service usage; we sample from the piecewise
+// log-linear quantile function through those anchors. This reproduces the
+// published shape by construction while remaining an honest generative
+// model (samples between anchors are interpolated, the tail beyond P9999 is
+// clamped to the reported maximum).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace nezha::workload {
+
+/// A distribution defined by (quantile, value) anchor points.
+class QuantileDistribution {
+ public:
+  struct Anchor {
+    double quantile;  // in [0, 1]
+    double value;
+  };
+
+  explicit QuantileDistribution(std::vector<Anchor> anchors);
+
+  /// Inverse-CDF sample (log-linear interpolation between anchors).
+  double sample(common::Rng& rng) const;
+  double value_at(double quantile) const;
+
+ private:
+  std::vector<Anchor> anchors_;
+};
+
+struct FleetModelConfig {
+  std::size_t num_vswitches = 10000;
+  std::uint64_t seed = 20240901;
+};
+
+/// Which capability a hotspot exhausts (Fig 3 / Appendix A.1).
+enum class HotspotCause { kCps, kConcurrentFlows, kVnics };
+std::string to_string(HotspotCause cause);
+
+class FleetModel {
+ public:
+  explicit FleetModel(FleetModelConfig config = {});
+
+  /// §2.2.1 Fig 4a: per-vSwitch CPU utilization in [0,1].
+  /// Anchors: avg≈5%, P90 15%, P99 41%, P999 68%, P9999 90%, max 98%.
+  std::vector<double> sample_cpu_utilization();
+
+  /// §2.2.1 Fig 4b: memory utilization.
+  /// Anchors: avg≈1.5%, P90 15%, P99 34%, P999 93%, P9999 96%.
+  std::vector<double> sample_memory_utilization();
+
+  /// Table 1: per-VM service usage normalized to the P9999 user (=1.0),
+  /// same quantile law for CPS / #flows / #vNICs with per-kind anchors.
+  std::vector<double> sample_usage(HotspotCause kind, std::size_t n);
+
+  /// Fig 3: the capability that caused each overload event
+  /// (CPS 61%, #concurrent flows 30%, #vNICs 9%).
+  std::vector<HotspotCause> sample_hotspot_causes(std::size_t n);
+
+  /// Fig 2: paired (VM CPU, vSwitch CPU) for high-CPS VMs: vSwitch >95%
+  /// in all cases while 90% of the VMs sit below 60%.
+  struct HighCpsPair {
+    double vm_cpu;
+    double vswitch_cpu;
+  };
+  std::vector<HighCpsPair> sample_high_cps_pairs(std::size_t n);
+
+  common::Rng& rng() { return rng_; }
+
+ private:
+  FleetModelConfig config_;
+  common::Rng rng_;
+};
+
+}  // namespace nezha::workload

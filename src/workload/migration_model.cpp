@@ -1,0 +1,26 @@
+#include "src/workload/migration_model.h"
+
+#include <cmath>
+
+namespace nezha::workload {
+
+common::Duration MigrationModel::downtime(int vcpus, double mem_gb,
+                                          common::Rng& rng) const {
+  const double mem_scale = std::pow(std::max(mem_gb, 1.0), config_.mem_alpha);
+  const double vcpu_scale =
+      1.0 + config_.vcpu_factor * static_cast<double>(vcpus) / 64.0;
+  const double jitter = rng.lognormal(0.0, config_.jitter_sigma);
+  return static_cast<common::Duration>(
+      static_cast<double>(config_.base_downtime) * mem_scale * vcpu_scale *
+      jitter);
+}
+
+common::Duration MigrationModel::completion_time(double mem_gb,
+                                                 common::Rng& rng) const {
+  const double seconds =
+      mem_gb * 8.0 * config_.copy_passes / config_.copy_gbps;
+  const double jitter = rng.lognormal(0.0, config_.jitter_sigma);
+  return common::from_seconds(seconds * jitter);
+}
+
+}  // namespace nezha::workload

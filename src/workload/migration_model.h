@@ -1,0 +1,46 @@
+// VM live-migration cost model (Appendix A Fig A1, §7.2).
+//
+// The paper's production data show both migration completion time and
+// downtime growing with the VM's purchased resources: state snapshotting,
+// memory copy rounds and the final stop-and-copy all scale with memory,
+// with vCPU count adding dirtying pressure. Nezha's alternative — updating
+// the BE location config on the FEs — is O(1ms) regardless of VM size.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+
+namespace nezha::workload {
+
+struct MigrationModelConfig {
+  /// Base downtime for a tiny VM (final stop-and-copy floor).
+  common::Duration base_downtime = common::milliseconds(80);
+  /// Downtime grows ~ mem^alpha (dirty-page resend tail).
+  double mem_alpha = 0.55;
+  /// vCPU dirtying pressure multiplier per 64 vCPUs.
+  double vcpu_factor = 0.35;
+  /// Completion time ≈ copy passes over memory at this effective rate.
+  double copy_gbps = 6.0;
+  double copy_passes = 2.2;
+  /// Multiplicative lognormal jitter sigma.
+  double jitter_sigma = 0.25;
+};
+
+class MigrationModel {
+ public:
+  explicit MigrationModel(MigrationModelConfig config = {})
+      : config_(config) {}
+
+  /// Service downtime during live migration of a VM.
+  common::Duration downtime(int vcpus, double mem_gb, common::Rng& rng) const;
+
+  /// End-to-end migration completion time.
+  common::Duration completion_time(double mem_gb, common::Rng& rng) const;
+
+ private:
+  MigrationModelConfig config_;
+};
+
+}  // namespace nezha::workload

@@ -1,0 +1,41 @@
+#include "src/workload/syn_flood.h"
+
+namespace nezha::workload {
+
+SynFlood::SynFlood(core::Testbed& bed, std::size_t attacker_switch,
+                   tables::VnicId attacker_vnic, net::Ipv4Addr victim_ip,
+                   SynFloodConfig config)
+    : bed_(bed),
+      attacker_(bed.vswitch(attacker_switch)),
+      vnic_(attacker_vnic),
+      victim_ip_(victim_ip),
+      config_(config),
+      rng_(config.seed) {
+  const vswitch::Vnic* v = attacker_.find_vnic(attacker_vnic);
+  if (v == nullptr) throw std::runtime_error("SynFlood: attacker missing");
+  src_ip_ = v->addr().ip;
+  vpc_ = v->addr().vpc_id;
+}
+
+void SynFlood::start() {
+  running_ = true;
+  schedule_next();
+}
+
+void SynFlood::schedule_next() {
+  if (!running_) return;
+  const double gap_s = rng_.exponential(1.0 / config_.syns_per_sec);
+  bed_.loop().schedule_after(common::from_seconds(gap_s), [this]() {
+    net::FiveTuple ft{src_ip_, victim_ip_,
+                      static_cast<std::uint16_t>(rng_.uniform_u64(1024, 65535)),
+                      static_cast<std::uint16_t>(rng_.uniform_u64(1, 1024)),
+                      net::IpProto::kTcp};
+    attacker_.from_vm(vnic_,
+                      net::make_tcp_packet(ft, net::TcpFlags{.syn = true}, 0,
+                                           vpc_));
+    ++sent_;
+    schedule_next();
+  });
+}
+
+}  // namespace nezha::workload

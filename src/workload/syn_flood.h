@@ -1,0 +1,44 @@
+// SYN-flood generator (§7.3): a local VM sprays SYN packets across many
+// 5-tuples. Under Nezha each SYN creates a state entry at the BE even when
+// the FE's rule tables would drop the flow — the short embryonic aging time
+// is what bounds the resulting memory waste.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/core/testbed.h"
+
+namespace nezha::workload {
+
+struct SynFloodConfig {
+  double syns_per_sec = 100000.0;
+  std::uint64_t seed = 7;
+};
+
+class SynFlood {
+ public:
+  SynFlood(core::Testbed& bed, std::size_t attacker_switch,
+           tables::VnicId attacker_vnic, net::Ipv4Addr victim_ip,
+           SynFloodConfig config = {});
+
+  void start();
+  void stop() { running_ = false; }
+  std::uint64_t sent() const { return sent_; }
+
+ private:
+  void schedule_next();
+
+  core::Testbed& bed_;
+  vswitch::VSwitch& attacker_;
+  tables::VnicId vnic_;
+  net::Ipv4Addr src_ip_;
+  net::Ipv4Addr victim_ip_;
+  std::uint32_t vpc_;
+  SynFloodConfig config_;
+  common::Rng rng_;
+  std::uint64_t sent_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace nezha::workload

@@ -1,0 +1,26 @@
+#include "src/workload/vm_model.h"
+
+namespace nezha::workload {
+
+VmKernel::VmKernel(VmKernelConfig config) : config_(config) {
+  const double n = static_cast<double>(config_.vcpus);
+  max_cps_ = config_.cps_per_core * n / (1.0 + config_.contention * (n - 1.0));
+  per_conn_ = static_cast<common::Duration>(
+      static_cast<double>(common::kSecond) / max_cps_);
+}
+
+VmKernel::Outcome VmKernel::admit(common::TimePoint now) {
+  Outcome out;
+  if (busy_until_ < now) busy_until_ = now;
+  if (busy_until_ - now > config_.max_backlog) {
+    ++rejected_;
+    return out;
+  }
+  busy_until_ += per_conn_;
+  ++accepted_;
+  out.accepted = true;
+  out.done = busy_until_ + config_.service_latency;
+  return out;
+}
+
+}  // namespace nezha::workload

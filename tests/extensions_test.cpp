@@ -1,0 +1,291 @@
+// Tests for the §7/Appendix-C extensions: FE-BE mutual link probing under
+// network partitions (§C.1), elephant-flow pinning and fleet-wide hash
+// reseeding (§7.5), variable-length states (§7.1), and child vNICs sharing
+// one I/O adapter (§7.4).
+#include <gtest/gtest.h>
+
+#include "src/core/testbed.h"
+#include "src/vswitch/vswitch.h"
+
+namespace nezha {
+namespace {
+
+using common::milliseconds;
+using common::seconds;
+using tables::OverlayAddr;
+using tables::VnicId;
+using vswitch::VnicConfig;
+
+constexpr std::uint32_t kVpc = 21;
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  ExtensionsTest() : bed_(make_config()) {
+    VnicConfig client;
+    client.id = 1;
+    client.addr = OverlayAddr{kVpc, net::Ipv4Addr(10, 0, 0, 1)};
+    bed_.add_vnic(12, client);
+    VnicConfig server;
+    server.id = 2;
+    server.addr = OverlayAddr{kVpc, net::Ipv4Addr(10, 0, 0, 2)};
+    bed_.add_vnic(10, server);
+    bed_.vswitch(10).set_vm_delivery(
+        [this](VnicId, const net::Packet&) { ++server_rx_; });
+  }
+
+  static core::TestbedConfig make_config() {
+    core::TestbedConfig cfg;
+    cfg.num_vswitches = 16;
+    cfg.controller.auto_offload = false;
+    cfg.controller.auto_scale = false;
+    return cfg;
+  }
+
+  void offload_server() {
+    ASSERT_TRUE(bed_.controller().trigger_offload(2).ok());
+    bed_.run_for(seconds(4));
+  }
+
+  void client_sends(std::uint16_t port) {
+    net::FiveTuple ft{net::Ipv4Addr(10, 0, 0, 1), net::Ipv4Addr(10, 0, 0, 2),
+                      port, 80, net::IpProto::kTcp};
+    bed_.vswitch(12).from_vm(
+        1, net::make_tcp_packet(ft, net::TcpFlags{.syn = true}, 0, kVpc));
+  }
+
+  core::Testbed bed_;
+  std::uint64_t server_rx_ = 0;
+};
+
+TEST(NetworkPartitionTest, DropsOnlyThePartitionedPair) {
+  core::TestbedConfig cfg;
+  cfg.num_vswitches = 4;
+  core::Testbed bed(cfg);
+  bed.network().partition(0, 1);
+  EXPECT_TRUE(bed.network().partitioned(0, 1));
+  EXPECT_TRUE(bed.network().partitioned(1, 0));  // symmetric
+  EXPECT_FALSE(bed.network().partitioned(0, 2));
+
+  net::FiveTuple ft{net::Ipv4Addr(1, 1, 1, 1), net::Ipv4Addr(2, 2, 2, 2),
+                    1, 2, net::IpProto::kUdp};
+  bed.network().send(0, bed.vswitch(1).underlay_ip(),
+                     net::make_udp_packet(ft));
+  bed.network().send(0, bed.vswitch(2).underlay_ip(),
+                     net::make_udp_packet(ft));
+  bed.loop().run();
+  EXPECT_EQ(bed.network().dropped_partitioned(), 1u);
+  EXPECT_EQ(bed.network().delivered(), 1u);
+
+  bed.network().heal_partition(0, 1);
+  bed.network().send(0, bed.vswitch(1).underlay_ip(),
+                     net::make_udp_packet(ft));
+  bed.loop().run();
+  EXPECT_EQ(bed.network().delivered(), 2u);
+}
+
+TEST_F(ExtensionsTest, LinkProberDetectsPartitionedFePath) {
+  offload_server();
+  bed_.watch_fe_links(2);
+
+  const auto fes = bed_.controller().fe_nodes_of(2);
+  ASSERT_EQ(fes.size(), 4u);
+  // Partition the BE (node 10) from one FE; both nodes stay healthy, so
+  // the centralized monitor would never notice (§C.1).
+  const sim::NodeId cut = fes[0];
+  bed_.network().partition(10, cut);
+  bed_.run_for(seconds(8));
+
+  EXPECT_EQ(bed_.link_prober().failures_declared(), 1u);
+  const auto after = bed_.controller().fe_nodes_of(2);
+  EXPECT_EQ(after.size(), 4u);  // replaced to keep the minimum
+  EXPECT_EQ(std::count(after.begin(), after.end(), cut), 0);
+  EXPECT_GT(bed_.link_prober().probes_sent(), 4u);
+}
+
+TEST_F(ExtensionsTest, LinkProberQuietWhenHealthy) {
+  offload_server();
+  bed_.watch_fe_links(2);
+  bed_.run_for(seconds(8));
+  EXPECT_EQ(bed_.link_prober().failures_declared(), 0u);
+  EXPECT_EQ(bed_.controller().fe_nodes_of(2).size(), 4u);
+}
+
+TEST_F(ExtensionsTest, ElephantFlowPinOverridesHash) {
+  offload_server();
+  const auto fes = bed_.controller().fe_nodes_of(2);
+  // Server-initiated elephant flow: pin it to a dedicated FE.
+  const net::FiveTuple elephant{net::Ipv4Addr(10, 0, 0, 2),
+                                net::Ipv4Addr(10, 0, 0, 1), 9000, 9001,
+                                net::IpProto::kTcp};
+  const sim::NodeId dedicated = fes[3];
+  bed_.vswitch(10).pin_flow(2, elephant,
+                            bed_.vswitch(dedicated).location());
+
+  std::uint64_t via_dedicated = 0, via_others = 0;
+  bed_.network().set_trace([&](common::TimePoint, const net::Packet& p,
+                               sim::NodeId from, sim::NodeId to) {
+    if (from == 10 && p.carrier.has_value()) {
+      (to == dedicated ? via_dedicated : via_others) += 1;
+    }
+  });
+  for (int i = 0; i < 20; ++i) {
+    bed_.vswitch(10).from_vm(
+        2, net::make_tcp_packet(elephant, net::TcpFlags{.ack = true}, 1000,
+                                kVpc));
+  }
+  bed_.run_for(milliseconds(100));
+  EXPECT_EQ(via_dedicated, 20u);
+  EXPECT_EQ(via_others, 0u);
+
+  // Unpin: the flow rehashes onto the normal 5-tuple mapping.
+  bed_.vswitch(10).unpin_flow(2, elephant);
+  via_dedicated = via_others = 0;
+  bed_.vswitch(10).from_vm(
+      2, net::make_tcp_packet(elephant, net::TcpFlags{.ack = true}, 1000,
+                              kVpc));
+  bed_.run_for(milliseconds(100));
+  EXPECT_EQ(via_dedicated + via_others, 1u);
+}
+
+TEST_F(ExtensionsTest, HashReseedRedistributesFlows) {
+  offload_server();
+  // Record each flow's FE under seed 0, reseed, and verify (a) mappings
+  // change for a meaningful fraction of flows and (b) traffic still works.
+  const auto fes = bed_.controller().fe_nodes_of(2);
+  auto fe_of = [&](std::uint16_t port) {
+    net::FiveTuple ft{net::Ipv4Addr(10, 0, 0, 1), net::Ipv4Addr(10, 0, 0, 2),
+                      port, 80, net::IpProto::kTcp};
+    const std::uint64_t seed = bed_.vswitch(12).fe_hash_seed();
+    return fes[net::flow_hash(ft.canonical(), seed) % fes.size()];
+  };
+  std::vector<sim::NodeId> before;
+  for (std::uint16_t p = 0; p < 200; ++p) {
+    before.push_back(fe_of(static_cast<std::uint16_t>(30000 + p)));
+  }
+  bed_.controller().reseed_fe_hash(0xfeedULL);
+  EXPECT_EQ(bed_.vswitch(12).fe_hash_seed(), 0xfeedULL);
+  int moved = 0;
+  for (std::uint16_t p = 0; p < 200; ++p) {
+    if (fe_of(static_cast<std::uint16_t>(30000 + p)) !=
+        before[static_cast<std::size_t>(p)]) {
+      ++moved;
+    }
+  }
+  // With 4 FEs, ~3/4 of flows remap under an independent hash.
+  EXPECT_GT(moved, 100);
+  EXPECT_LT(moved, 200);
+
+  for (std::uint16_t p = 0; p < 50; ++p) {
+    client_sends(static_cast<std::uint16_t>(31000 + p));
+  }
+  bed_.run_for(milliseconds(200));
+  EXPECT_EQ(server_rx_, 50u);  // rehash costs cache misses, never packets
+}
+
+TEST(VariableLengthStateTest, RaisesSessionCapacity) {
+  // §7.1: with 8B average variable-length states, a locally-processed
+  // session entry shrinks from key+state+cached-pre-actions = 16+64+48 =
+  // 128B to 16+8+48 = 72B → ≈1.78x more sessions in the same pool. (The
+  // full 8x headline applies to offloaded vNICs, whose entries carry no
+  // cached pre-actions — see bench_fig15_state_size.)
+  auto run = [](bool variable) {
+    core::TestbedConfig cfg;
+    cfg.num_vswitches = 2;
+    cfg.vswitch.session_memory_bytes = 80 * 1000;  // 1000 fixed entries
+    cfg.vswitch.variable_length_states = variable;
+    core::Testbed bed(cfg);
+    VnicConfig v;
+    v.id = 1;
+    v.addr = OverlayAddr{kVpc, net::Ipv4Addr(10, 0, 0, 1)};
+    bed.add_vnic(0, v);
+    for (int i = 0; i < 5000; ++i) {
+      net::FiveTuple ft{net::Ipv4Addr(10, 0, 0, 1),
+                        net::Ipv4Addr(10, 5, 5, 5),
+                        static_cast<std::uint16_t>(1000 + i % 60000),
+                        static_cast<std::uint16_t>(80 + i / 60000),
+                        net::IpProto::kTcp};
+      bed.vswitch(0).from_vm(
+          1, net::make_tcp_packet(ft, net::TcpFlags{.syn = true}, 0, kVpc));
+    }
+    bed.run_for(seconds(1));
+    return bed.vswitch(0).sessions().size();
+  };
+  const std::size_t fixed = run(false);
+  const std::size_t variable = run(true);
+  const double ratio =
+      static_cast<double>(variable) / static_cast<double>(fixed);
+  EXPECT_NEAR(ratio, 128.0 / 72.0, 0.05);
+}
+
+TEST_F(ExtensionsTest, ChildVnicsShareParentAdapter) {
+  // §7.4: two child vNICs bound to a parent; all traffic arrives through
+  // the parent's I/O adapter (children demuxed by tag in the guest).
+  VnicConfig parent;
+  parent.id = 50;
+  parent.addr = OverlayAddr{kVpc, net::Ipv4Addr(10, 2, 0, 1)};
+  bed_.add_vnic(5, parent);
+  for (VnicId child_id : {51u, 52u}) {
+    VnicConfig child;
+    child.id = child_id;
+    child.addr = OverlayAddr{
+        kVpc, net::Ipv4Addr(10, 2, 0, static_cast<std::uint8_t>(child_id))};
+    child.parent = parent.id;
+    child.vlan_tag = static_cast<std::uint16_t>(child_id);
+    bed_.add_vnic(5, child);
+  }
+  std::vector<VnicId> delivered_to;
+  bed_.vswitch(5).set_vm_delivery(
+      [&](VnicId v, const net::Packet&) { delivered_to.push_back(v); });
+
+  for (std::uint8_t last_octet : {1, 51, 52}) {  // parent, child, child
+    net::FiveTuple ft{net::Ipv4Addr(10, 0, 0, 1),
+                      net::Ipv4Addr(10, 2, 0, last_octet),
+                      40000, 80, net::IpProto::kTcp};
+    bed_.vswitch(12).from_vm(
+        1, net::make_tcp_packet(ft, net::TcpFlags{.syn = true}, 0, kVpc));
+  }
+  bed_.run_for(milliseconds(50));
+  ASSERT_EQ(delivered_to.size(), 3u);
+  // Every delivery went through the parent's adapter.
+  EXPECT_EQ(bed_.vswitch(5).adapter_deliveries(50), 3u);
+  EXPECT_EQ(bed_.vswitch(5).adapter_deliveries(51), 0u);
+  EXPECT_EQ(bed_.vswitch(5).adapter_deliveries(52), 0u);
+  // But the vSwitch still knows which child each packet belongs to.
+  EXPECT_EQ(std::count(delivered_to.begin(), delivered_to.end(), 51u), 1);
+}
+
+TEST_F(ExtensionsTest, ChildVnicsHaveIndependentRuleTables) {
+  VnicConfig parent;
+  parent.id = 60;
+  parent.addr = OverlayAddr{kVpc, net::Ipv4Addr(10, 3, 0, 1)};
+  bed_.add_vnic(5, parent);
+  VnicConfig child;
+  child.id = 61;
+  child.addr = OverlayAddr{kVpc, net::Ipv4Addr(10, 3, 0, 2)};
+  child.parent = parent.id;
+  bed_.add_vnic(5, child);
+
+  // Deny inbound on the child only.
+  auto* rules = bed_.vswitch(5).vnic(61)->rules();
+  rules->acl().add_rule(tables::AclRule{
+      .priority = 1,
+      .direction = flow::Direction::kRx,
+      .verdict = flow::Verdict::kDrop});
+  rules->commit_update();
+
+  std::uint64_t delivered = 0;
+  bed_.vswitch(5).set_vm_delivery(
+      [&](VnicId, const net::Packet&) { ++delivered; });
+  for (std::uint8_t dst : {1, 2}) {
+    net::FiveTuple ft{net::Ipv4Addr(10, 0, 0, 1), net::Ipv4Addr(10, 3, 0, dst),
+                      40000, 80, net::IpProto::kTcp};
+    bed_.vswitch(12).from_vm(
+        1, net::make_tcp_packet(ft, net::TcpFlags{.syn = true}, 0, kVpc));
+  }
+  bed_.run_for(milliseconds(50));
+  EXPECT_EQ(delivered, 1u);  // parent delivered, child dropped by its ACL
+  EXPECT_EQ(bed_.vswitch(5).counters().get("drop.acl"), 1u);
+}
+
+}  // namespace
+}  // namespace nezha

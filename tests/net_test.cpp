@@ -1,0 +1,261 @@
+// Unit tests for src/net: addresses, 5-tuples, header codecs, the Nezha
+// carrier shim, and full-packet serialize/parse round trips.
+#include <gtest/gtest.h>
+
+#include "src/net/addr.h"
+#include "src/net/carrier.h"
+#include "src/net/five_tuple.h"
+#include "src/net/headers.h"
+#include "src/net/packet.h"
+
+namespace nezha::net {
+namespace {
+
+TEST(Ipv4AddrTest, ParseAndFormat) {
+  Ipv4Addr a(10, 1, 2, 3);
+  EXPECT_EQ(a.to_string(), "10.1.2.3");
+  EXPECT_EQ(Ipv4Addr::parse("10.1.2.3"), a);
+  Ipv4Addr out;
+  EXPECT_TRUE(Ipv4Addr::try_parse("255.255.255.255", out));
+  EXPECT_EQ(out.value(), 0xffffffffu);
+  EXPECT_FALSE(Ipv4Addr::try_parse("256.1.1.1", out));
+  EXPECT_FALSE(Ipv4Addr::try_parse("1.2.3", out));
+  EXPECT_FALSE(Ipv4Addr::try_parse("1.2.3.4.5", out));
+  EXPECT_FALSE(Ipv4Addr::try_parse("junk", out));
+}
+
+TEST(MacAddrTest, RoundTrip) {
+  MacAddr m(0x001122334455ULL);
+  EXPECT_EQ(m.to_string(), "00:11:22:33:44:55");
+  EXPECT_EQ(m.value(), 0x001122334455ULL);
+  EXPECT_EQ(MacAddr(m.bytes()), m);
+}
+
+FiveTuple sample_tuple() {
+  return FiveTuple{Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2), 12345, 80,
+                   IpProto::kTcp};
+}
+
+TEST(FiveTupleTest, ReverseIsInvolution) {
+  const FiveTuple ft = sample_tuple();
+  EXPECT_EQ(ft.reversed().reversed(), ft);
+  EXPECT_EQ(ft.reversed().src_ip, ft.dst_ip);
+  EXPECT_EQ(ft.reversed().dst_port, ft.src_port);
+}
+
+TEST(FiveTupleTest, CanonicalSharedByBothDirections) {
+  const FiveTuple ft = sample_tuple();
+  EXPECT_EQ(ft.canonical(), ft.reversed().canonical());
+  EXPECT_TRUE(ft.canonical().is_canonical());
+}
+
+TEST(FiveTupleTest, HashDeterministicAndDirectional) {
+  const FiveTuple ft = sample_tuple();
+  EXPECT_EQ(flow_hash(ft), flow_hash(ft));
+  EXPECT_NE(flow_hash(ft), flow_hash(ft.reversed()));
+  EXPECT_NE(flow_hash(ft, 1), flow_hash(ft, 2));
+}
+
+TEST(FiveTupleTest, HashSpreadsAcrossBuckets) {
+  // 5-tuple hashing is Nezha's whole load-balancing story; verify the
+  // spread over a 4-FE pool is within a few percent of uniform.
+  constexpr int kFlows = 40000;
+  int buckets[4] = {0, 0, 0, 0};
+  for (int i = 0; i < kFlows; ++i) {
+    FiveTuple ft{Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 1, 0, 1),
+                 static_cast<std::uint16_t>(1024 + i % 60000),
+                 static_cast<std::uint16_t>(80 + i / 60000), IpProto::kTcp};
+    ++buckets[flow_hash(ft) % 4];
+  }
+  for (int b : buckets) {
+    EXPECT_NEAR(b, kFlows / 4, kFlows / 4 * 0.05);
+  }
+}
+
+TEST(HeaderTest, EthernetRoundTrip) {
+  EthernetHeader h{MacAddr(0xaabbccddeeffULL), MacAddr(0x112233445566ULL),
+                   kEtherTypeIpv4};
+  std::vector<std::uint8_t> buf;
+  ByteWriter w(buf);
+  h.serialize(w);
+  EXPECT_EQ(buf.size(), EthernetHeader::kSize);
+  ByteReader r(buf);
+  EXPECT_EQ(EthernetHeader::parse(r), h);
+}
+
+TEST(HeaderTest, Ipv4RoundTripAndChecksum) {
+  Ipv4Header h;
+  h.src = Ipv4Addr(192, 168, 1, 1);
+  h.dst = Ipv4Addr(192, 168, 1, 2);
+  h.total_length = 100;
+  h.ttl = 63;
+  h.protocol = IpProto::kUdp;
+  std::vector<std::uint8_t> buf;
+  ByteWriter w(buf);
+  h.serialize(w);
+  ASSERT_EQ(buf.size(), Ipv4Header::kSize);
+  // A correct IPv4 header checksums to zero over the full header.
+  EXPECT_EQ(internet_checksum(buf), 0);
+  ByteReader r(buf);
+  EXPECT_EQ(Ipv4Header::parse(r), h);
+}
+
+TEST(HeaderTest, TcpFlagsRoundTrip) {
+  for (int bits = 0; bits < 32; ++bits) {
+    TcpFlags f;
+    f.fin = bits & 1;
+    f.syn = bits & 2;
+    f.rst = bits & 4;
+    f.psh = bits & 8;
+    f.ack = bits & 16;
+    EXPECT_EQ(TcpFlags::from_byte(f.to_byte()), f);
+  }
+}
+
+TEST(HeaderTest, TcpRoundTrip) {
+  TcpHeader h;
+  h.src_port = 4321;
+  h.dst_port = 443;
+  h.seq = 0xdeadbeef;
+  h.ack = 0x12345678;
+  h.flags.syn = true;
+  h.flags.ack = true;
+  std::vector<std::uint8_t> buf;
+  ByteWriter w(buf);
+  h.serialize(w);
+  EXPECT_EQ(buf.size(), TcpHeader::kSize);
+  ByteReader r(buf);
+  EXPECT_EQ(TcpHeader::parse(r), h);
+}
+
+TEST(HeaderTest, VxlanRoundTrip24BitVni) {
+  VxlanHeader h{0xabcdef};
+  std::vector<std::uint8_t> buf;
+  ByteWriter w(buf);
+  h.serialize(w);
+  EXPECT_EQ(buf.size(), VxlanHeader::kSize);
+  ByteReader r(buf);
+  EXPECT_EQ(VxlanHeader::parse(r), h);
+}
+
+TEST(CarrierTest, RoundTripWithTlvs) {
+  CarrierHeader c;
+  c.flags.is_notify = true;
+  c.add(CarrierTlvType::kStateSnapshot, {1, 2, 3, 4});
+  c.add(CarrierTlvType::kVnicId, {9, 8, 7, 6, 5, 4, 3, 2});
+  std::vector<std::uint8_t> buf;
+  ByteWriter w(buf);
+  c.serialize(w);
+  EXPECT_EQ(buf.size(), c.wire_size());
+  ByteReader r(buf);
+  auto parsed = CarrierHeader::parse(r);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), c);
+  ASSERT_NE(parsed.value().find(CarrierTlvType::kVnicId), nullptr);
+  EXPECT_EQ(parsed.value().find(CarrierTlvType::kVnicId)->value.size(), 8u);
+  EXPECT_EQ(parsed.value().find(CarrierTlvType::kPreActions), nullptr);
+}
+
+TEST(CarrierTest, RejectsBadVersion) {
+  std::vector<std::uint8_t> buf = {9, 0, 0, 4};
+  ByteReader r(buf);
+  EXPECT_FALSE(CarrierHeader::parse(r).ok());
+}
+
+TEST(CarrierTest, RejectsTruncatedTlv) {
+  CarrierHeader c;
+  c.add(CarrierTlvType::kPreActions, {1, 2, 3, 4, 5, 6});
+  std::vector<std::uint8_t> buf;
+  ByteWriter w(buf);
+  c.serialize(w);
+  buf.resize(buf.size() - 2);  // chop the TLV payload
+  ByteReader r(buf);
+  EXPECT_FALSE(CarrierHeader::parse(r).ok());
+}
+
+TEST(PacketTest, BarePacketRoundTrip) {
+  Packet pkt = make_tcp_packet(sample_tuple(), TcpFlags{.syn = true}, 100, 7);
+  const auto bytes = pkt.serialize();
+  EXPECT_EQ(bytes.size(), pkt.wire_size());
+  auto parsed = Packet::parse(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().inner, pkt.inner);
+  EXPECT_FALSE(parsed.value().encapsulated());
+}
+
+TEST(PacketTest, EncapRoundTripPreservesInnerAndVni) {
+  Packet pkt = make_tcp_packet(sample_tuple(), TcpFlags{.ack = true}, 64, 42);
+  pkt.encap(Ipv4Addr(172, 16, 0, 1), MacAddr(0x1ULL), Ipv4Addr(172, 16, 0, 2),
+            MacAddr(0x2ULL));
+  ASSERT_TRUE(pkt.encapsulated());
+  EXPECT_EQ(pkt.overlay->vni, 42u);
+  const auto bytes = pkt.serialize();
+  EXPECT_EQ(bytes.size(), pkt.wire_size());
+  auto parsed = Packet::parse(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().inner, pkt.inner);
+  ASSERT_TRUE(parsed.value().encapsulated());
+  EXPECT_EQ(parsed.value().overlay, pkt.overlay);
+  EXPECT_EQ(parsed.value().vpc_id, 42u);
+}
+
+TEST(PacketTest, EncapWithCarrierRoundTrip) {
+  Packet pkt = make_udp_packet(sample_tuple(), 32, 9);
+  pkt.encap(Ipv4Addr(172, 16, 0, 1), MacAddr(0x1ULL), Ipv4Addr(172, 16, 0, 2),
+            MacAddr(0x2ULL));
+  CarrierHeader c;
+  c.flags.from_frontend = true;
+  c.add(CarrierTlvType::kPreActions, {0xde, 0xad});
+  pkt.carrier = c;
+  const auto bytes = pkt.serialize();
+  EXPECT_EQ(bytes.size(), pkt.wire_size());
+  auto parsed = Packet::parse(bytes);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed.value().carrier.has_value());
+  EXPECT_EQ(*parsed.value().carrier, c);
+  EXPECT_EQ(parsed.value().inner, pkt.inner);
+}
+
+TEST(PacketTest, DecapStripsOverlayAndCarrier) {
+  Packet pkt = make_tcp_packet(sample_tuple(), TcpFlags{}, 0, 3);
+  pkt.encap(Ipv4Addr(1, 1, 1, 1), MacAddr(0x1ULL), Ipv4Addr(2, 2, 2, 2),
+            MacAddr(0x2ULL));
+  pkt.carrier = CarrierHeader{};
+  auto removed = pkt.decap();
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->src_ip, Ipv4Addr(1, 1, 1, 1));
+  EXPECT_FALSE(pkt.encapsulated());
+  EXPECT_FALSE(pkt.carrier.has_value());
+}
+
+TEST(PacketTest, EntropyPortIsFlowStable) {
+  Packet a = make_tcp_packet(sample_tuple(), TcpFlags{}, 0, 1);
+  Packet b = make_tcp_packet(sample_tuple(), TcpFlags{.ack = true}, 99, 1);
+  a.encap(Ipv4Addr(1, 1, 1, 1), MacAddr(1ULL), Ipv4Addr(2, 2, 2, 2),
+          MacAddr(2ULL));
+  b.encap(Ipv4Addr(1, 1, 1, 1), MacAddr(1ULL), Ipv4Addr(2, 2, 2, 2),
+          MacAddr(2ULL));
+  EXPECT_EQ(a.overlay->src_port, b.overlay->src_port);
+}
+
+TEST(PacketTest, WireSizeAccountsForEncapOverhead) {
+  Packet pkt = make_udp_packet(sample_tuple(), 100, 1);
+  const std::size_t bare = pkt.wire_size();
+  pkt.encap(Ipv4Addr(1, 1, 1, 1), MacAddr(1ULL), Ipv4Addr(2, 2, 2, 2),
+            MacAddr(2ULL));
+  EXPECT_EQ(pkt.wire_size(), bare + Overlay::kSize);
+  CarrierHeader c;
+  c.add(CarrierTlvType::kStateSnapshot, std::vector<std::uint8_t>(7));
+  pkt.carrier = c;
+  EXPECT_EQ(pkt.wire_size(), bare + Overlay::kSize + c.wire_size());
+}
+
+TEST(PacketTest, ParseRejectsTruncated) {
+  Packet pkt = make_tcp_packet(sample_tuple(), TcpFlags{}, 50, 1);
+  auto bytes = pkt.serialize();
+  bytes.resize(20);
+  EXPECT_FALSE(Packet::parse(bytes).ok());
+}
+
+}  // namespace
+}  // namespace nezha::net

@@ -1,0 +1,254 @@
+// Unit tests for the discrete-event simulator: event loop ordering and
+// cancellation, topology tiers, network delivery/latency/faults.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/sim/event_loop.h"
+#include "src/sim/network.h"
+#include "src/sim/node.h"
+#include "src/sim/topology.h"
+
+namespace nezha::sim {
+namespace {
+
+using common::microseconds;
+using common::milliseconds;
+using common::TimePoint;
+
+TEST(EventLoopTest, FiresInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(30, [&] { order.push_back(3); });
+  loop.schedule_at(10, [&] { order.push_back(1); });
+  loop.schedule_at(20, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30);
+}
+
+TEST(EventLoopTest, EqualTimesFireInScheduleOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventLoopTest, CancelPreventsFiring) {
+  EventLoop loop;
+  bool fired = false;
+  EventId id = loop.schedule_at(10, [&] { fired = true; });
+  loop.cancel(id);
+  loop.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventLoopTest, RunUntilAdvancesTime) {
+  EventLoop loop;
+  int count = 0;
+  loop.schedule_at(10, [&] { ++count; });
+  loop.schedule_at(100, [&] { ++count; });
+  loop.run_until(50);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(loop.now(), 50);
+  loop.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventLoopTest, EventsScheduledWhileRunningFire) {
+  EventLoop loop;
+  int depth = 0;
+  loop.schedule_at(1, [&] {
+    ++depth;
+    loop.schedule_after(1, [&] { ++depth; });
+  });
+  loop.run();
+  EXPECT_EQ(depth, 2);
+  EXPECT_EQ(loop.now(), 2);
+}
+
+TEST(EventLoopTest, PastSchedulingClampsToNow) {
+  EventLoop loop;
+  loop.run_until(100);
+  TimePoint fired_at = -1;
+  loop.schedule_at(5, [&] { fired_at = loop.now(); });
+  loop.run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(TopologyTest, TierClassification) {
+  Topology topo(TopologyConfig{.servers_per_tor = 4, .tors_per_agg = 2});
+  EXPECT_EQ(topo.hop_tier(0, 0), 0);
+  EXPECT_EQ(topo.hop_tier(0, 3), 1);   // same ToR
+  EXPECT_EQ(topo.hop_tier(0, 4), 2);   // same agg, different ToR
+  EXPECT_EQ(topo.hop_tier(0, 8), 3);   // different agg
+  EXPECT_TRUE(topo.same_tor(1, 2));
+  EXPECT_FALSE(topo.same_tor(3, 4));
+  EXPECT_TRUE(topo.same_agg(0, 7));
+  EXPECT_FALSE(topo.same_agg(0, 8));
+}
+
+TEST(TopologyTest, LatencyIncreasesWithTier) {
+  Topology topo(TopologyConfig{.servers_per_tor = 4, .tors_per_agg = 2});
+  EXPECT_LT(topo.latency(0, 0), topo.latency(0, 1));
+  EXPECT_LT(topo.latency(0, 1), topo.latency(0, 4));
+  EXPECT_LT(topo.latency(0, 4), topo.latency(0, 8));
+}
+
+/// Minimal sink node recording arrivals.
+class SinkNode : public Node {
+ public:
+  SinkNode(NodeId id, net::Ipv4Addr ip)
+      : Node(id, "sink" + std::to_string(id), ip, net::MacAddr(id + 1)) {}
+  void receive(net::Packet pkt) override {
+    received.push_back(std::move(pkt));
+  }
+  std::vector<net::Packet> received;
+};
+
+net::Packet test_packet(std::uint16_t payload = 100) {
+  net::FiveTuple ft{net::Ipv4Addr(10, 0, 0, 1), net::Ipv4Addr(10, 0, 0, 2),
+                    1000, 80, net::IpProto::kUdp};
+  return net::make_udp_packet(ft, payload);
+}
+
+struct NetworkFixture {
+  EventLoop loop;
+  Topology topo{TopologyConfig{.servers_per_tor = 4, .tors_per_agg = 2}};
+  Network net{loop, topo};
+  SinkNode a{0, net::Ipv4Addr(172, 16, 0, 1)};
+  SinkNode b{1, net::Ipv4Addr(172, 16, 0, 2)};
+  SinkNode far{8, net::Ipv4Addr(172, 16, 0, 9)};
+
+  NetworkFixture() {
+    net.attach(a);
+    net.attach(b);
+    net.attach(far);
+  }
+};
+
+TEST(NetworkTest, DeliversToDestination) {
+  NetworkFixture f;
+  f.net.send(f.a.id(), f.b.underlay_ip(), test_packet());
+  f.loop.run();
+  EXPECT_EQ(f.b.received.size(), 1u);
+  EXPECT_EQ(f.net.delivered(), 1u);
+}
+
+TEST(NetworkTest, LatencyMatchesTopologyPlusSerialization) {
+  NetworkFixture f;
+  f.net.send(f.a.id(), f.b.underlay_ip(), test_packet());
+  f.loop.run();
+  // same-ToR latency 5us + serialization of a small packet at 100G (~10ns).
+  EXPECT_GE(f.loop.now(), microseconds(5));
+  EXPECT_LT(f.loop.now(), microseconds(6));
+}
+
+TEST(NetworkTest, FartherNodesTakeLonger) {
+  NetworkFixture f;
+  TimePoint near_arrival = 0, far_arrival = 0;
+  f.net.send(f.a.id(), f.b.underlay_ip(), test_packet());
+  f.loop.run();
+  near_arrival = f.loop.now();
+  f.net.send(f.a.id(), f.far.underlay_ip(), test_packet());
+  f.loop.run();
+  far_arrival = f.loop.now() - near_arrival;
+  EXPECT_GT(far_arrival, near_arrival);
+}
+
+TEST(NetworkTest, UnknownDestinationDropped) {
+  NetworkFixture f;
+  f.net.send(f.a.id(), net::Ipv4Addr(9, 9, 9, 9), test_packet());
+  f.loop.run();
+  EXPECT_EQ(f.net.dropped_no_route(), 1u);
+  EXPECT_EQ(f.net.delivered(), 0u);
+}
+
+TEST(NetworkTest, CrashedNodeDropsTraffic) {
+  NetworkFixture f;
+  f.net.crash(f.b.id());
+  f.net.send(f.a.id(), f.b.underlay_ip(), test_packet());
+  f.loop.run();
+  EXPECT_EQ(f.b.received.size(), 0u);
+  EXPECT_EQ(f.net.dropped_crashed(), 1u);
+
+  f.net.heal(f.b.id());
+  f.net.send(f.a.id(), f.b.underlay_ip(), test_packet());
+  f.loop.run();
+  EXPECT_EQ(f.b.received.size(), 1u);
+}
+
+TEST(NetworkTest, CrashedSenderCannotSend) {
+  NetworkFixture f;
+  f.net.crash(f.a.id());
+  f.net.send(f.a.id(), f.b.underlay_ip(), test_packet());
+  f.loop.run();
+  EXPECT_EQ(f.b.received.size(), 0u);
+}
+
+TEST(NetworkTest, InFlightPacketLostWhenDestinationCrashesMidFlight) {
+  NetworkFixture f;
+  f.net.send(f.a.id(), f.b.underlay_ip(), test_packet());
+  f.net.crash(f.b.id());  // crash before delivery event fires
+  f.loop.run();
+  EXPECT_EQ(f.b.received.size(), 0u);
+  EXPECT_EQ(f.net.dropped_crashed(), 1u);
+}
+
+TEST(NetworkTest, SerializationDelayAccumulatesAtPort) {
+  // Two large back-to-back packets from one port: second arrives one full
+  // serialization time after the first.
+  EventLoop loop;
+  Topology topo;
+  Network net(loop, topo, NetworkConfig{.link_bps = 1e9});  // 1 Gbps
+  SinkNode a{0, net::Ipv4Addr(1, 0, 0, 1)};
+  SinkNode b{1, net::Ipv4Addr(1, 0, 0, 2)};
+  net.attach(a);
+  net.attach(b);
+  std::vector<TimePoint> arrivals;
+  net.set_trace([&](TimePoint t, const net::Packet&, NodeId, NodeId) {
+    arrivals.push_back(t);
+  });
+  net.send(a.id(), b.underlay_ip(), test_packet(1200));
+  net.send(a.id(), b.underlay_ip(), test_packet(1200));
+  loop.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  // ~1242B at 1Gbps ≈ 9.9us between the two arrivals.
+  const auto gap = arrivals[1] - arrivals[0];
+  EXPECT_GT(gap, microseconds(9));
+  EXPECT_LT(gap, microseconds(11));
+}
+
+TEST(NetworkTest, EgressQueueOverflowTailDrops) {
+  EventLoop loop;
+  Topology topo;
+  Network net(loop, topo,
+              NetworkConfig{.link_bps = 1e6, .egress_queue_bytes = 3000});
+  SinkNode a{0, net::Ipv4Addr(1, 0, 0, 1)};
+  SinkNode b{1, net::Ipv4Addr(1, 0, 0, 2)};
+  net.attach(a);
+  net.attach(b);
+  for (int i = 0; i < 10; ++i) {
+    net.send(a.id(), b.underlay_ip(), test_packet(1200));
+  }
+  loop.run();
+  EXPECT_GT(net.dropped_queue_full(), 0u);
+  EXPECT_LT(b.received.size(), 10u);
+  EXPECT_GT(b.received.size(), 0u);
+}
+
+TEST(NetworkTest, DetachRemovesRouting) {
+  NetworkFixture f;
+  f.net.detach(f.b.id());
+  f.net.send(f.a.id(), net::Ipv4Addr(172, 16, 0, 2), test_packet());
+  f.loop.run();
+  EXPECT_EQ(f.net.dropped_no_route(), 1u);
+}
+
+}  // namespace
+}  // namespace nezha::sim

@@ -1,0 +1,321 @@
+// Unit tests for the rule-table layer: prefixes, ACL priority matching,
+// LPM, QoS/NAT/stats-policy/policy-route tables, the vNIC-server map, and
+// the full per-vNIC RuleTableSet chain with its cost model.
+#include <gtest/gtest.h>
+
+#include "src/tables/acl.h"
+#include "src/tables/cost_model.h"
+#include "src/tables/lpm.h"
+#include "src/tables/policy_tables.h"
+#include "src/tables/prefix.h"
+#include "src/tables/rule_set.h"
+#include "src/tables/vnic_server_map.h"
+
+namespace nezha::tables {
+namespace {
+
+using flow::Direction;
+using flow::StatsMode;
+using flow::Verdict;
+using net::FiveTuple;
+using net::Ipv4Addr;
+using net::IpProto;
+
+TEST(PrefixTest, ContainsAndMask) {
+  Prefix p{Ipv4Addr(10, 1, 0, 0), 16};
+  EXPECT_TRUE(p.contains(Ipv4Addr(10, 1, 2, 3)));
+  EXPECT_FALSE(p.contains(Ipv4Addr(10, 2, 0, 1)));
+  EXPECT_EQ(p.mask(), 0xffff0000u);
+  EXPECT_TRUE(Prefix::any().contains(Ipv4Addr(1, 2, 3, 4)));
+  EXPECT_EQ(Prefix::any().mask(), 0u);
+  Prefix host = Prefix::host(Ipv4Addr(9, 9, 9, 9));
+  EXPECT_TRUE(host.contains(Ipv4Addr(9, 9, 9, 9)));
+  EXPECT_FALSE(host.contains(Ipv4Addr(9, 9, 9, 8)));
+  EXPECT_EQ(p.to_string(), "10.1.0.0/16");
+}
+
+TEST(PortRangeTest, Bounds) {
+  PortRange r{100, 200};
+  EXPECT_TRUE(r.contains(100));
+  EXPECT_TRUE(r.contains(200));
+  EXPECT_FALSE(r.contains(99));
+  EXPECT_FALSE(r.contains(201));
+  EXPECT_TRUE(PortRange::any().contains(0));
+  EXPECT_TRUE(PortRange::exact(443).contains(443));
+  EXPECT_FALSE(PortRange::exact(443).contains(444));
+}
+
+FiveTuple web_flow() {
+  return FiveTuple{Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 1, 1), 40000, 80,
+                   IpProto::kTcp};
+}
+
+TEST(AclTest, DefaultVerdictWhenEmpty) {
+  AclTable acl(Verdict::kDrop);
+  EXPECT_EQ(acl.lookup(web_flow(), Direction::kTx), Verdict::kDrop);
+  acl.set_default_verdict(Verdict::kAccept);
+  EXPECT_EQ(acl.lookup(web_flow(), Direction::kTx), Verdict::kAccept);
+}
+
+TEST(AclTest, PriorityOrderWins) {
+  AclTable acl(Verdict::kAccept);
+  acl.add_rule(AclRule{.priority = 20,
+                       .dst = Prefix{Ipv4Addr(10, 0, 1, 0), 24},
+                       .verdict = Verdict::kAccept});
+  acl.add_rule(AclRule{.priority = 10,
+                       .dst = Prefix{Ipv4Addr(10, 0, 1, 0), 24},
+                       .dst_ports = PortRange::exact(80),
+                       .verdict = Verdict::kDrop});
+  EXPECT_EQ(acl.lookup(web_flow(), Direction::kTx), Verdict::kDrop);
+  FiveTuple other = web_flow();
+  other.dst_port = 443;
+  EXPECT_EQ(acl.lookup(other, Direction::kTx), Verdict::kAccept);
+}
+
+TEST(AclTest, DirectionScopedRules) {
+  AclTable acl(Verdict::kAccept);
+  acl.add_rule(AclRule{.priority = 1,
+                       .direction = Direction::kRx,
+                       .verdict = Verdict::kDrop});
+  EXPECT_EQ(acl.lookup(web_flow(), Direction::kTx), Verdict::kAccept);
+  EXPECT_EQ(acl.lookup(web_flow(), Direction::kRx), Verdict::kDrop);
+}
+
+TEST(AclTest, ProtoAndPortRangeMatch) {
+  AclTable acl(Verdict::kAccept);
+  acl.add_rule(AclRule{.priority = 1,
+                       .dst_ports = PortRange{1000, 2000},
+                       .proto = IpProto::kUdp,
+                       .verdict = Verdict::kDrop});
+  FiveTuple udp = web_flow();
+  udp.proto = IpProto::kUdp;
+  udp.dst_port = 1500;
+  EXPECT_EQ(acl.lookup(udp, Direction::kTx), Verdict::kDrop);
+  udp.dst_port = 2500;
+  EXPECT_EQ(acl.lookup(udp, Direction::kTx), Verdict::kAccept);
+  FiveTuple tcp = udp;
+  tcp.proto = IpProto::kTcp;
+  tcp.dst_port = 1500;
+  EXPECT_EQ(acl.lookup(tcp, Direction::kTx), Verdict::kAccept);
+}
+
+TEST(AclTest, MemoryGrowsWithRules) {
+  AclTable acl;
+  EXPECT_EQ(acl.memory_bytes(), 0u);
+  for (int i = 0; i < 10; ++i) {
+    acl.add_rule(AclRule{.priority = static_cast<std::uint32_t>(i)});
+  }
+  EXPECT_EQ(acl.memory_bytes(), 10 * AclTable::kRuleBytes);
+  acl.clear();
+  EXPECT_EQ(acl.rule_count(), 0u);
+}
+
+TEST(LpmTest, LongestPrefixWins) {
+  LpmTable<int> lpm;
+  lpm.insert(Prefix{Ipv4Addr(10, 0, 0, 0), 8}, 8);
+  lpm.insert(Prefix{Ipv4Addr(10, 1, 0, 0), 16}, 16);
+  lpm.insert(Prefix{Ipv4Addr(10, 1, 2, 0), 24}, 24);
+  ASSERT_NE(lpm.lookup(Ipv4Addr(10, 1, 2, 3)), nullptr);
+  EXPECT_EQ(*lpm.lookup(Ipv4Addr(10, 1, 2, 3)), 24);
+  EXPECT_EQ(*lpm.lookup(Ipv4Addr(10, 1, 9, 9)), 16);
+  EXPECT_EQ(*lpm.lookup(Ipv4Addr(10, 9, 9, 9)), 8);
+  EXPECT_EQ(lpm.lookup(Ipv4Addr(11, 0, 0, 1)), nullptr);
+}
+
+TEST(LpmTest, DefaultRouteMatchesAll) {
+  LpmTable<int> lpm;
+  lpm.insert(Prefix::any(), 0);
+  EXPECT_NE(lpm.lookup(Ipv4Addr(1, 2, 3, 4)), nullptr);
+}
+
+TEST(LpmTest, EraseAndOverwrite) {
+  LpmTable<int> lpm;
+  Prefix p{Ipv4Addr(10, 0, 0, 0), 8};
+  lpm.insert(p, 1);
+  lpm.insert(p, 2);  // overwrite, size stays 1
+  EXPECT_EQ(lpm.size(), 1u);
+  EXPECT_EQ(*lpm.find_exact(p), 2);
+  EXPECT_TRUE(lpm.erase(p));
+  EXPECT_FALSE(lpm.erase(p));
+  EXPECT_EQ(lpm.lookup(Ipv4Addr(10, 1, 1, 1)), nullptr);
+}
+
+TEST(QosTest, PrefixOverridesDefault) {
+  QosTable qos;
+  qos.set_default_rate_kbps(0);
+  qos.add_rate(Prefix{Ipv4Addr(10, 0, 1, 0), 24}, 5000);
+  EXPECT_EQ(qos.lookup(Ipv4Addr(10, 0, 1, 50)), 5000u);
+  EXPECT_EQ(qos.lookup(Ipv4Addr(10, 0, 2, 50)), 0u);
+}
+
+TEST(NatTest, DeterministicAllocation) {
+  NatTable nat;
+  nat.add_pool(Prefix{Ipv4Addr(8, 8, 0, 0), 16},
+               NatTable::Pool{.base_ip = Ipv4Addr(100, 64, 0, 0),
+                              .base_port = 1024,
+                              .ip_count = 4,
+                              .ports_per_ip = 1000});
+  FiveTuple ft = web_flow();
+  ft.dst_ip = Ipv4Addr(8, 8, 8, 8);
+  auto r1 = nat.lookup(ft);
+  auto r2 = nat.lookup(ft);
+  ASSERT_TRUE(r1.has_value());
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(r1->ip, r2->ip);
+  EXPECT_EQ(r1->port, r2->port);
+  // Allocation stays inside the pool.
+  EXPECT_GE(r1->ip.value(), Ipv4Addr(100, 64, 0, 0).value());
+  EXPECT_LT(r1->ip.value(), Ipv4Addr(100, 64, 0, 4).value());
+  EXPECT_GE(r1->port, 1024);
+  EXPECT_LT(r1->port, 2024);
+  // Non-matching destinations get no NAT.
+  EXPECT_FALSE(nat.lookup(web_flow()).has_value());
+}
+
+TEST(StatsPolicyTest, VersionBumpsOnChange) {
+  StatsPolicyTable t;
+  const auto v0 = t.version();
+  t.add_policy(Prefix{Ipv4Addr(10, 0, 0, 0), 8}, StatsMode::kBytes);
+  EXPECT_GT(t.version(), v0);
+  EXPECT_EQ(t.lookup(Ipv4Addr(10, 1, 1, 1)), StatsMode::kBytes);
+  EXPECT_EQ(t.lookup(Ipv4Addr(11, 1, 1, 1)), StatsMode::kNone);
+}
+
+TEST(PolicyRouteTest, OverrideOptional) {
+  PolicyRouteTable t;
+  EXPECT_FALSE(t.lookup(Ipv4Addr(10, 1, 1, 1)).has_value());
+  t.add_override(Prefix{Ipv4Addr(10, 1, 0, 0), 16},
+                 flow::NextHop{Ipv4Addr(172, 16, 0, 9), net::MacAddr(9ULL)});
+  auto hop = t.lookup(Ipv4Addr(10, 1, 1, 1));
+  ASSERT_TRUE(hop.has_value());
+  EXPECT_EQ(hop->ip, Ipv4Addr(172, 16, 0, 9));
+}
+
+TEST(VnicServerMapTest, PlacementVersioning) {
+  VnicServerMap map;
+  OverlayAddr addr{7, Ipv4Addr(10, 0, 0, 5)};
+  map.set_placement(addr, 101,
+                    {Location{Ipv4Addr(172, 16, 0, 1), net::MacAddr(1ULL)}});
+  const auto* e1 = map.lookup(addr);
+  ASSERT_NE(e1, nullptr);
+  EXPECT_EQ(e1->vnic, 101u);
+  EXPECT_FALSE(e1->placement.offloaded());
+  const auto v1 = e1->placement.version;
+
+  // Offload: placement becomes a 4-FE set with a newer version.
+  std::vector<Location> fes;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    fes.push_back(Location{Ipv4Addr(172, 16, 1, static_cast<uint8_t>(i + 1)),
+                           net::MacAddr(i + 10ULL)});
+  }
+  map.set_placement(addr, 101, fes);
+  const auto* e2 = map.lookup(addr);
+  ASSERT_NE(e2, nullptr);
+  EXPECT_TRUE(e2->placement.offloaded());
+  EXPECT_GT(e2->placement.version, v1);
+  EXPECT_EQ(e2->placement.locations.size(), 4u);
+
+  EXPECT_TRUE(map.erase(addr));
+  EXPECT_EQ(map.lookup(addr), nullptr);
+}
+
+TEST(VnicServerMapTest, TenantsIsolatedByVpc) {
+  VnicServerMap map;
+  map.set_placement(OverlayAddr{1, Ipv4Addr(10, 0, 0, 5)}, 1,
+                    {Location{Ipv4Addr(172, 16, 0, 1), net::MacAddr(1ULL)}});
+  EXPECT_EQ(map.lookup(OverlayAddr{2, Ipv4Addr(10, 0, 0, 5)}), nullptr);
+}
+
+RuleTableSet make_rule_set(bool acl_enabled = true, int tables = 5) {
+  RuleTableSet rs(RuleSetProfile{.acl_enabled = acl_enabled,
+                                 .num_tables = tables,
+                                 .synthetic_rule_bytes = 1 << 20});
+  rs.acl().add_rule(AclRule{.priority = 10,
+                            .direction = Direction::kRx,
+                            .verdict = Verdict::kDrop});
+  rs.qos().add_rate(Prefix{Ipv4Addr(10, 0, 1, 0), 24}, 10000);
+  rs.stats_policy().add_policy(Prefix{Ipv4Addr(10, 0, 1, 0), 24},
+                               StatsMode::kPacketsAndBytes);
+  rs.commit_update();
+  return rs;
+}
+
+TEST(RuleTableSetTest, ChainProducesBidirectionalPreActions) {
+  auto rs = make_rule_set();
+  auto pre = rs.lookup(web_flow());
+  EXPECT_EQ(pre.tx.acl_verdict, Verdict::kAccept);
+  EXPECT_EQ(pre.rx.acl_verdict, Verdict::kDrop);  // stateful-ACL setup
+  EXPECT_EQ(pre.tx.rate_limit_kbps, 10000u);
+  EXPECT_EQ(pre.tx.stats_mode, StatsMode::kPacketsAndBytes);
+  EXPECT_EQ(pre.rule_version, rs.version());
+}
+
+TEST(RuleTableSetTest, AclBypassProfile) {
+  auto rs = make_rule_set(/*acl_enabled=*/false);
+  auto pre = rs.lookup(web_flow());
+  // Transit-router profile: ACL bypassed, everything accepted at ACL level.
+  EXPECT_EQ(pre.rx.acl_verdict, Verdict::kAccept);
+}
+
+TEST(RuleTableSetTest, CommitUpdateBumpsVersion) {
+  auto rs = make_rule_set();
+  const auto v = rs.version();
+  rs.acl().add_rule(AclRule{.priority = 5});
+  rs.commit_update();
+  EXPECT_GT(rs.version(), v);
+  EXPECT_EQ(rs.lookup(web_flow()).rule_version, rs.version());
+}
+
+TEST(RuleTableSetTest, LookupCyclesGrowWithRulesAndTables) {
+  CostModel model;
+  auto rs5 = make_rule_set(true, 5);
+  auto rs12 = make_rule_set(true, 12);
+  EXPECT_GT(rs12.lookup_cycles(model), rs5.lookup_cycles(model));
+
+  auto rs_rules = make_rule_set(true, 5);
+  for (int i = 0; i < 1000; ++i) {
+    rs_rules.acl().add_rule(AclRule{.priority = static_cast<uint32_t>(i + 100)});
+  }
+  EXPECT_GT(rs_rules.lookup_cycles(model), rs5.lookup_cycles(model));
+
+  auto rs_noacl = make_rule_set(false, 5);
+  EXPECT_LT(rs_noacl.lookup_cycles(model), rs5.lookup_cycles(model));
+}
+
+TEST(RuleTableSetTest, MemoryIncludesSyntheticBulk) {
+  auto rs = make_rule_set();
+  EXPECT_GE(rs.memory_bytes(), 1u << 20);
+  EXPECT_GT(rs.memory_bytes(), rs.acl().memory_bytes());
+}
+
+TEST(RuleTableSetTest, MirrorPolicyFillsPreAction) {
+  auto rs = make_rule_set();
+  EXPECT_FALSE(rs.lookup(web_flow()).tx.mirror);
+  const flow::NextHop collector{Ipv4Addr(172, 31, 0, 9), net::MacAddr(0x99ULL)};
+  rs.mirrors().add_mirror(Prefix{Ipv4Addr(10, 0, 1, 0), 24}, collector);
+  rs.commit_update();
+  auto pre = rs.lookup(web_flow());
+  EXPECT_TRUE(pre.tx.mirror);
+  EXPECT_TRUE(pre.rx.mirror);
+  EXPECT_EQ(pre.tx.mirror_target, collector);
+  // Non-matching destinations stay unmirrored.
+  FiveTuple other = web_flow();
+  other.dst_ip = Ipv4Addr(10, 0, 9, 1);
+  EXPECT_FALSE(rs.lookup(other).tx.mirror);
+}
+
+TEST(CostModelTest, TableA1Anchors) {
+  // 8 cores * 2.5GHz = 20e9 cycles/s. Slow-path packet cost with 0 ACL
+  // rules and 64B packets should land near 3.0k cycles so that throughput
+  // ≈ 6.6 Mpps (Table A1's top-left cell).
+  CostModel m;
+  const double chain = m.slow_path_chain_cycles(0, 5, true);
+  const double per_pkt = chain + m.parse_cycles + m.session_insert_cycles +
+                         m.encap_cycles + 64.0 * m.per_byte_cycles;
+  const double mpps = 20e9 / per_pkt / 1e6;
+  EXPECT_GT(mpps, 6.0);
+  EXPECT_LT(mpps, 7.3);
+}
+
+}  // namespace
+}  // namespace nezha::tables
