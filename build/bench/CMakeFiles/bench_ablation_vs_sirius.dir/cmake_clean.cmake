@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_vs_sirius.dir/bench_ablation_vs_sirius.cpp.o"
+  "CMakeFiles/bench_ablation_vs_sirius.dir/bench_ablation_vs_sirius.cpp.o.d"
+  "bench_ablation_vs_sirius"
+  "bench_ablation_vs_sirius.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vs_sirius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appb2_scaling_stats.dir/bench_appb2_scaling_stats.cpp.o"
+  "CMakeFiles/bench_appb2_scaling_stats.dir/bench_appb2_scaling_stats.cpp.o.d"
+  "bench_appb2_scaling_stats"
+  "bench_appb2_scaling_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appb2_scaling_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

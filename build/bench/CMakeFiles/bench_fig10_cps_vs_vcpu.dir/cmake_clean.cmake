@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_cps_vs_vcpu.dir/bench_fig10_cps_vs_vcpu.cpp.o"
+  "CMakeFiles/bench_fig10_cps_vs_vcpu.dir/bench_fig10_cps_vs_vcpu.cpp.o.d"
+  "bench_fig10_cps_vs_vcpu"
+  "bench_fig10_cps_vs_vcpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_cps_vs_vcpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

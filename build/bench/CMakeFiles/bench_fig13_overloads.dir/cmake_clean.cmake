@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_overloads.dir/bench_fig13_overloads.cpp.o"
+  "CMakeFiles/bench_fig13_overloads.dir/bench_fig13_overloads.cpp.o.d"
+  "bench_fig13_overloads"
+  "bench_fig13_overloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_overloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_hotspots.dir/bench_fig3_hotspots.cpp.o"
+  "CMakeFiles/bench_fig3_hotspots.dir/bench_fig3_hotspots.cpp.o.d"
+  "bench_fig3_hotspots"
+  "bench_fig3_hotspots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

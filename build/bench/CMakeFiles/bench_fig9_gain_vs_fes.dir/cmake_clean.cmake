@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_gain_vs_fes.dir/bench_fig9_gain_vs_fes.cpp.o"
+  "CMakeFiles/bench_fig9_gain_vs_fes.dir/bench_fig9_gain_vs_fes.cpp.o.d"
+  "bench_fig9_gain_vs_fes"
+  "bench_fig9_gain_vs_fes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_gain_vs_fes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figa1_migration.dir/bench_figa1_migration.cpp.o"
+  "CMakeFiles/bench_figa1_migration.dir/bench_figa1_migration.cpp.o.d"
+  "bench_figa1_migration"
+  "bench_figa1_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figa1_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_figa1_migration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_usage_dist.dir/bench_table1_usage_dist.cpp.o"
+  "CMakeFiles/bench_table1_usage_dist.dir/bench_table1_usage_dist.cpp.o.d"
+  "bench_table1_usage_dist"
+  "bench_table1_usage_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_usage_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_middleboxes.dir/bench_table3_middleboxes.cpp.o"
+  "CMakeFiles/bench_table3_middleboxes.dir/bench_table3_middleboxes.cpp.o.d"
+  "bench_table3_middleboxes"
+  "bench_table3_middleboxes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_middleboxes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tablea1_lookup_tput.dir/bench_tablea1_lookup_tput.cpp.o"
+  "CMakeFiles/bench_tablea1_lookup_tput.dir/bench_tablea1_lookup_tput.cpp.o.d"
+  "bench_tablea1_lookup_tput"
+  "bench_tablea1_lookup_tput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tablea1_lookup_tput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tablea1_lookup_tput.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_failover_drill.dir/failover_drill.cpp.o"
+  "CMakeFiles/example_failover_drill.dir/failover_drill.cpp.o.d"
+  "example_failover_drill"
+  "example_failover_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_failover_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

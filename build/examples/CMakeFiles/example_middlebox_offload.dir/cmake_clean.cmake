@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_middlebox_offload.dir/middlebox_offload.cpp.o"
+  "CMakeFiles/example_middlebox_offload.dir/middlebox_offload.cpp.o.d"
+  "example_middlebox_offload"
+  "example_middlebox_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_middlebox_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/capacity_model.cpp" "src/CMakeFiles/nezha.dir/baseline/capacity_model.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/baseline/capacity_model.cpp.o.d"
+  "/root/repo/src/baseline/sirius_model.cpp" "src/CMakeFiles/nezha.dir/baseline/sirius_model.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/baseline/sirius_model.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/nezha.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/nezha.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/nezha.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/time.cpp" "src/CMakeFiles/nezha.dir/common/time.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/common/time.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/CMakeFiles/nezha.dir/core/controller.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/core/controller.cpp.o.d"
+  "/root/repo/src/core/link_prober.cpp" "src/CMakeFiles/nezha.dir/core/link_prober.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/core/link_prober.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/CMakeFiles/nezha.dir/core/monitor.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/core/monitor.cpp.o.d"
+  "/root/repo/src/core/testbed.cpp" "src/CMakeFiles/nezha.dir/core/testbed.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/core/testbed.cpp.o.d"
+  "/root/repo/src/flow/pre_actions.cpp" "src/CMakeFiles/nezha.dir/flow/pre_actions.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/flow/pre_actions.cpp.o.d"
+  "/root/repo/src/flow/session.cpp" "src/CMakeFiles/nezha.dir/flow/session.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/flow/session.cpp.o.d"
+  "/root/repo/src/flow/session_table.cpp" "src/CMakeFiles/nezha.dir/flow/session_table.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/flow/session_table.cpp.o.d"
+  "/root/repo/src/flow/tcp_fsm.cpp" "src/CMakeFiles/nezha.dir/flow/tcp_fsm.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/flow/tcp_fsm.cpp.o.d"
+  "/root/repo/src/net/addr.cpp" "src/CMakeFiles/nezha.dir/net/addr.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/net/addr.cpp.o.d"
+  "/root/repo/src/net/carrier.cpp" "src/CMakeFiles/nezha.dir/net/carrier.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/net/carrier.cpp.o.d"
+  "/root/repo/src/net/five_tuple.cpp" "src/CMakeFiles/nezha.dir/net/five_tuple.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/net/five_tuple.cpp.o.d"
+  "/root/repo/src/net/headers.cpp" "src/CMakeFiles/nezha.dir/net/headers.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/net/headers.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/nezha.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/net/packet.cpp.o.d"
+  "/root/repo/src/net/pcap.cpp" "src/CMakeFiles/nezha.dir/net/pcap.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/net/pcap.cpp.o.d"
+  "/root/repo/src/nf/middlebox.cpp" "src/CMakeFiles/nezha.dir/nf/middlebox.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/nf/middlebox.cpp.o.d"
+  "/root/repo/src/nf/stateful.cpp" "src/CMakeFiles/nezha.dir/nf/stateful.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/nf/stateful.cpp.o.d"
+  "/root/repo/src/sim/event_loop.cpp" "src/CMakeFiles/nezha.dir/sim/event_loop.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/sim/event_loop.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/nezha.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/topology.cpp" "src/CMakeFiles/nezha.dir/sim/topology.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/sim/topology.cpp.o.d"
+  "/root/repo/src/tables/acl.cpp" "src/CMakeFiles/nezha.dir/tables/acl.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/tables/acl.cpp.o.d"
+  "/root/repo/src/tables/policy_tables.cpp" "src/CMakeFiles/nezha.dir/tables/policy_tables.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/tables/policy_tables.cpp.o.d"
+  "/root/repo/src/tables/rule_set.cpp" "src/CMakeFiles/nezha.dir/tables/rule_set.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/tables/rule_set.cpp.o.d"
+  "/root/repo/src/tables/vnic_server_map.cpp" "src/CMakeFiles/nezha.dir/tables/vnic_server_map.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/tables/vnic_server_map.cpp.o.d"
+  "/root/repo/src/vswitch/learned_map.cpp" "src/CMakeFiles/nezha.dir/vswitch/learned_map.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/vswitch/learned_map.cpp.o.d"
+  "/root/repo/src/vswitch/resources.cpp" "src/CMakeFiles/nezha.dir/vswitch/resources.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/vswitch/resources.cpp.o.d"
+  "/root/repo/src/vswitch/vnic.cpp" "src/CMakeFiles/nezha.dir/vswitch/vnic.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/vswitch/vnic.cpp.o.d"
+  "/root/repo/src/vswitch/vswitch.cpp" "src/CMakeFiles/nezha.dir/vswitch/vswitch.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/vswitch/vswitch.cpp.o.d"
+  "/root/repo/src/workload/cps_workload.cpp" "src/CMakeFiles/nezha.dir/workload/cps_workload.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/workload/cps_workload.cpp.o.d"
+  "/root/repo/src/workload/fleet_model.cpp" "src/CMakeFiles/nezha.dir/workload/fleet_model.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/workload/fleet_model.cpp.o.d"
+  "/root/repo/src/workload/migration_model.cpp" "src/CMakeFiles/nezha.dir/workload/migration_model.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/workload/migration_model.cpp.o.d"
+  "/root/repo/src/workload/syn_flood.cpp" "src/CMakeFiles/nezha.dir/workload/syn_flood.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/workload/syn_flood.cpp.o.d"
+  "/root/repo/src/workload/vm_model.cpp" "src/CMakeFiles/nezha.dir/workload/vm_model.cpp.o" "gcc" "src/CMakeFiles/nezha.dir/workload/vm_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

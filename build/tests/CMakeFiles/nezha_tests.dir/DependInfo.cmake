@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline_test.cpp" "tests/CMakeFiles/nezha_tests.dir/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/nezha_tests.dir/baseline_test.cpp.o.d"
+  "/root/repo/tests/chaos_test.cpp" "tests/CMakeFiles/nezha_tests.dir/chaos_test.cpp.o" "gcc" "tests/CMakeFiles/nezha_tests.dir/chaos_test.cpp.o.d"
+  "/root/repo/tests/common_test.cpp" "tests/CMakeFiles/nezha_tests.dir/common_test.cpp.o" "gcc" "tests/CMakeFiles/nezha_tests.dir/common_test.cpp.o.d"
+  "/root/repo/tests/controller_test.cpp" "tests/CMakeFiles/nezha_tests.dir/controller_test.cpp.o" "gcc" "tests/CMakeFiles/nezha_tests.dir/controller_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/nezha_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/nezha_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/flow_test.cpp" "tests/CMakeFiles/nezha_tests.dir/flow_test.cpp.o" "gcc" "tests/CMakeFiles/nezha_tests.dir/flow_test.cpp.o.d"
+  "/root/repo/tests/mirror_test.cpp" "tests/CMakeFiles/nezha_tests.dir/mirror_test.cpp.o" "gcc" "tests/CMakeFiles/nezha_tests.dir/mirror_test.cpp.o.d"
+  "/root/repo/tests/net_test.cpp" "tests/CMakeFiles/nezha_tests.dir/net_test.cpp.o" "gcc" "tests/CMakeFiles/nezha_tests.dir/net_test.cpp.o.d"
+  "/root/repo/tests/nezha_core_test.cpp" "tests/CMakeFiles/nezha_tests.dir/nezha_core_test.cpp.o" "gcc" "tests/CMakeFiles/nezha_tests.dir/nezha_core_test.cpp.o.d"
+  "/root/repo/tests/nf_test.cpp" "tests/CMakeFiles/nezha_tests.dir/nf_test.cpp.o" "gcc" "tests/CMakeFiles/nezha_tests.dir/nf_test.cpp.o.d"
+  "/root/repo/tests/pcap_test.cpp" "tests/CMakeFiles/nezha_tests.dir/pcap_test.cpp.o" "gcc" "tests/CMakeFiles/nezha_tests.dir/pcap_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/nezha_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/nezha_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/qos_test.cpp" "tests/CMakeFiles/nezha_tests.dir/qos_test.cpp.o" "gcc" "tests/CMakeFiles/nezha_tests.dir/qos_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/nezha_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/nezha_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/tables_test.cpp" "tests/CMakeFiles/nezha_tests.dir/tables_test.cpp.o" "gcc" "tests/CMakeFiles/nezha_tests.dir/tables_test.cpp.o.d"
+  "/root/repo/tests/vswitch_test.cpp" "tests/CMakeFiles/nezha_tests.dir/vswitch_test.cpp.o" "gcc" "tests/CMakeFiles/nezha_tests.dir/vswitch_test.cpp.o.d"
+  "/root/repo/tests/workload_test.cpp" "tests/CMakeFiles/nezha_tests.dir/workload_test.cpp.o" "gcc" "tests/CMakeFiles/nezha_tests.dir/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nezha.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
