@@ -1,0 +1,487 @@
+// Engine hot-path microbenchmarks + end-to-end throughput baseline.
+//
+// Unlike the per-figure benches (which reproduce paper artifacts), this one
+// tracks the simulator's OWN performance trajectory: the four hot paths the
+// slow-path chain and flow-table bottlenecks stress (§2.2.2) — ACL lookup,
+// LPM lookup, session-table ops, event-loop ops — plus an end-to-end
+// packets-per-wall-clock-second run on the standard testbed topology.
+//
+// Output: human-readable tables on stdout AND a machine-readable
+// BENCH_engine.json (schema documented in README.md) so future PRs have a
+// recorded baseline to beat. Reference implementations of the pre-overhaul
+// structures (linear ACL scan, all-33-lengths LPM probe) are kept inline
+// here both as the speedup denominator and as a differential sanity check:
+// the bench aborts if the indexed structures ever disagree with them.
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/core/testbed.h"
+#include "src/flow/session_table.h"
+#include "src/sim/event_loop.h"
+#include "src/tables/acl.h"
+#include "src/tables/lpm.h"
+#include "src/workload/cps_workload.h"
+
+using namespace nezha;
+
+namespace {
+
+// Pre-change baseline, recorded in this PR by running this same bench on the
+// seed engine (commit 347b048, Release, this container) before the hot-path
+// overhaul. Update when re-baselining on new hardware (see README.md).
+// Seed fingerprint for the same run: 4585995 simulated packets, 1146438
+// connections — the overhaul must reproduce these exactly (determinism).
+constexpr double kPreChangeE2ePktsPerSec = 371268;
+constexpr double kPreChangeAclLookupsPerSec = 813636;
+
+double wall_seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// ------------------------------------------------------------ reference ACL
+// Faithful copy of the pre-overhaul AclTable: one priority-sorted vector,
+// scanned linearly until the first match.
+struct ReferenceAcl {
+  std::vector<tables::AclRule> rules;
+  flow::Verdict default_verdict = flow::Verdict::kAccept;
+
+  void add_rule(tables::AclRule rule) {
+    auto pos = std::lower_bound(rules.begin(), rules.end(), rule,
+                                [](const tables::AclRule& a,
+                                   const tables::AclRule& b) {
+                                  return a.priority < b.priority;
+                                });
+    rules.insert(pos, std::move(rule));
+  }
+  flow::Verdict lookup(const net::FiveTuple& ft, flow::Direction dir) const {
+    for (const auto& rule : rules) {
+      if (rule.direction && *rule.direction != dir) continue;
+      if (rule.proto && *rule.proto != ft.proto) continue;
+      if (!rule.src.contains(ft.src_ip)) continue;
+      if (!rule.dst.contains(ft.dst_ip)) continue;
+      if (!rule.src_ports.contains(ft.src_port)) continue;
+      if (!rule.dst_ports.contains(ft.dst_port)) continue;
+      return rule.verdict;
+    }
+    return default_verdict;
+  }
+};
+
+// ------------------------------------------------------------ reference LPM
+// Faithful copy of the pre-overhaul LpmTable::lookup: probe every length
+// from /32 down, including empty ones.
+struct ReferenceLpm {
+  std::array<std::unordered_map<std::uint32_t, int>, 33> levels;
+
+  void insert(tables::Prefix p, int v) {
+    levels[p.length].insert_or_assign(p.network(), v);
+  }
+  const int* lookup(net::Ipv4Addr ip) const {
+    for (int len = 32; len >= 0; --len) {
+      const auto& level = levels[static_cast<std::size_t>(len)];
+      if (level.empty()) continue;
+      const std::uint32_t mask = (len == 0) ? 0u : (~0u << (32 - len));
+      auto it = level.find(ip.value() & mask);
+      if (it != level.end()) return &it->second;
+    }
+    return nullptr;
+  }
+};
+
+net::FiveTuple random_tuple(common::Rng& rng) {
+  return net::FiveTuple{
+      net::Ipv4Addr(static_cast<std::uint32_t>(rng.next())),
+      net::Ipv4Addr(static_cast<std::uint32_t>(rng.next())),
+      static_cast<std::uint16_t>(rng.uniform_u64(0, 65535)),
+      static_cast<std::uint16_t>(rng.uniform_u64(0, 65535)),
+      rng.chance(0.5) ? net::IpProto::kTcp : net::IpProto::kUdp};
+}
+
+// A realistic mixed tenant ACL: prefix scopes, port ranges, a spread of
+// protocols and directions (what the (proto, direction) partitioning and the
+// priority merge have to handle in the field).
+tables::AclRule random_rule(common::Rng& rng) {
+  tables::AclRule r;
+  r.priority = static_cast<std::uint32_t>(rng.uniform_u64(0, 1000));
+  r.src = tables::Prefix{net::Ipv4Addr(static_cast<std::uint32_t>(rng.next())),
+                         static_cast<std::uint8_t>(rng.uniform_u64(8, 24))};
+  r.dst = tables::Prefix{net::Ipv4Addr(static_cast<std::uint32_t>(rng.next())),
+                         static_cast<std::uint8_t>(rng.uniform_u64(8, 24))};
+  const std::uint16_t lo =
+      static_cast<std::uint16_t>(rng.uniform_u64(0, 60000));
+  r.dst_ports = tables::PortRange{
+      lo, static_cast<std::uint16_t>(lo + rng.uniform_u64(0, 4000))};
+  const std::uint64_t proto = rng.uniform_u64(0, 3);
+  if (proto == 0) r.proto = net::IpProto::kTcp;
+  if (proto == 1) r.proto = net::IpProto::kUdp;
+  if (proto == 2) r.proto = net::IpProto::kIcmp;
+  const std::uint64_t dir = rng.uniform_u64(0, 2);
+  if (dir == 0) r.direction = flow::Direction::kTx;
+  if (dir == 1) r.direction = flow::Direction::kRx;
+  r.verdict = rng.chance(0.5) ? flow::Verdict::kDrop : flow::Verdict::kAccept;
+  return r;
+}
+
+struct AclResult {
+  double indexed_per_sec = 0;
+  double reference_per_sec = 0;
+};
+
+AclResult bench_acl(std::size_t n_rules, int n_lookups) {
+  common::Rng rng(0xac1);
+  tables::AclTable acl(flow::Verdict::kAccept);
+  ReferenceAcl ref;
+  for (std::size_t i = 0; i < n_rules; ++i) {
+    const tables::AclRule r = random_rule(rng);
+    acl.add_rule(r);
+    ref.add_rule(r);
+  }
+  std::vector<net::FiveTuple> queries;
+  std::vector<flow::Direction> dirs;
+  queries.reserve(static_cast<std::size_t>(n_lookups));
+  for (int i = 0; i < n_lookups; ++i) {
+    queries.push_back(random_tuple(rng));
+    dirs.push_back(rng.chance(0.5) ? flow::Direction::kTx
+                                   : flow::Direction::kRx);
+  }
+
+  AclResult out;
+  std::uint64_t sum_idx = 0, sum_ref = 0;
+  // Alternating best-of-N rounds: a single back-to-back measurement hands
+  // whichever loop runs second warmed caches and predictors.
+  for (int round = 0; round < 3; ++round) {
+    std::uint64_t s = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < n_lookups; ++i) {
+      s += static_cast<std::uint64_t>(
+          acl.lookup(queries[static_cast<std::size_t>(i)],
+                     dirs[static_cast<std::size_t>(i)]));
+    }
+    out.indexed_per_sec =
+        std::max(out.indexed_per_sec, n_lookups / wall_seconds(t0));
+    sum_idx = s;
+
+    s = 0;
+    t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < n_lookups; ++i) {
+      s += static_cast<std::uint64_t>(
+          ref.lookup(queries[static_cast<std::size_t>(i)],
+                     dirs[static_cast<std::size_t>(i)]));
+    }
+    out.reference_per_sec =
+        std::max(out.reference_per_sec, n_lookups / wall_seconds(t0));
+    sum_ref = s;
+  }
+
+  if (sum_idx != sum_ref) {
+    std::fprintf(stderr, "FATAL: ACL differential mismatch (%llu vs %llu)\n",
+                 static_cast<unsigned long long>(sum_idx),
+                 static_cast<unsigned long long>(sum_ref));
+    std::abort();
+  }
+  return out;
+}
+
+struct LpmResult {
+  double indexed_per_sec = 0;
+  double reference_per_sec = 0;
+};
+
+LpmResult bench_lpm(std::size_t n_prefixes, int n_lookups) {
+  common::Rng rng(0x17a);
+  tables::LpmTable<int> lpm;
+  ReferenceLpm ref;
+  // Routing tables populate a handful of lengths, not all 33.
+  const std::uint8_t lengths[] = {10, 16, 20, 24, 32};
+  for (std::size_t i = 0; i < n_prefixes; ++i) {
+    tables::Prefix p{net::Ipv4Addr(static_cast<std::uint32_t>(rng.next())),
+                     lengths[rng.uniform_u64(0, 4)]};
+    lpm.insert(p, static_cast<int>(i));
+    ref.insert(p, static_cast<int>(i));
+  }
+  std::vector<net::Ipv4Addr> queries;
+  queries.reserve(static_cast<std::size_t>(n_lookups));
+  for (int i = 0; i < n_lookups; ++i) {
+    queries.emplace_back(static_cast<std::uint32_t>(rng.next()));
+  }
+
+  LpmResult out;
+  std::uint64_t sum_idx = 0, sum_ref = 0;
+  // Alternating best-of-N rounds (see bench_acl).
+  for (int round = 0; round < 3; ++round) {
+    std::uint64_t s = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    for (const auto ip : queries) {
+      const int* v = lpm.lookup(ip);
+      s += v ? static_cast<std::uint64_t>(*v) : 0xdead;
+    }
+    out.indexed_per_sec =
+        std::max(out.indexed_per_sec, n_lookups / wall_seconds(t0));
+    sum_idx = s;
+
+    s = 0;
+    t0 = std::chrono::steady_clock::now();
+    for (const auto ip : queries) {
+      const int* v = ref.lookup(ip);
+      s += v ? static_cast<std::uint64_t>(*v) : 0xdead;
+    }
+    out.reference_per_sec =
+        std::max(out.reference_per_sec, n_lookups / wall_seconds(t0));
+    sum_ref = s;
+  }
+
+  if (sum_idx != sum_ref) {
+    std::fprintf(stderr, "FATAL: LPM differential mismatch\n");
+    std::abort();
+  }
+  return out;
+}
+
+// Session table: churn (find_or_create + find + erase) and the aging sweep
+// with a large live table — the two patterns the flat layout and the TTL
+// wheel target.
+struct SessionResult {
+  double churn_ops_per_sec = 0;
+  double age_sweeps_per_sec = 0;
+};
+
+SessionResult bench_session_table(std::size_t n_keys) {
+  common::Rng rng(0x5e55);
+  std::vector<flow::SessionKey> keys;
+  keys.reserve(n_keys);
+  for (std::size_t i = 0; i < n_keys; ++i) {
+    keys.push_back(flow::SessionKey::from_packet(
+        static_cast<std::uint32_t>(rng.uniform_u64(1, 8)), random_tuple(rng)));
+  }
+
+  SessionResult out;
+  flow::SessionTable table{flow::SessionTableConfig{}};
+  std::uint64_t ops = 0;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int round = 0; round < 3; ++round) {
+    for (const auto& k : keys) {
+      auto* e = table.find_or_create(k, 0);
+      e->state.last_active = common::seconds(1);
+      ++ops;
+    }
+    for (const auto& k : keys) {
+      ops += table.find(k) != nullptr;
+    }
+    for (std::size_t i = 0; i < keys.size(); i += 2) {
+      table.erase(keys[i]);
+      ++ops;
+    }
+  }
+  out.churn_ops_per_sec = static_cast<double>(ops) / wall_seconds(t0);
+
+  // Aging: a full table where nothing is expired — the common steady-state
+  // sweep. The pre-overhaul table rescans every entry per sweep.
+  flow::SessionTable aged{flow::SessionTableConfig{}};
+  for (const auto& k : keys) {
+    auto* e = aged.find_or_create(k, 0);
+    e->state.last_active = 0;
+  }
+  constexpr int kSweeps = 200;
+  t0 = std::chrono::steady_clock::now();
+  std::size_t removed = 0;
+  for (int s = 0; s < kSweeps; ++s) {
+    removed += aged.age_out(common::seconds(1));  // established TTL is 8s
+  }
+  out.age_sweeps_per_sec = kSweeps / wall_seconds(t0);
+  if (removed != 0) {
+    std::fprintf(stderr, "FATAL: aging bench evicted live entries\n");
+    std::abort();
+  }
+  return out;
+}
+
+double bench_event_loop(int n_events) {
+  common::Rng rng(0xeeee);
+  sim::EventLoop loop;
+  std::vector<sim::EventId> ids;
+  ids.reserve(static_cast<std::size_t>(n_events));
+  std::uint64_t fired = 0;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < n_events; ++i) {
+    ids.push_back(loop.schedule_at(
+        static_cast<common::TimePoint>(rng.uniform_u64(0, 10'000'000)),
+        [&fired]() { ++fired; }));
+  }
+  int cancels = 0;
+  for (int i = 0; i < n_events; ++i) {
+    if (rng.chance(0.3)) {
+      loop.cancel(ids[static_cast<std::size_t>(i)]);
+      ++cancels;
+    }
+  }
+  loop.run();
+  const double elapsed = wall_seconds(t0);
+  const double total_ops =
+      static_cast<double>(n_events) + cancels + static_cast<double>(fired);
+  return total_ops / elapsed;
+}
+
+// End-to-end: the standard testbed topology under a connection-heavy
+// workload with production-sized tenant ACLs — every new flow runs the
+// slow-path chain, every packet touches the session table, every hop is an
+// event. Reported as simulated packets delivered per wall-clock second.
+struct E2eResult {
+  double pkts_per_wall_sec = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t completed_conns = 0;
+};
+
+E2eResult bench_e2e() {
+  core::TestbedConfig cfg;
+  cfg.num_vswitches = 8;
+  cfg.vswitch.cost = tables::CostModel::production();
+  cfg.controller.auto_offload = false;
+  cfg.controller.auto_scale = false;
+  core::Testbed bed(cfg);
+
+  constexpr std::uint32_t kVpc = 7;
+  constexpr tables::VnicId kServer = 100;
+  vswitch::VnicConfig server;
+  server.id = kServer;
+  server.addr = tables::OverlayAddr{kVpc, net::Ipv4Addr(10, 0, 0, 100)};
+  bed.add_vnic(0, server);
+  // Production-sized tenant ACL on the server vNIC.
+  common::Rng rng(0xe2e);
+  auto& server_acl = bed.vswitch(0).vnic(kServer)->rules()->acl();
+  for (int i = 0; i < 1000; ++i) {
+    tables::AclRule r = random_rule(rng);
+    r.priority += 10;  // keep priority 0 free for the allow rule below
+    r.verdict = flow::Verdict::kDrop;
+    // Scope the random rules into address space the workload never uses so
+    // the chain cost is realistic but the traffic still flows.
+    r.src.addr = net::Ipv4Addr(172, 16, static_cast<std::uint8_t>(i % 200),
+                               1);
+    r.src.length = 30;
+    server_acl.add_rule(r);
+  }
+  bed.vswitch(0).vnic(kServer)->rules()->commit_update();
+
+  std::vector<std::unique_ptr<workload::CpsWorkload>> clients;
+  for (int c = 0; c < 2; ++c) {
+    vswitch::VnicConfig client;
+    client.id = static_cast<tables::VnicId>(c + 1);
+    client.addr = tables::OverlayAddr{
+        kVpc, net::Ipv4Addr(10, 0, 1, static_cast<std::uint8_t>(c + 1))};
+    const std::size_t client_switch = 1 + static_cast<std::size_t>(c);
+    bed.add_vnic(client_switch, client);
+    workload::CpsWorkloadConfig w;
+    w.concurrency = 128;  // closed loop: ride at capacity
+    w.seed = 300 + static_cast<std::uint64_t>(c);
+    clients.push_back(std::make_unique<workload::CpsWorkload>(
+        bed, client_switch, client.id, 0, kServer, w));
+  }
+  for (std::size_t i = 0; i < bed.size(); ++i) bed.vswitch(i).start_aging();
+
+  for (auto& c : clients) c->start();
+  const auto t0 = std::chrono::steady_clock::now();
+  bed.run_for(common::seconds(4));
+  const double elapsed = wall_seconds(t0);
+  for (auto& c : clients) c->stop();
+
+  E2eResult out;
+  out.delivered = bed.network().delivered();
+  for (auto& c : clients) out.completed_conns += c->completed();
+  out.pkts_per_wall_sec = static_cast<double>(out.delivered) / elapsed;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner(
+      "Engine hot paths — simulator performance trajectory",
+      "slab event loop, flat session table, indexed ACL/LPM vs the "
+      "pre-overhaul reference structures");
+
+  const AclResult acl = bench_acl(/*n_rules=*/1000, /*n_lookups=*/100000);
+  const LpmResult lpm = bench_lpm(/*n_prefixes=*/20000, /*n_lookups=*/500000);
+  const SessionResult sess = bench_session_table(/*n_keys=*/100000);
+  const double loop_ops = bench_event_loop(/*n_events=*/500000);
+  const E2eResult e2e = bench_e2e();
+
+  const double acl_speedup = acl.indexed_per_sec / acl.reference_per_sec;
+  const double lpm_speedup = lpm.indexed_per_sec / lpm.reference_per_sec;
+
+  benchutil::Table t({"hot path", "ops/sec", "reference", "speedup"});
+  t.add_row({"ACL lookup (1k rules)", benchutil::fmt_si(acl.indexed_per_sec),
+             benchutil::fmt_si(acl.reference_per_sec),
+             benchutil::fmt(acl_speedup, 2) + "x"});
+  t.add_row({"LPM lookup (20k pfx)", benchutil::fmt_si(lpm.indexed_per_sec),
+             benchutil::fmt_si(lpm.reference_per_sec),
+             benchutil::fmt(lpm_speedup, 2) + "x"});
+  t.add_row({"session churn", benchutil::fmt_si(sess.churn_ops_per_sec), "-",
+             "-"});
+  t.add_row({"age sweep (100k live)",
+             benchutil::fmt_si(sess.age_sweeps_per_sec) + "/s", "-", "-"});
+  t.add_row({"event loop", benchutil::fmt_si(loop_ops), "-", "-"});
+  t.print();
+
+  std::printf("\n  End-to-end testbed run: %llu simulated packets, "
+              "%s pkts/sec wall-clock (%llu connections)\n",
+              static_cast<unsigned long long>(e2e.delivered),
+              benchutil::fmt_si(e2e.pkts_per_wall_sec).c_str(),
+              static_cast<unsigned long long>(e2e.completed_conns));
+  if (kPreChangeE2ePktsPerSec > 0) {
+    std::printf("  Pre-change baseline: %s pkts/sec → %.2fx\n",
+                benchutil::fmt_si(kPreChangeE2ePktsPerSec).c_str(),
+                e2e.pkts_per_wall_sec / kPreChangeE2ePktsPerSec);
+    benchutil::verdict(e2e.pkts_per_wall_sec >= 2 * kPreChangeE2ePktsPerSec,
+                       "end-to-end throughput >= 2x pre-change baseline");
+  }
+  benchutil::verdict(acl_speedup >= 5.0,
+                     "ACL lookup >= 5x the linear scan at 1k rules");
+
+  std::FILE* json = std::fopen("BENCH_engine.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_engine.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"schema\": \"nezha-bench-engine-v1\",\n"
+               "  \"structures\": {\n"
+               "    \"acl_lookup\": {\"ops_per_sec\": %.0f, "
+               "\"reference_ops_per_sec\": %.0f, \"speedup\": %.3f},\n"
+               "    \"lpm_lookup\": {\"ops_per_sec\": %.0f, "
+               "\"reference_ops_per_sec\": %.0f, \"speedup\": %.3f},\n"
+               "    \"session_table\": {\"churn_ops_per_sec\": %.0f, "
+               "\"age_sweeps_per_sec\": %.1f},\n"
+               "    \"event_loop\": {\"ops_per_sec\": %.0f}\n"
+               "  },\n"
+               "  \"end_to_end\": {\n"
+               "    \"pkts_per_sec_wallclock\": %.0f,\n"
+               "    \"simulated_packets\": %llu,\n"
+               "    \"completed_connections\": %llu,\n"
+               "    \"pre_change_baseline_pkts_per_sec\": %.0f,\n"
+               "    \"speedup_vs_baseline\": %.3f\n"
+               "  }\n"
+               "}\n",
+               acl.indexed_per_sec, acl.reference_per_sec, acl_speedup,
+               lpm.indexed_per_sec, lpm.reference_per_sec, lpm_speedup,
+               sess.churn_ops_per_sec, sess.age_sweeps_per_sec, loop_ops,
+               e2e.pkts_per_wall_sec,
+               static_cast<unsigned long long>(e2e.delivered),
+               static_cast<unsigned long long>(e2e.completed_conns),
+               kPreChangeE2ePktsPerSec,
+               kPreChangeE2ePktsPerSec > 0
+                   ? e2e.pkts_per_wall_sec / kPreChangeE2ePktsPerSec
+                   : 0.0);
+  std::fclose(json);
+  std::printf("\n  Wrote BENCH_engine.json\n");
+  (void)kPreChangeAclLookupsPerSec;
+  return 0;
+}

@@ -43,10 +43,8 @@ int main() {
   // Steady traffic: 200 flows × 100 pps = 20K pps toward the server.
   constexpr int kFlows = 200;
   constexpr double kPps = 100.0;
-  auto pump = std::make_shared<std::function<void()>>();
   std::uint64_t sent = 0;
-  *pump = [&bed, &sent, pump]() {
-    if (bed.loop().now() > common::seconds(16)) return;
+  auto send_burst = [&bed, &sent]() {
     for (int f = 0; f < kFlows; ++f) {
       net::FiveTuple ft{net::Ipv4Addr(10, 0, 1, 1),
                         net::Ipv4Addr(10, 0, 0, 100),
@@ -55,10 +53,18 @@ int main() {
       bed.vswitch(12).from_vm(1, net::make_udp_packet(ft, 100, 7));
       ++sent;
     }
-    bed.loop().schedule_after(
-        static_cast<common::Duration>(common::kSecond / kPps), *pump);
   };
-  bed.loop().schedule_after(0, *pump);
+  send_burst();
+  auto pump_id = std::make_shared<sim::EventId>();
+  *pump_id = bed.loop().schedule_periodic(
+      static_cast<common::Duration>(common::kSecond / kPps),
+      [&bed, send_burst, pump_id]() {
+        if (bed.loop().now() > common::seconds(16)) {
+          bed.loop().cancel(*pump_id);
+          return;
+        }
+        send_burst();
+      });
   bed.run_for(common::seconds(2));
 
   // Crash one FE at t≈6s (not the client's host).

@@ -37,10 +37,8 @@ int main() {
   bed.monitor().start();
 
   // 100 flows at 50pps each = 5K pps of steady traffic.
-  auto pump = std::make_shared<std::function<void()>>();
   std::uint64_t sent = 0;
-  *pump = [&, pump]() {
-    if (bed.loop().now() > common::seconds(20)) return;
+  auto send_burst = [&]() {
     for (int f = 0; f < 100; ++f) {
       net::FiveTuple ft{client.addr.ip, server.addr.ip,
                         static_cast<std::uint16_t>(20000 + f), 80,
@@ -48,9 +46,17 @@ int main() {
       bed.vswitch(14).from_vm(1, net::make_udp_packet(ft, 64, kVpc));
       ++sent;
     }
-    bed.loop().schedule_after(common::milliseconds(20), *pump);
   };
-  bed.loop().schedule_after(0, *pump);
+  send_burst();
+  auto pump_id = std::make_shared<sim::EventId>();
+  *pump_id =
+      bed.loop().schedule_periodic(common::milliseconds(20), [&, pump_id]() {
+        if (bed.loop().now() > common::seconds(20)) {
+          bed.loop().cancel(*pump_id);
+          return;
+        }
+        send_burst();
+      });
   bed.run_for(common::seconds(2));
 
   auto fes = bed.controller().fe_nodes_of(server.id);

@@ -465,12 +465,7 @@ vswitch::VSwitch* Controller::home_of(tables::VnicId id) const {
 void Controller::start() {
   if (started_) return;
   started_ = true;
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, tick]() {
-    monitor_tick();
-    loop_.schedule_after(config_.monitor_period, *tick);
-  };
-  loop_.schedule_after(config_.monitor_period, *tick);
+  loop_.schedule_periodic(config_.monitor_period, [this]() { monitor_tick(); });
 }
 
 void Controller::monitor_tick() {

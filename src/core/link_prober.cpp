@@ -35,12 +35,7 @@ void LinkProber::unwatch(tables::VnicId vnic, sim::NodeId fe_node) {
 void LinkProber::start() {
   if (started_) return;
   started_ = true;
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, tick]() {
-    probe_all();
-    loop_.schedule_after(config_.probe_interval, *tick);
-  };
-  loop_.schedule_after(config_.probe_interval, *tick);
+  loop_.schedule_periodic(config_.probe_interval, [this]() { probe_all(); });
 }
 
 void LinkProber::probe_all() {

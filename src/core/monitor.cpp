@@ -19,12 +19,7 @@ void HealthMonitor::unwatch(sim::NodeId node) { targets_.erase(node); }
 void HealthMonitor::start() {
   if (started_) return;
   started_ = true;
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, tick]() {
-    probe_all();
-    loop_.schedule_after(config_.probe_interval, *tick);
-  };
-  loop_.schedule_after(config_.probe_interval, *tick);
+  loop_.schedule_periodic(config_.probe_interval, [this]() { probe_all(); });
 }
 
 void HealthMonitor::probe_all() {

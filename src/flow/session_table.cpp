@@ -1,5 +1,10 @@
 #include "src/flow/session_table.h"
 
+#include <algorithm>
+#include <utility>
+
+#include "src/net/five_tuple.h"
+
 namespace nezha::flow {
 
 bool SessionEntry::qos_admit(std::uint32_t kbps, std::size_t bits,
@@ -28,47 +33,177 @@ std::size_t compute_entry_bytes(const SessionTableConfig& config) {
   return n;
 }
 
+constexpr std::size_t kInitialIndexSize = 64;  // power of two
+
 }  // namespace
 
 SessionTable::SessionTable(SessionTableConfig config)
-    : config_(config), entry_bytes_(compute_entry_bytes(config)) {}
+    : config_(config), entry_bytes_(compute_entry_bytes(config)) {
+  // Stateless tables have one fixed TTL; stateful ones can shrink down to
+  // closed_ttl at any moment, so that is the conservative horizon.
+  min_ttl_ = config_.established_ttl;
+  if (config_.store_state) {
+    min_ttl_ = std::min({config_.established_ttl, config_.embryonic_ttl,
+                         config_.closed_ttl});
+  }
+  if (min_ttl_ < 1) min_ttl_ = 1;
+  wheel_width_ = min_ttl_;
+  index_.assign(kInitialIndexSize, Cell{});
+  index_mask_ = kInitialIndexSize - 1;
+}
+
+std::uint64_t SessionTable::hash_of(const SessionKey& key) {
+  return net::flow_hash(key.canonical_ft,
+                        0x9e3779b97f4a7c15ull ^ key.vpc_id);
+}
+
+std::uint32_t SessionTable::find_slot(const SessionKey& key,
+                                      std::uint64_t h) const {
+  for (std::size_t i = h & index_mask_;; i = (i + 1) & index_mask_) {
+    const Cell& cell = index_[i];
+    if (cell.slot == kEmpty) return kEmpty;
+    if (cell.slot == kTombstone) continue;
+    if (cell.hash == h && node_at(cell.slot).key == key) return cell.slot;
+  }
+}
+
+void SessionTable::index_insert(std::uint64_t h, std::uint32_t slot) {
+  for (std::size_t i = h & index_mask_;; i = (i + 1) & index_mask_) {
+    Cell& cell = index_[i];
+    if (cell.slot == kEmpty || cell.slot == kTombstone) {
+      if (cell.slot == kTombstone) --tombstones_;
+      cell = Cell{h, slot};
+      return;
+    }
+  }
+}
+
+void SessionTable::index_erase(const SessionKey& key, std::uint64_t h) {
+  for (std::size_t i = h & index_mask_;; i = (i + 1) & index_mask_) {
+    Cell& cell = index_[i];
+    if (cell.slot == kEmpty) return;  // not present
+    if (cell.slot != kTombstone && cell.hash == h &&
+        node_at(cell.slot).key == key) {
+      cell.slot = kTombstone;
+      ++tombstones_;
+      return;
+    }
+  }
+}
+
+void SessionTable::grow_index() {
+  const std::size_t new_size = index_.size() * 2;
+  index_.assign(new_size, Cell{});
+  index_mask_ = new_size - 1;
+  tombstones_ = 0;
+  for (const auto& chunk : chunks_) {
+    for (const Node& node : *chunk) {
+      if (node.live) {
+        const std::uint32_t slot = node.entry.table_slot;
+        index_insert(node.hash, slot);
+      }
+    }
+  }
+}
+
+void SessionTable::wheel_enqueue(std::uint32_t slot, std::int64_t bucket) {
+  Node& node = node_at(slot);
+  node.wheel_bucket = bucket;
+  ++node.wheel_seq;
+  wheel_[bucket].push_back(Ref{slot, node.gen, node.wheel_seq});
+}
+
+void SessionTable::free_node(std::uint32_t slot) {
+  Node& node = node_at(slot);
+  node.live = false;
+  node.entry = SessionEntry{};
+  ++node.gen;  // invalidates any wheel refs still pointing here
+  free_.push_back(slot);
+  --size_;
+}
 
 SessionEntry* SessionTable::find(const SessionKey& key) {
-  auto it = entries_.find(key);
-  return it == entries_.end() ? nullptr : &it->second;
+  const std::uint32_t slot = find_slot(key, hash_of(key));
+  return slot == kEmpty ? nullptr : &node_at(slot).entry;
 }
 
 const SessionEntry* SessionTable::find(const SessionKey& key) const {
-  auto it = entries_.find(key);
-  return it == entries_.end() ? nullptr : &it->second;
+  const std::uint32_t slot = find_slot(key, hash_of(key));
+  return slot == kEmpty ? nullptr : &node_at(slot).entry;
 }
 
 SessionEntry* SessionTable::find_or_create(const SessionKey& key,
                                            common::TimePoint now) {
-  if (auto it = entries_.find(key); it != entries_.end()) return &it->second;
+  const std::uint64_t h = hash_of(key);
+  if (const std::uint32_t slot = find_slot(key, h); slot != kEmpty) {
+    return &node_at(slot).entry;
+  }
   if (full()) {
     ++insert_failures_;
     return nullptr;
   }
-  auto [it, inserted] = entries_.emplace(key, SessionEntry{});
-  it->second.created_at = now;
-  it->second.state.last_active = now;
-  return &it->second;
+  // Keep (live + tombstone) load below 3/4 so probe chains stay short.
+  if ((size_ + tombstones_ + 1) * 4 > index_.size() * 3) grow_index();
+
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    if (chunks_.empty() || chunks_.back()->size() == kChunkSize) {
+      chunks_.push_back(std::make_unique<Chunk>());
+      chunks_.back()->reserve(kChunkSize);
+    }
+    chunks_.back()->emplace_back();
+    slot = static_cast<std::uint32_t>((chunks_.size() - 1) * kChunkSize +
+                                      chunks_.back()->size() - 1);
+  }
+  Node& node = node_at(slot);
+  node.key = key;
+  node.hash = h;
+  node.live = true;
+  node.entry.created_at = now;
+  node.entry.state.last_active = now;
+  node.entry.table_slot = slot;
+  index_insert(h, slot);
+  ++size_;
+  // Conservative first wheel visit: the entry's TTL may shrink to min_ttl_
+  // via direct state mutation before the first sweep sees it; the visit
+  // recomputes the exact deadline and re-queues.
+  wheel_enqueue(slot, bucket_of(now + min_ttl_));
+  return &node.entry;
 }
 
 bool SessionTable::erase(const SessionKey& key) {
-  return entries_.erase(key) > 0;
+  const std::uint64_t h = hash_of(key);
+  const std::uint32_t slot = find_slot(key, h);
+  if (slot == kEmpty) return false;
+  index_erase(key, h);
+  free_node(slot);
+  return true;
 }
 
-void SessionTable::clear() { entries_.clear(); }
+void SessionTable::clear() {
+  chunks_.clear();
+  free_.clear();
+  wheel_.clear();
+  index_.assign(kInitialIndexSize, Cell{});
+  index_mask_ = kInitialIndexSize - 1;
+  size_ = 0;
+  tombstones_ = 0;
+}
 
 void SessionTable::invalidate_pre_actions() {
   if (!config_.store_state) {
     // Pure flow cache: the whole entry is the pre-action.
-    entries_.clear();
+    clear();
     return;
   }
-  for (auto& [key, entry] : entries_) entry.pre_actions.reset();
+  for (auto& chunk : chunks_) {
+    for (Node& node : *chunk) {
+      if (node.live) node.entry.pre_actions.reset();
+    }
+  }
 }
 
 common::Duration SessionTable::ttl_of(const SessionEntry& entry) const {
@@ -81,19 +216,45 @@ common::Duration SessionTable::ttl_of(const SessionEntry& entry) const {
   return config_.established_ttl;
 }
 
+void SessionTable::touch(const SessionEntry* entry) {
+  const std::uint32_t slot = entry->table_slot;
+  Node& node = node_at(slot);
+  if (!node.live || &node.entry != entry) return;  // stale pointer
+  const std::int64_t b = bucket_of(deadline_of(node));
+  // Deadline extensions resolve lazily at the next visit; only a shrink
+  // needs an earlier queue position to stay exact across sweeps.
+  if (b < node.wheel_bucket) wheel_enqueue(slot, b);
+}
+
 std::size_t SessionTable::age_out(common::TimePoint now,
                                   const EvictFn& on_evict) {
   std::size_t removed = 0;
-  for (auto it = entries_.begin(); it != entries_.end();) {
-    const common::Duration idle = now - it->second.state.last_active;
-    if (idle >= ttl_of(it->second)) {
-      if (on_evict) on_evict(it->first, it->second);
-      it = entries_.erase(it);
-      ++removed;
-    } else {
-      ++it;
+  const std::int64_t now_bucket = bucket_of(now);
+  std::vector<std::pair<std::int64_t, std::uint32_t>> requeue;
+  auto it = wheel_.begin();
+  while (it != wheel_.end() && it->first <= now_bucket) {
+    for (const Ref& ref : it->second) {
+      if (ref.slot / kChunkSize >= chunks_.size()) continue;
+      Node& node = node_at(ref.slot);
+      if (!node.live || node.gen != ref.gen || node.wheel_seq != ref.seq) {
+        continue;  // erased, recycled, or superseded by a later enqueue
+      }
+      const common::TimePoint deadline = deadline_of(node);
+      if (deadline <= now) {
+        if (on_evict) on_evict(node.key, node.entry);
+        index_erase(node.key, node.hash);
+        free_node(ref.slot);
+        ++removed;
+      } else {
+        // Survivor: defer the re-queue so this drain loop's iterator stays
+        // valid; a same-bucket deadline (> now) lands back where it was and
+        // is simply revisited by the next sweep.
+        requeue.emplace_back(bucket_of(deadline), ref.slot);
+      }
     }
+    it = wheel_.erase(it);
   }
+  for (const auto& [bucket, slot] : requeue) wheel_enqueue(slot, bucket);
   return removed;
 }
 

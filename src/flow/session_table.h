@@ -9,12 +9,29 @@
 // ≈ 48B, state 64B fixed allocation — O(100B) per full entry. A byte
 // capacity bounds the table; insertion fails when full, which is exactly the
 // #concurrent-flows bottleneck.
+//
+// Storage: entries live in fixed-size slab chunks (pointers returned by
+// find/find_or_create stay valid until the entry is erased), indexed by an
+// open-addressing probe table over a precomputed 64-bit flow hash — no
+// per-node allocation or pointer chasing on the lookup hot path.
+//
+// Aging: a lazy TTL wheel. Every entry is queued in the bucket of its
+// earliest *possible* deadline (TTLs are FSM-dependent, so that is
+// last_active + min TTL at creation); age_out drains only buckets at or
+// before `now`, recomputes each visited entry's exact deadline, and
+// re-queues survivors at that deadline's bucket. Evictions are therefore
+// exact while a sweep touches only expired candidates, not the whole table.
+// External code that mutates an entry's state directly should call touch()
+// afterwards so a TTL that *shrank* (e.g. FIN/RST → closed) re-queues the
+// entry earlier; refreshes that extend the deadline need no notification.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <memory>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "src/common/time.h"
 #include "src/flow/pre_actions.h"
@@ -30,6 +47,9 @@ struct SessionEntry {
   /// state — it never needs to leave the enforcing node).
   double qos_tokens_bits = 0;
   common::TimePoint qos_refilled_at = 0;
+  /// Slab slot backing this entry; maintained by SessionTable (lets
+  /// touch() reach the aging bookkeeping in O(1)).
+  std::uint32_t table_slot = 0;
 
   /// Charges `bits` against the rate limit; returns false (drop) when the
   /// bucket is empty. `kbps` == 0 means unlimited. Burst: one second's
@@ -56,8 +76,8 @@ class SessionTable {
   /// Per-entry footprint under this table's configuration.
   std::size_t entry_bytes() const { return entry_bytes_; }
 
-  std::size_t size() const { return entries_.size(); }
-  std::size_t memory_bytes() const { return entries_.size() * entry_bytes_; }
+  std::size_t size() const { return size_; }
+  std::size_t memory_bytes() const { return size_ * entry_bytes_; }
   std::size_t capacity_bytes() const { return config_.capacity_bytes; }
   bool full() const {
     return config_.capacity_bytes != 0 &&
@@ -83,6 +103,11 @@ class SessionTable {
   using EvictFn = std::function<void(const SessionKey&, const SessionEntry&)>;
   std::size_t age_out(common::TimePoint now, const EvictFn& on_evict = {});
 
+  /// Re-syncs the aging wheel after the entry's state was mutated in place
+  /// (the datapath calls this after state.observe()). Only needed when the
+  /// mutation may have *shrunk* the deadline; always safe to call.
+  void touch(const SessionEntry* entry);
+
   /// TTL applicable to an entry (embryonic sessions age fast, §7.3).
   common::Duration ttl_of(const SessionEntry& entry) const;
 
@@ -91,15 +116,80 @@ class SessionTable {
   const SessionTableConfig& config() const { return config_; }
 
   /// Iteration support for censuses (e.g. the Fig 15 state-size census).
+  /// Order is slab order (deterministic for a given operation sequence).
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& [key, entry] : entries_) fn(key, entry);
+    for (const auto& chunk : chunks_) {
+      for (const Node& node : *chunk) {
+        if (node.live) fn(node.key, node.entry);
+      }
+    }
   }
 
  private:
+  static constexpr std::size_t kChunkSize = 512;
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+  static constexpr std::uint32_t kTombstone = 0xfffffffeu;
+
+  struct Node {
+    SessionKey key;
+    std::uint64_t hash = 0;
+    SessionEntry entry;
+    std::uint32_t gen = 1;       // bumped on free; stale wheel refs skip
+    std::uint32_t wheel_seq = 0; // only the latest enqueue of a node is live
+    std::int64_t wheel_bucket = 0;
+    bool live = false;
+  };
+  using Chunk = std::vector<Node>;
+
+  /// Probe cell: cached hash for cheap rejection + slab slot (or sentinel).
+  struct Cell {
+    std::uint64_t hash = 0;
+    std::uint32_t slot = kEmpty;
+  };
+
+  /// Wheel reference; stale once the node's gen or wheel_seq moves on.
+  struct Ref {
+    std::uint32_t slot;
+    std::uint32_t gen;
+    std::uint32_t seq;
+  };
+
+  static std::uint64_t hash_of(const SessionKey& key);
+  Node& node_at(std::uint32_t slot) {
+    return (*chunks_[slot / kChunkSize])[slot % kChunkSize];
+  }
+  const Node& node_at(std::uint32_t slot) const {
+    return (*chunks_[slot / kChunkSize])[slot % kChunkSize];
+  }
+
+  std::uint32_t find_slot(const SessionKey& key, std::uint64_t h) const;
+  void index_insert(std::uint64_t h, std::uint32_t slot);
+  void index_erase(const SessionKey& key, std::uint64_t h);
+  void grow_index();
+
+  std::int64_t bucket_of(common::TimePoint deadline) const {
+    return deadline / wheel_width_;
+  }
+  common::TimePoint deadline_of(const Node& node) const {
+    return node.entry.state.last_active + ttl_of(node.entry);
+  }
+  void wheel_enqueue(std::uint32_t slot, std::int64_t bucket);
+  void free_node(std::uint32_t slot);
+
   SessionTableConfig config_;
   std::size_t entry_bytes_;
-  std::unordered_map<SessionKey, SessionEntry, SessionKeyHash> entries_;
+  /// Minimum TTL any entry can have — the conservative first-visit horizon.
+  common::Duration min_ttl_;
+  common::Duration wheel_width_;
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::vector<std::uint32_t> free_;
+  std::vector<Cell> index_;
+  std::size_t index_mask_ = 0;
+  std::size_t size_ = 0;
+  std::size_t tombstones_ = 0;
+  std::map<std::int64_t, std::vector<Ref>> wheel_;
   std::uint64_t insert_failures_ = 0;
 };
 

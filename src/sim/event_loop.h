@@ -3,12 +3,20 @@
 // Determinism: events at equal timestamps fire in schedule order (a
 // monotonically increasing sequence number breaks ties), so a run is a pure
 // function of its inputs and seed.
+//
+// Storage: callbacks live in a slab of reusable slots; the priority queue
+// holds only small POD references (time, seq, slot, generation). That keeps
+// heap sift operations cheap (no std::function moves through the heap),
+// makes cancel() an O(1) generation-checked flag flip — no tombstone set to
+// populate or leak — and gives every slot a stable identity for periodic
+// rescheduling. EventIds encode (generation << 32 | slot), so an id from a
+// fired or cancelled event can never alias a later event reusing the slot:
+// cancel-after-fire and double-cancel are structurally no-ops.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "src/common/time.h"
@@ -29,39 +37,68 @@ class EventLoop {
   /// Schedules cb after a relative delay (clamped to >= 0).
   EventId schedule_after(common::Duration delay, Callback cb);
 
-  /// Cancels a pending event; harmless if already fired or unknown.
+  /// Schedules cb every `period` (clamped to >= 1ns), first at now + period,
+  /// until cancelled. The returned id stays valid across firings — one
+  /// cancel() stops the whole series. Replaces the self-rescheduling
+  /// shared_ptr<function> pattern for monitor/aging ticks.
+  EventId schedule_periodic(common::Duration period, Callback cb);
+
+  /// Cancels a pending event (or a whole periodic series); O(1) and
+  /// harmless if already fired, already cancelled, or unknown.
   void cancel(EventId id);
 
   /// Runs events until the queue is empty.
   void run();
 
-  /// Runs events with timestamp <= t, then sets now to t.
+  /// Runs events with timestamp <= t, then sets now to t. Events later than
+  /// t stay queued — cancelled queue heads never cause overshoot.
   void run_until(common::TimePoint t);
 
   /// Runs exactly one event if any; returns false when the queue is empty.
   bool step();
 
-  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  /// Number of scheduled-and-not-yet-fired events (a periodic series counts
+  /// as one). Maintained as a live counter — cannot underflow.
+  std::size_t pending() const { return live_; }
 
  private:
-  struct Event {
-    common::TimePoint at;
-    EventId id;
+  struct Slot {
     Callback cb;
+    std::uint32_t gen = 1;        // bumped on free; stale ids never match
+    common::Duration period = -1; // >= 0 marks a periodic slot
+    bool armed = false;
+  };
+  /// POD heap entry; the slab keeps the callback.
+  struct QEntry {
+    common::TimePoint at;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const QEntry& a, const QEntry& b) const {
       if (a.at != b.at) return a.at > b.at;
-      return a.id > b.id;
+      return a.seq > b.seq;
     }
   };
+
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+
+  std::uint32_t alloc_slot();
+  void free_slot(std::uint32_t slot);
+  /// Pops cancelled/stale heads; afterwards the head (if any) is live.
+  void drop_dead_heads();
 
   bool fire_next();
 
   common::TimePoint now_ = 0;
-  EventId next_id_ = 1;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+  std::priority_queue<QEntry, std::vector<QEntry>, Later> queue_;
 };
 
 }  // namespace nezha::sim

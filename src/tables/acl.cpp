@@ -1,28 +1,76 @@
 #include "src/tables/acl.h"
 
 #include <algorithm>
+#include <numeric>
 
 namespace nezha::tables {
 
 void AclTable::add_rule(AclRule rule) {
-  auto pos = std::lower_bound(
-      rules_.begin(), rules_.end(), rule,
-      [](const AclRule& a, const AclRule& b) { return a.priority < b.priority; });
-  rules_.insert(pos, std::move(rule));
+  rules_.push_back(std::move(rule));
+  dirty_ = true;
 }
 
-void AclTable::clear() { rules_.clear(); }
+void AclTable::clear() {
+  rules_.clear();
+  for (auto& c : classes_) c.clear();
+  dirty_ = false;
+}
+
+std::size_t AclTable::proto_bin(net::IpProto proto) {
+  switch (proto) {
+    case net::IpProto::kIcmp: return 0;
+    case net::IpProto::kTcp: return 1;
+    case net::IpProto::kUdp: return 2;
+  }
+  return 3;  // future/unknown protocols share a bin
+}
+
+std::size_t AclTable::class_of(net::IpProto proto, flow::Direction dir) {
+  return proto_bin(proto) * 2 + (dir == flow::Direction::kRx ? 1 : 0);
+}
+
+void AclTable::rebuild() const {
+  for (auto& c : classes_) c.clear();
+  // Merge order: priority, then insertion order within equal priorities.
+  std::vector<std::size_t> order(rules_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return rules_[a].priority < rules_[b].priority;
+                   });
+  for (const std::size_t idx : order) {
+    const AclRule& r = rules_[idx];
+    const Compiled c{r.src.network(),     r.src.mask(),
+                     r.dst.network(),     r.dst.mask(),
+                     r.src_ports.lo,      r.src_ports.hi,
+                     r.dst_ports.lo,      r.dst_ports.hi,
+                     r.verdict};
+    const std::size_t pb_lo = r.proto ? proto_bin(*r.proto) : 0;
+    const std::size_t pb_hi = r.proto ? pb_lo : kNumClasses / 2 - 1;
+    for (std::size_t pb = pb_lo; pb <= pb_hi; ++pb) {
+      if (!r.direction || *r.direction == flow::Direction::kTx) {
+        classes_[pb * 2 + 0].push_back(c);
+      }
+      if (!r.direction || *r.direction == flow::Direction::kRx) {
+        classes_[pb * 2 + 1].push_back(c);
+      }
+    }
+  }
+  dirty_ = false;
+}
 
 flow::Verdict AclTable::lookup(const net::FiveTuple& ft,
                                flow::Direction dir) const {
-  for (const auto& rule : rules_) {
-    if (rule.direction && *rule.direction != dir) continue;
-    if (rule.proto && *rule.proto != ft.proto) continue;
-    if (!rule.src.contains(ft.src_ip)) continue;
-    if (!rule.dst.contains(ft.dst_ip)) continue;
-    if (!rule.src_ports.contains(ft.src_port)) continue;
-    if (!rule.dst_ports.contains(ft.dst_port)) continue;
-    return rule.verdict;
+  if (dirty_) rebuild();
+  const std::vector<Compiled>& cands = classes_[class_of(ft.proto, dir)];
+  const std::uint32_t src = ft.src_ip.value();
+  const std::uint32_t dst = ft.dst_ip.value();
+  for (const Compiled& c : cands) {
+    if ((src & c.src_mask) != c.src_net) continue;
+    if ((dst & c.dst_mask) != c.dst_net) continue;
+    if (ft.src_port < c.sp_lo || ft.src_port > c.sp_hi) continue;
+    if (ft.dst_port < c.dp_lo || ft.dst_port > c.dp_hi) continue;
+    return c.verdict;
   }
   return default_verdict_;
 }

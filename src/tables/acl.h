@@ -1,7 +1,21 @@
 // ACL rule table: priority-ordered 5-tuple rules with prefix and port-range
 // matching — the most expensive lookup in the slow-path chain (§2.2.2).
+//
+// Lookup is served from a tuple-space index: rules are partitioned by
+// (protocol, direction) into eight candidate classes, with wildcard-proto /
+// wildcard-direction rules replicated into every class they can match.
+// Each class is pre-merged in (priority, insertion order) at build time, so
+// a lookup scans one short, priority-sorted candidate list and exits on the
+// first hit — no cross-bucket merge at query time. Candidates are compiled
+// to packed (network, mask, port-bound) rows; the proto/direction tests are
+// already paid for by class selection. The index rebuilds lazily on the
+// first lookup after a mutation (rule churn is control-plane-rare, lookups
+// are per-packet).
+//
+// Equal-priority ties resolve in insertion order (first added wins).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -46,8 +60,28 @@ class AclTable {
   std::size_t memory_bytes() const { return rules_.size() * kRuleBytes; }
 
  private:
-  std::vector<AclRule> rules_;  // kept sorted by priority
+  /// A rule compiled for one candidate class: proto/direction are implied
+  /// by the class, prefixes are pre-expanded to network+mask.
+  struct Compiled {
+    std::uint32_t src_net;
+    std::uint32_t src_mask;
+    std::uint32_t dst_net;
+    std::uint32_t dst_mask;
+    std::uint16_t sp_lo, sp_hi;
+    std::uint16_t dp_lo, dp_hi;
+    flow::Verdict verdict;
+  };
+
+  static constexpr std::size_t kNumClasses = 8;  // 4 proto bins × 2 dirs
+  static std::size_t proto_bin(net::IpProto proto);
+  static std::size_t class_of(net::IpProto proto, flow::Direction dir);
+
+  void rebuild() const;
+
+  std::vector<AclRule> rules_;  // insertion order; index built lazily
   flow::Verdict default_verdict_;
+  mutable std::array<std::vector<Compiled>, kNumClasses> classes_;
+  mutable bool dirty_ = false;
 };
 
 }  // namespace nezha::tables

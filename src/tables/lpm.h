@@ -2,9 +2,13 @@
 //
 // Implementation: one exact-match hash map per prefix length, probed from
 // /32 down — simple, allocation-friendly, and plenty fast for simulation.
+// A 33-bit populated-length bitmask lets lookups probe only lengths that
+// actually hold prefixes (real tables cluster at a handful of lengths), so
+// the common case does a few probes instead of 33 empty-level checks.
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -23,26 +27,33 @@ class LpmTable {
                                                  std::move(value));
     (void)it;
     if (inserted) ++size_;
+    populated_ |= std::uint64_t{1} << prefix.length;
   }
 
   bool erase(Prefix prefix) {
-    const bool removed = levels_[prefix.length].erase(prefix.network()) > 0;
-    if (removed) --size_;
+    auto& level = levels_[prefix.length];
+    const bool removed = level.erase(prefix.network()) > 0;
+    if (removed) {
+      --size_;
+      if (level.empty()) populated_ &= ~(std::uint64_t{1} << prefix.length);
+    }
     return removed;
   }
 
   void clear() {
     for (auto& level : levels_) level.clear();
     size_ = 0;
+    populated_ = 0;
   }
 
   std::size_t size() const { return size_; }
 
   /// Longest-prefix match; nullptr when no prefix covers ip.
   const V* lookup(net::Ipv4Addr ip) const {
-    for (int len = 32; len >= 0; --len) {
+    for (std::uint64_t remaining = populated_; remaining != 0;) {
+      const int len = std::bit_width(remaining) - 1;  // longest first
+      remaining &= ~(std::uint64_t{1} << len);
       const auto& level = levels_[static_cast<std::size_t>(len)];
-      if (level.empty()) continue;
       const std::uint32_t mask = (len == 0) ? 0u : (~0u << (32 - len));
       auto it = level.find(ip.value() & mask);
       if (it != level.end()) return &it->second;
@@ -63,6 +74,8 @@ class LpmTable {
 
  private:
   std::array<std::unordered_map<std::uint32_t, V>, 33> levels_;
+  /// Bit L set ⇔ levels_[L] is non-empty.
+  std::uint64_t populated_ = 0;
   std::size_t size_ = 0;
 };
 

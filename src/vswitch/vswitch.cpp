@@ -334,8 +334,7 @@ void VSwitch::release_session_entry(const flow::SessionEntry& entry) {
 void VSwitch::start_aging() {
   if (aging_started_) return;
   aging_started_ = true;
-  auto sweep = std::make_shared<std::function<void()>>();
-  *sweep = [this, sweep]() {
+  loop_.schedule_periodic(config_.aging_period, [this]() {
     sessions_.age_out(loop_.now(),
                       [this](const flow::SessionKey&,
                              const flow::SessionEntry& e) {
@@ -348,9 +347,7 @@ void VSwitch::start_aging() {
                               session_pool_.release(kFeCacheEntryBytes);
                             });
     }
-    loop_.schedule_after(config_.aging_period, *sweep);
-  };
-  loop_.schedule_after(config_.aging_period, *sweep);
+  });
 }
 
 // ------------------------------------------------------------- TX entry
@@ -391,6 +388,7 @@ void VSwitch::local_tx(Vnic& v, net::Packet pkt) {
   entry->state.observe(flow::Direction::kTx, pkt.inner.tcp_flags,
                        pkt.inner.ft.proto == net::IpProto::kTcp,
                        pkt.inner.wire_size(), loop_.now());
+  sessions_.touch(entry);  // FIN/RST may have shrunk the aging deadline
   const flow::Verdict verdict =
       nf::finalize_action(flow::Direction::kTx, pre, entry->state);
   if (verdict == flow::Verdict::kDrop) {
@@ -467,6 +465,7 @@ void VSwitch::be_tx(Vnic& v, net::Packet pkt) {
   entry->state.observe(flow::Direction::kTx, pkt.inner.tcp_flags,
                        pkt.inner.ft.proto == net::IpProto::kTcp,
                        pkt.inner.wire_size(), loop_.now());
+  sessions_.touch(entry);
 
   net::CarrierHeader carrier;
   carrier.add(net::CarrierTlvType::kVnicId, encode_vnic_id(v.id()));
@@ -579,6 +578,7 @@ void VSwitch::local_rx(Vnic& v, net::Packet pkt) {
   entry->state.observe(flow::Direction::kRx, pkt.inner.tcp_flags,
                        pkt.inner.ft.proto == net::IpProto::kTcp,
                        pkt.inner.wire_size(), loop_.now());
+  sessions_.touch(entry);
   entry->state.stats_mode = pre.rx.stats_mode;
   if (stateful_decap_[v.id()] && entry->state.decap_src_ip.value() == 0) {
     entry->state.decap_src_ip = overlay_src;
@@ -636,6 +636,7 @@ void VSwitch::be_rx(Vnic& v, net::Packet pkt) {
   entry->state.observe(flow::Direction::kRx, pkt.inner.tcp_flags,
                        pkt.inner.ft.proto == net::IpProto::kTcp,
                        pkt.inner.wire_size(), loop_.now());
+  sessions_.touch(entry);
   entry->state.stats_mode = pre.value().rx.stats_mode;
   if (decap_tlv != nullptr && stateful_decap_[v.id()] &&
       entry->state.decap_src_ip.value() == 0) {

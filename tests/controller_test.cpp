@@ -89,25 +89,31 @@ class AutoControllerTest : public ::testing::Test {
     return cfg;
   }
 
+  void pump_hot_vnic(int flows_per_tick) {
+    for (int i = 0; i < flows_per_tick; ++i) {
+      net::FiveTuple ft{net::Ipv4Addr(10, 0, 0, 7), net::Ipv4Addr(10, 0, 0, 8),
+                        static_cast<std::uint16_t>(1024 + seq_ % 60000),
+                        static_cast<std::uint16_t>(80 + seq_ / 60000),
+                        net::IpProto::kTcp};
+      ++seq_;
+      bed_.vswitch(0).from_vm(
+          7, net::make_tcp_packet(ft, net::TcpFlags{.syn = true}, 0, kVpc));
+    }
+  }
+
   /// Drives the hot vNIC's TX slow path at `flows_per_tick` new flows per
   /// 10ms until `until`.
   void drive_load(int flows_per_tick, common::TimePoint until) {
-    auto pump = std::make_shared<std::function<void()>>();
-    *pump = [this, pump, flows_per_tick, until]() {
-      if (bed_.loop().now() > until) return;
-      for (int i = 0; i < flows_per_tick; ++i) {
-        net::FiveTuple ft{net::Ipv4Addr(10, 0, 0, 7),
-                          net::Ipv4Addr(10, 0, 0, 8),
-                          static_cast<std::uint16_t>(1024 + seq_ % 60000),
-                          static_cast<std::uint16_t>(80 + seq_ / 60000),
-                          net::IpProto::kTcp};
-        ++seq_;
-        bed_.vswitch(0).from_vm(
-            7, net::make_tcp_packet(ft, net::TcpFlags{.syn = true}, 0, kVpc));
-      }
-      bed_.loop().schedule_after(milliseconds(10), *pump);
-    };
-    bed_.loop().schedule_after(0, *pump);
+    pump_hot_vnic(flows_per_tick);
+    auto id = std::make_shared<sim::EventId>();
+    *id = bed_.loop().schedule_periodic(
+        milliseconds(10), [this, id, flows_per_tick, until]() {
+          if (bed_.loop().now() > until) {
+            bed_.loop().cancel(*id);
+            return;
+          }
+          pump_hot_vnic(flows_per_tick);
+        });
   }
 
   core::Testbed bed_;
@@ -148,9 +154,7 @@ TEST_F(AutoControllerTest, FallbackGuardRejectsBusyHome) {
   local.addr = OverlayAddr{kVpc, net::Ipv4Addr(10, 0, 0, 9)};
   ASSERT_TRUE(bed_.vswitch(0).add_vnic(local).ok());
   bed_.controller().register_vnic(&bed_.vswitch(0), local, false);
-  auto pump = std::make_shared<std::function<void()>>();
-  *pump = [this, pump]() {
-    if (bed_.loop().now() > seconds(30)) return;
+  auto pump_local = [this]() {
     for (int i = 0; i < 32; ++i) {
       net::FiveTuple ft{net::Ipv4Addr(10, 0, 0, 9), net::Ipv4Addr(10, 0, 0, 8),
                         static_cast<std::uint16_t>(2024 + seq_ % 60000), 81,
@@ -159,9 +163,17 @@ TEST_F(AutoControllerTest, FallbackGuardRejectsBusyHome) {
       bed_.vswitch(0).from_vm(
           9, net::make_tcp_packet(ft, net::TcpFlags{.syn = true}, 0, kVpc));
     }
-    bed_.loop().schedule_after(milliseconds(10), *pump);
   };
-  bed_.loop().schedule_after(0, *pump);
+  pump_local();
+  auto id = std::make_shared<sim::EventId>();
+  *id = bed_.loop().schedule_periodic(
+      milliseconds(10), [this, id, pump_local]() {
+        if (bed_.loop().now() > seconds(30)) {
+          bed_.loop().cancel(*id);
+          return;
+        }
+        pump_local();
+      });
   bed_.run_for(seconds(2));
   // Home utilization is far above the 40% safe level: fallback refused.
   EXPECT_FALSE(bed_.controller().trigger_fallback(7).ok());

@@ -6,8 +6,11 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
+#include <set>
 
 #include "src/common/rng.h"
+#include "src/core/testbed.h"
 #include "src/flow/session_table.h"
 #include "src/net/packet.h"
 #include "src/nf/stateful.h"
@@ -15,6 +18,7 @@
 #include "src/tables/acl.h"
 #include "src/tables/lpm.h"
 #include "src/vswitch/resources.h"
+#include "src/workload/cps_workload.h"
 
 namespace nezha {
 namespace {
@@ -395,6 +399,277 @@ TEST(EventLoopProperty, RandomScheduleCancelOrdering) {
   for (const auto& [t, idx] : fired) {
     EXPECT_FALSE(cancelled[static_cast<std::size_t>(idx)]);
   }
+}
+
+// ----------------------------------------- indexed-path differentials
+//
+// The ACL tuple-space index, the LPM populated-length bitmask, and the
+// session table's TTL wheel must be pure optimizations: same answers as the
+// straight-line reference evaluators, across mutation patterns that stress
+// the incremental machinery (lazy rebuild, bitmask maintenance, re-queueing
+// across multiple sweeps).
+
+tables::AclRule random_acl_rule(common::Rng& rng) {
+  tables::AclRule r;
+  r.priority = static_cast<std::uint32_t>(rng.uniform_u64(0, 40));
+  r.src = tables::Prefix{net::Ipv4Addr(static_cast<std::uint32_t>(rng.next())),
+                         static_cast<std::uint8_t>(rng.uniform_u64(0, 16))};
+  r.dst = tables::Prefix{net::Ipv4Addr(static_cast<std::uint32_t>(rng.next())),
+                         static_cast<std::uint8_t>(rng.uniform_u64(0, 16))};
+  const auto lo = static_cast<std::uint16_t>(rng.uniform_u64(0, 60000));
+  r.src_ports = tables::PortRange{
+      lo, static_cast<std::uint16_t>(lo + rng.uniform_u64(0, 8000))};
+  const auto dlo = static_cast<std::uint16_t>(rng.uniform_u64(0, 60000));
+  r.dst_ports = tables::PortRange{
+      dlo, static_cast<std::uint16_t>(dlo + rng.uniform_u64(0, 8000))};
+  switch (rng.uniform_u64(0, 3)) {
+    case 0: r.proto = net::IpProto::kTcp; break;
+    case 1: r.proto = net::IpProto::kUdp; break;
+    case 2: r.proto = net::IpProto::kIcmp; break;
+    default: break;  // wildcard
+  }
+  switch (rng.uniform_u64(0, 2)) {
+    case 0: r.direction = flow::Direction::kTx; break;
+    case 1: r.direction = flow::Direction::kRx; break;
+    default: break;  // both
+  }
+  r.verdict = rng.chance(0.5) ? flow::Verdict::kDrop : flow::Verdict::kAccept;
+  return r;
+}
+
+TEST(AclProperty, IndexedMatchesReferenceAcrossMutations) {
+  common::Rng rng = make_rng(20);
+  tables::AclTable acl(flow::Verdict::kAccept);
+  std::vector<tables::AclRule> rules;
+
+  // Reference: the pre-index semantics — scan in (priority, insertion)
+  // order, first match wins.
+  auto reference = [&](const net::FiveTuple& ft, flow::Direction dir) {
+    std::vector<const tables::AclRule*> sorted;
+    sorted.reserve(rules.size());
+    for (const auto& r : rules) sorted.push_back(&r);
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const tables::AclRule* a, const tables::AclRule* b) {
+                       return a->priority < b->priority;
+                     });
+    for (const auto* r : sorted) {
+      if (r->direction && *r->direction != dir) continue;
+      if (r->proto && *r->proto != ft.proto) continue;
+      if (!r->src.contains(ft.src_ip) || !r->dst.contains(ft.dst_ip)) continue;
+      if (!r->src_ports.contains(ft.src_port) ||
+          !r->dst_ports.contains(ft.dst_port)) {
+        continue;
+      }
+      return r->verdict;
+    }
+    return flow::Verdict::kAccept;
+  };
+  auto random_query_tuple = [&]() {
+    net::FiveTuple ft = random_tuple(rng);
+    if (rng.chance(0.2)) ft.proto = net::IpProto::kIcmp;
+    return ft;
+  };
+
+  // Interleave rule additions (and one clear) with query batches so the
+  // lazy rebuild is exercised on every dirty→clean edge.
+  for (int gen = 0; gen < 8; ++gen) {
+    if (gen == 4) {
+      acl.clear();
+      rules.clear();
+    }
+    const int batch = 30 + gen * 10;
+    for (int i = 0; i < batch; ++i) {
+      const tables::AclRule r = random_acl_rule(rng);
+      acl.add_rule(r);
+      rules.push_back(r);
+    }
+    for (int q = 0; q < 400; ++q) {
+      const net::FiveTuple ft = random_query_tuple();
+      const flow::Direction dir =
+          rng.chance(0.5) ? flow::Direction::kTx : flow::Direction::kRx;
+      ASSERT_EQ(acl.lookup(ft, dir), reference(ft, dir))
+          << "gen " << gen << " query " << q;
+    }
+  }
+}
+
+TEST(LpmProperty, EraseMaintainsPopulatedLengths) {
+  common::Rng rng = make_rng(21);
+  tables::LpmTable<int> lpm;
+  // Few distinct lengths so erasures routinely empty out a whole length —
+  // the populated-bitmask clear path.
+  const std::uint8_t lengths[] = {0, 8, 12, 24, 32};
+  std::map<std::pair<std::uint8_t, std::uint32_t>, int> reference;
+  std::vector<tables::Prefix> inserted;
+  int next_value = 0;
+  for (int op = 0; op < 2000; ++op) {
+    if (inserted.empty() || rng.chance(0.6)) {
+      tables::Prefix p{net::Ipv4Addr(static_cast<std::uint32_t>(rng.next())),
+                       lengths[rng.uniform_u64(0, 4)]};
+      lpm.insert(p, next_value);
+      reference[{p.length, p.network()}] = next_value;
+      inserted.push_back(p);
+      ++next_value;
+    } else {
+      const std::size_t idx = rng.uniform_u64(0, inserted.size() - 1);
+      const tables::Prefix p = inserted[idx];
+      inserted.erase(inserted.begin() + static_cast<long>(idx));
+      const bool present = reference.erase({p.length, p.network()}) > 0;
+      EXPECT_EQ(lpm.erase(p), present);
+    }
+    if (op % 50 != 0) continue;
+    for (int q = 0; q < 60; ++q) {
+      const net::Ipv4Addr ip(static_cast<std::uint32_t>(rng.next()));
+      const int* best = nullptr;
+      int best_len = -1;
+      for (const auto& [key, v] : reference) {
+        const tables::Prefix p{net::Ipv4Addr(key.second), key.first};
+        if (p.contains(ip) && key.first > best_len) {
+          best = &v;
+          best_len = key.first;
+        }
+      }
+      const int* got = lpm.lookup(ip);
+      if (best == nullptr) {
+        ASSERT_EQ(got, nullptr);
+      } else {
+        ASSERT_NE(got, nullptr);
+        ASSERT_EQ(*got, *best);
+      }
+    }
+  }
+  EXPECT_EQ(lpm.size(), reference.size());
+}
+
+TEST(SessionTableProperty, IncrementalAgingMatchesFullScanAcrossSweeps) {
+  common::Rng rng = make_rng(22);
+  flow::SessionTable table{flow::SessionTableConfig{
+      .established_ttl = common::seconds(8),
+      .embryonic_ttl = common::seconds(1),
+      .closed_ttl = common::milliseconds(100)}};
+  std::set<int> live;  // key index → alive in the model
+  std::vector<flow::SessionKey> keys;
+  for (int i = 0; i < 200; ++i) {
+    net::FiveTuple ft = random_tuple(rng);
+    ft.proto = net::IpProto::kTcp;
+    keys.push_back(flow::SessionKey::from_packet(1, ft));
+  }
+  common::TimePoint now = 0;
+  for (int round = 0; round < 60; ++round) {
+    now += static_cast<common::Duration>(
+        rng.uniform_u64(common::milliseconds(50), common::milliseconds(800)));
+    // Mutate a random subset through the datapath pattern: observe + touch.
+    for (int m = 0; m < 30; ++m) {
+      const int idx = static_cast<int>(rng.uniform_u64(0, keys.size() - 1));
+      auto* e = table.find_or_create(keys[static_cast<std::size_t>(idx)], now);
+      ASSERT_NE(e, nullptr);
+      live.insert(idx);
+      net::TcpFlags flags;
+      switch (rng.uniform_u64(0, 9)) {
+        case 0: flags.syn = true; break;
+        case 1: flags.rst = true; break;        // TTL shrinks to closed_ttl
+        case 2: flags.fin = true; flags.ack = true; break;
+        default: flags.ack = true; break;
+      }
+      e->state.observe(rng.chance(0.5) ? flow::Direction::kTx
+                                       : flow::Direction::kRx,
+                       flags, true, 64, now);
+      table.touch(e);
+    }
+    if (rng.chance(0.15) && !live.empty()) {
+      const int victim = *live.begin();
+      EXPECT_TRUE(table.erase(keys[static_cast<std::size_t>(victim)]));
+      live.erase(victim);
+    }
+    // Full-scan oracle evaluated just before the sweep: exactly the entries
+    // whose idle time passed their FSM-dependent TTL must go.
+    std::set<int> expected_gone;
+    for (const int idx : live) {
+      const auto* e = table.find(keys[static_cast<std::size_t>(idx)]);
+      ASSERT_NE(e, nullptr);
+      if (now - e->state.last_active >= table.ttl_of(*e)) {
+        expected_gone.insert(idx);
+      }
+    }
+    std::size_t evict_cb_count = 0;
+    const std::size_t removed = table.age_out(
+        now, [&](const flow::SessionKey&, const flow::SessionEntry&) {
+          ++evict_cb_count;
+        });
+    EXPECT_EQ(removed, expected_gone.size()) << "round " << round;
+    EXPECT_EQ(evict_cb_count, removed);
+    for (const int idx : expected_gone) {
+      EXPECT_EQ(table.find(keys[static_cast<std::size_t>(idx)]), nullptr);
+      live.erase(idx);
+    }
+    for (const int idx : live) {
+      EXPECT_NE(table.find(keys[static_cast<std::size_t>(idx)]), nullptr);
+    }
+    EXPECT_EQ(table.size(), live.size());
+  }
+}
+
+// ----------------------------------------------------------- determinism
+
+struct MiniRunStats {
+  std::uint64_t delivered = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t attempted = 0;
+  std::size_t sessions = 0;
+  bool operator==(const MiniRunStats&) const = default;
+};
+
+// End-to-end closed-loop run on the standard testbed; everything in the
+// result is a pure function of the seed. This is the guard that the slab
+// event loop, TTL-wheel aging, and indexed tables did not perturb
+// simulation outcomes — only wall-clock speed.
+MiniRunStats run_mini_testbed(std::uint64_t seed, int concurrency = 16) {
+  core::TestbedConfig cfg;
+  cfg.num_vswitches = 3;
+  cfg.controller.auto_offload = false;
+  cfg.controller.auto_scale = false;
+  core::Testbed bed(cfg);
+
+  constexpr std::uint32_t kVpc = 3;
+  constexpr tables::VnicId kServer = 50;
+  vswitch::VnicConfig server;
+  server.id = kServer;
+  server.addr = tables::OverlayAddr{kVpc, net::Ipv4Addr(10, 0, 0, 50)};
+  bed.add_vnic(0, server);
+
+  vswitch::VnicConfig client;
+  client.id = 1;
+  client.addr = tables::OverlayAddr{kVpc, net::Ipv4Addr(10, 0, 1, 1)};
+  bed.add_vnic(1, client);
+
+  workload::CpsWorkloadConfig w;
+  w.concurrency = concurrency;
+  w.seed = seed;
+  workload::CpsWorkload cps(bed, 1, client.id, 0, kServer, w);
+  for (std::size_t i = 0; i < bed.size(); ++i) bed.vswitch(i).start_aging();
+  cps.start();
+  bed.run_for(common::milliseconds(400));
+  cps.stop();
+
+  MiniRunStats out;
+  out.delivered = bed.network().delivered();
+  out.completed = cps.completed();
+  out.attempted = cps.attempted();
+  out.sessions = bed.vswitch(0).sessions().size();
+  return out;
+}
+
+TEST(DeterminismProperty, SameSeedIdenticalEndToEndStats) {
+  const MiniRunStats a = run_mini_testbed(77);
+  const MiniRunStats b = run_mini_testbed(77);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.delivered, 0u);
+  EXPECT_GT(a.completed, 0u);
+  // Non-vacuity: the run actually responds to its inputs (a capacity-
+  // limited closed loop can coincide across nearby seeds, so vary the
+  // offered load instead).
+  const MiniRunStats c = run_mini_testbed(77, 8);
+  EXPECT_FALSE(a == c);
 }
 
 // ------------------------------------------------------ pre-action codec

@@ -81,6 +81,112 @@ TEST(EventLoopTest, PastSchedulingClampsToNow) {
   EXPECT_EQ(fired_at, 100);
 }
 
+// Regression: a cancelled event at the queue head with at <= t used to make
+// run_until(t) fire the *next* live event even when its timestamp was > t.
+TEST(EventLoopTest, RunUntilDoesNotOvershootPastCancelledHead) {
+  EventLoop loop;
+  bool late_fired = false;
+  EventId head = loop.schedule_at(10, [] {});
+  loop.schedule_at(100, [&] { late_fired = true; });
+  loop.cancel(head);
+  loop.run_until(50);
+  EXPECT_FALSE(late_fired);
+  EXPECT_EQ(loop.now(), 50);
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.run();
+  EXPECT_TRUE(late_fired);
+  EXPECT_EQ(loop.now(), 100);
+}
+
+// Regression: cancel-after-fire used to leave a permanent tombstone that made
+// pending() = queue.size() - cancelled.size() underflow in size_t.
+TEST(EventLoopTest, CancelAfterFireIsANoOp) {
+  EventLoop loop;
+  int fired = 0;
+  EventId id = loop.schedule_at(10, [&] { ++fired; });
+  loop.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.pending(), 0u);
+  loop.cancel(id);  // already fired: must not poison accounting
+  EXPECT_EQ(loop.pending(), 0u);
+  loop.schedule_at(20, [&] { ++fired; });
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventLoopTest, DoubleCancelCountsOnce) {
+  EventLoop loop;
+  bool fired = false;
+  EventId id = loop.schedule_at(10, [&] { fired = true; });
+  loop.schedule_at(20, [] {});
+  loop.cancel(id);
+  loop.cancel(id);  // second cancel must not decrement pending again
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+// A fired/cancelled id must never alias a later event that reuses its slot.
+TEST(EventLoopTest, StaleIdDoesNotCancelRecycledSlot) {
+  EventLoop loop;
+  EventId first = loop.schedule_at(10, [] {});
+  loop.run();
+  bool fired = false;
+  loop.schedule_at(20, [&] { fired = true; });  // recycles first's slot
+  loop.cancel(first);                           // stale generation: no-op
+  loop.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventLoopTest, PeriodicFiresAtFixedCadenceUntilCancelled) {
+  EventLoop loop;
+  std::vector<TimePoint> fires;
+  EventId id = loop.schedule_periodic(10, [&] { fires.push_back(loop.now()); });
+  EXPECT_EQ(loop.pending(), 1u);  // a series counts as one pending event
+  loop.run_until(35);
+  EXPECT_EQ(fires, (std::vector<TimePoint>{10, 20, 30}));
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.cancel(id);
+  EXPECT_EQ(loop.pending(), 0u);
+  loop.run();
+  EXPECT_EQ(fires.size(), 3u);
+}
+
+TEST(EventLoopTest, PeriodicCanCancelItselfFromCallback) {
+  EventLoop loop;
+  int fires = 0;
+  EventId id = 0;
+  id = loop.schedule_periodic(5, [&] {
+    if (++fires == 3) loop.cancel(id);
+  });
+  loop.run();
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(loop.now(), 15);
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+// The next periodic tick is sequenced after events its own callback
+// scheduled at the same timestamp — matching the legacy self-rescheduling
+// pattern, so converted call sites keep identical event order.
+TEST(EventLoopTest, PeriodicTickOrdersAfterCallbackScheduledEvents) {
+  EventLoop loop;
+  std::vector<int> order;
+  EventId id = 0;
+  int ticks = 0;
+  id = loop.schedule_periodic(10, [&] {
+    order.push_back(1);
+    loop.schedule_after(10, [&] { order.push_back(2); });
+    if (++ticks == 2) loop.cancel(id);
+  });
+  loop.run();
+  // t=10: tick. t=20: tick fired events interleave — the callback-scheduled
+  // event (seq minted first) precedes the second tick.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2}));
+}
+
 TEST(TopologyTest, TierClassification) {
   Topology topo(TopologyConfig{.servers_per_tor = 4, .tors_per_agg = 2});
   EXPECT_EQ(topo.hop_tier(0, 0), 0);
