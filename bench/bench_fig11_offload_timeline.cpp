@@ -12,12 +12,16 @@
 
 using namespace nezha;
 
-int main() {
-  benchutil::banner("Figure 11 — CPU utilization during offloading/scaling",
+int main(int argc, char** argv) {
+  const bool clos = benchutil::has_flag(argc, argv, "--clos");
+  benchutil::banner(std::string("Figure 11 — CPU utilization during "
+                                "offloading/scaling") +
+                        (clos ? " [Clos fabric]" : " [single rack]"),
                     "BE: ramps to 70% → drops to ~10% on offload; FEs "
                     "scale out 4→8 when avg FE CPU > 40%");
 
   core::TestbedConfig cfg;
+  if (clos) cfg = core::make_clos_testbed_config(40, /*hosts_per_leaf=*/8);
   cfg.num_vswitches = 40;
   cfg.vswitch.cpu.cores = 2;
   cfg.vswitch.cpu.hz_per_core = 0.25e9;

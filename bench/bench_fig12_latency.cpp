@@ -23,8 +23,11 @@ constexpr tables::VnicId kServer = 100;
 constexpr int kClientSwitches = 4;
 constexpr int kFlowsPerClient = 16;
 
+bool g_clos = false;
+
 core::TestbedConfig testbed_config() {
   core::TestbedConfig cfg;
+  if (g_clos) cfg = core::make_clos_testbed_config(16, /*hosts_per_leaf=*/4);
   cfg.num_vswitches = 16;
   cfg.vswitch.cpu.cores = 2;
   cfg.vswitch.cpu.hz_per_core = 0.25e9;
@@ -148,8 +151,11 @@ RunResult run(double utilization, bool with_nezha) {
 
 }  // namespace
 
-int main() {
-  benchutil::banner("Figure 12 — end-to-end latency with/without Nezha",
+int main(int argc, char** argv) {
+  g_clos = benchutil::has_flag(argc, argv, "--clos");
+  benchutil::banner(std::string("Figure 12 — end-to-end latency "
+                                "with/without Nezha") +
+                        (g_clos ? " [Clos fabric]" : " [single rack]"),
                     "equal below 70%; +<10µs with Nezha at ~80%; without "
                     "Nezha latency explodes past ~90%");
 
@@ -189,8 +195,15 @@ int main() {
               benchutil::fmt_pct(without_overload_delivery).c_str(),
               with_overload_lat,
               benchutil::fmt_pct(with_overload_delivery).c_str());
-  benchutil::verdict(mid_delta > 0 && mid_delta < 25,
-                     "extra hop costs on the order of 10us");
+  if (g_clos) {
+    // On Clos the baseline path already crosses the spine, so the FE detour
+    // adds little or nothing on top — only boundedness is meaningful.
+    benchutil::verdict(mid_delta > -10 && mid_delta < 50,
+                       "offload detour stays bounded on the Clos fabric");
+  } else {
+    benchutil::verdict(mid_delta > 0 && mid_delta < 25,
+                       "extra hop costs on the order of 10us");
+  }
   benchutil::verdict((without_overload_lat > 5 * with_overload_lat ||
                       without_overload_delivery < 0.9) &&
                          with_overload_delivery > 0.99,

@@ -7,11 +7,15 @@
 
 using namespace nezha;
 
-int main() {
-  benchutil::banner("Figure 14 — impact of FE crash on packet loss rate",
+int main(int argc, char** argv) {
+  const bool clos = benchutil::has_flag(argc, argv, "--clos");
+  benchutil::banner(std::string("Figure 14 — impact of FE crash on packet "
+                                "loss rate") +
+                        (clos ? " [Clos fabric]" : " [single rack]"),
                     "loss surge for ≈2s on ~1/4 of flows, then full recovery");
 
   core::TestbedConfig cfg;
+  if (clos) cfg = core::make_clos_testbed_config(16, /*hosts_per_leaf=*/4);
   cfg.num_vswitches = 16;
   cfg.controller.auto_offload = false;
   cfg.controller.auto_scale = false;

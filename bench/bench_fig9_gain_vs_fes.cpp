@@ -19,8 +19,11 @@ constexpr std::uint32_t kVpc = 7;
 constexpr tables::VnicId kServer = 100;
 constexpr int kClients = 4;
 
+bool g_clos = false;
+
 core::TestbedConfig testbed_config() {
   core::TestbedConfig cfg;
+  if (g_clos) cfg = core::make_clos_testbed_config(40, /*hosts_per_leaf=*/8);
   cfg.num_vswitches = 40;
   // Scaled-down SmartNIC: the shape (gain vs #FEs) is invariant to the
   // absolute CPU scale; this keeps the simulation fast.
@@ -94,8 +97,10 @@ double measure_cps(std::size_t num_fes) {
 
 }  // namespace
 
-int main() {
-  benchutil::banner("Figure 9 — performance gain vs #FEs",
+int main(int argc, char** argv) {
+  g_clos = benchutil::has_flag(argc, argv, "--clos");
+  benchutil::banner(std::string("Figure 9 — performance gain vs #FEs") +
+                        (g_clos ? " [Clos fabric]" : " [single rack]"),
                     "CPS plateaus ≈3.3x above 4 FEs (VM-bound); #flows "
                     "plateaus ≈3.8x; #vNICs ∝ #FEs");
 

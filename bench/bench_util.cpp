@@ -74,4 +74,11 @@ void verdict(bool ok, const std::string& claim) {
   std::printf("  [%s] %s\n", ok ? "SHAPE OK" : "CHECK", claim.c_str());
 }
 
+bool has_flag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
 }  // namespace nezha::benchutil

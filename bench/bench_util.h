@@ -34,4 +34,9 @@ std::string fmt_pct(double fraction, int precision = 1);
 /// Prints "  [SHAPE OK] <claim>" or "  [CHECK] <claim>" based on ok.
 void verdict(bool ok, const std::string& claim);
 
+/// True when `flag` (e.g. "--clos") appears among the program arguments.
+/// The per-figure benches use this to switch the testbed from the default
+/// single-rack tiered topology onto the 2-tier Clos fabric.
+bool has_flag(int argc, char** argv, const std::string& flag);
+
 }  // namespace nezha::benchutil

@@ -44,9 +44,15 @@ void Controller::publish_placement(const VnicRecord& rec) {
   if (rec.offloaded && !rec.fe_nodes.empty()) {
     for (sim::NodeId n : rec.fe_nodes) {
       auto it = fleet_index_.find(n);
-      if (it != fleet_index_.end()) {
-        locations.push_back(fleet_[it->second].vs->location());
-      }
+      if (it == fleet_index_.end()) continue;
+      // Publish only FEs whose instance install has completed. fe_nodes may
+      // list FEs still being configured (a crash can force a republish in
+      // the middle of a scale-out); advertising those would blackhole the
+      // share of traffic hashed to them. The scale-out's own apply event
+      // republishes the full list once the installs land.
+      vswitch::VSwitch* vs = fleet_[it->second].vs;
+      if (vs->frontend(rec.config.id) == nullptr) continue;
+      locations.push_back(vs->location());
     }
   }
   if (locations.empty()) locations.push_back(rec.home->location());
@@ -354,9 +360,12 @@ void Controller::handle_fe_crash(sim::NodeId node) {
     std::vector<tables::Location> locations;
     for (sim::NodeId n : rec.fe_nodes) {
       auto fit = fleet_index_.find(n);
-      if (fit != fleet_index_.end()) {
-        locations.push_back(fleet_[fit->second].vs->location());
-      }
+      if (fit == fleet_index_.end()) continue;
+      // Same filter as publish_placement: an FE from an in-flight scale-out
+      // has no instance yet and must not receive sprayed traffic.
+      vswitch::VSwitch* vs = fleet_[fit->second].vs;
+      if (vs->frontend(id) == nullptr) continue;
+      locations.push_back(vs->location());
     }
     home->update_fe_locations(id, locations);
     publish_placement(rec);
@@ -383,9 +392,10 @@ void Controller::handle_link_failure(tables::VnicId id, sim::NodeId fe_node) {
   std::vector<tables::Location> locations;
   for (sim::NodeId n : rec.fe_nodes) {
     auto fit = fleet_index_.find(n);
-    if (fit != fleet_index_.end()) {
-      locations.push_back(fleet_[fit->second].vs->location());
-    }
+    if (fit == fleet_index_.end()) continue;
+    vswitch::VSwitch* vs = fleet_[fit->second].vs;
+    if (vs->frontend(id) == nullptr) continue;
+    locations.push_back(vs->location());
   }
   rec.home->update_fe_locations(id, locations);
   publish_placement(rec);
@@ -460,6 +470,19 @@ std::vector<sim::NodeId> Controller::fe_nodes_of(tables::VnicId id) const {
 vswitch::VSwitch* Controller::home_of(tables::VnicId id) const {
   auto it = vnics_.find(id);
   return it == vnics_.end() ? nullptr : it->second.home;
+}
+
+std::vector<tables::VnicId> Controller::vnic_ids() const {
+  std::vector<tables::VnicId> ids;
+  ids.reserve(vnics_.size());
+  for (const auto& [id, rec] : vnics_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+bool Controller::transition_pending(tables::VnicId id) const {
+  auto it = vnics_.find(id);
+  return it != vnics_.end() && it->second.transition_pending;
 }
 
 void Controller::start() {

@@ -101,6 +101,12 @@ class Controller {
   bool is_offloaded(tables::VnicId id) const;
   std::vector<sim::NodeId> fe_nodes_of(tables::VnicId id) const;
   vswitch::VSwitch* home_of(tables::VnicId id) const;
+  /// All registered vNIC ids, sorted (deterministic iteration for the
+  /// invariant checker).
+  std::vector<tables::VnicId> vnic_ids() const;
+  /// True while an offload/fallback workflow is in flight for the vNIC —
+  /// the window in which BE/FE tables are intentionally dual-running.
+  bool transition_pending(tables::VnicId id) const;
 
   // ---------- stats ----------
   std::uint64_t offload_events() const { return offload_events_; }

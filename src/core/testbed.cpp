@@ -2,6 +2,24 @@
 
 namespace nezha::core {
 
+TestbedConfig make_clos_testbed_config(std::size_t num_vswitches,
+                                       std::uint32_t hosts_per_leaf,
+                                       std::uint32_t num_spines,
+                                       double oversubscription) {
+  TestbedConfig config;
+  config.num_vswitches = num_vswitches;
+  config.topology.kind = sim::FabricKind::kClos;
+  if (hosts_per_leaf == 0) hosts_per_leaf = 1;
+  // The monitor occupies node id num_vswitches + 1; cover it with a leaf.
+  const std::size_t nodes = num_vswitches + 2;
+  config.topology.clos.hosts_per_leaf = hosts_per_leaf;
+  config.topology.clos.num_leaves = static_cast<std::uint32_t>(
+      (nodes + hosts_per_leaf - 1) / hosts_per_leaf);
+  config.topology.clos.num_spines = num_spines;
+  config.topology.clos.oversubscription = oversubscription;
+  return config;
+}
+
 Testbed::Testbed(TestbedConfig config) {
   network_ = std::make_unique<sim::Network>(
       loop_, sim::Topology(config.topology), config.network);

@@ -29,6 +29,16 @@ struct TestbedConfig {
   MonitorConfig monitor;
 };
 
+/// TestbedConfig preset for the fleet-scale 2-tier Clos testbed: enough
+/// leaves for `num_vswitches` servers (plus the monitor node) at
+/// `hosts_per_leaf` per rack, ECMP across `num_spines` spines. Small racks
+/// (default 4 hosts) force a min-4-FE pool to spill across leaves, so
+/// BE↔FE offload traffic competes for spine bandwidth.
+TestbedConfig make_clos_testbed_config(std::size_t num_vswitches,
+                                       std::uint32_t hosts_per_leaf = 4,
+                                       std::uint32_t num_spines = 4,
+                                       double oversubscription = 2.0);
+
 class Testbed {
  public:
   explicit Testbed(TestbedConfig config = {});

@@ -2,10 +2,28 @@
 
 #include <utility>
 
+#include "src/net/five_tuple.h"
+
 namespace nezha::sim {
 
 Network::Network(EventLoop& loop, Topology topology, NetworkConfig config)
-    : loop_(loop), topology_(topology), config_(config) {}
+    : loop_(loop), topology_(topology), config_(config) {
+  if (topology_.is_clos()) {
+    const ClosConfig& clos = topology_.config().clos;
+    spine_bytes_.assign(clos.num_spines == 0 ? 1 : clos.num_spines, 0);
+    if (config_.fabric_link_bps > 0) {
+      fabric_link_bps_ = config_.fabric_link_bps;
+    } else {
+      // A leaf's host-facing capacity, divided across its uplinks and scaled
+      // down by the oversubscription ratio.
+      const double spines = clos.num_spines == 0 ? 1.0 : clos.num_spines;
+      const double oversub =
+          clos.oversubscription > 0 ? clos.oversubscription : 1.0;
+      fabric_link_bps_ =
+          config_.link_bps * clos.hosts_per_leaf / (spines * oversub);
+    }
+  }
+}
 
 void Network::attach(Node& node) {
   nodes_[node.id()] = &node;
@@ -33,6 +51,7 @@ Node* Network::find_by_id(NodeId id) const {
 }
 
 void Network::send(NodeId from, net::Ipv4Addr to_ip, net::Packet pkt) {
+  ++sent_;
   if (crashed_.contains(from)) {
     ++dropped_crashed_;
     return;
@@ -66,18 +85,124 @@ void Network::send(NodeId from, net::Ipv4Addr to_ip, net::Packet pkt) {
   port.busy_until += serialization;
   port.queued_bytes += bytes;
   const common::TimePoint tx_done = port.busy_until;
+  const NodeId to = dst->id();
+
+  if (topology_.is_clos() && !topology_.same_leaf(from, to)) {
+    total_bytes_ += bytes;
+    send_clos(from, to, bytes, tx_done, std::move(pkt));
+    return;
+  }
 
   const common::TimePoint arrival = tx_done + topology_.latency(from, dst->id());
   total_bytes_ += bytes;
 
-  const NodeId to = dst->id();
+  ++in_flight_;
   loop_.schedule_at(arrival, [this, from, to, pkt = std::move(pkt),
                               bytes]() mutable {
+    --in_flight_;
     // Drain the sender queue accounting as the bytes leave the port.
     auto pit = ports_.find(from);
     if (pit != ports_.end() && pit->second.queued_bytes >= bytes) {
       pit->second.queued_bytes -= bytes;
     }
+    if (crashed_.contains(to)) {
+      ++dropped_crashed_;
+      return;
+    }
+    Node* node = find_by_id(to);
+    if (node == nullptr) {
+      ++dropped_no_route_;
+      return;
+    }
+    ++delivered_;
+    if (trace_) trace_(loop_.now(), pkt, from, to);
+    node->receive(std::move(pkt));
+  });
+}
+
+void Network::send_clos(NodeId from, NodeId to, std::size_t bytes,
+                        common::TimePoint tx_done, net::Packet pkt) {
+  const ClosConfig& clos = topology_.config().clos;
+  // ECMP on the canonical inner 5-tuple: both directions of a flow, and both
+  // runs of a seeded experiment, ride the same spine.
+  const std::uint64_t entropy =
+      net::flow_hash(pkt.inner.ft.canonical(), config_.ecmp_seed);
+  const std::uint32_t spine = topology_.ecmp_spine(from, to, entropy);
+  const std::uint64_t up_key = fabric_key(false, topology_.leaf_of(from), spine);
+  const std::uint64_t down_key = fabric_key(true, topology_.leaf_of(to), spine);
+  const auto fabric_ser = static_cast<common::Duration>(
+      static_cast<double>(bytes) * 8.0 / fabric_link_bps_ *
+      static_cast<double>(common::kSecond));
+
+  // Drains queue accounting once the packet's fate is decided. drained_links
+  // counts how many fabric links the packet was accepted onto.
+  const auto drain = [this, from, up_key, down_key, bytes](int drained_links) {
+    auto pit = ports_.find(from);
+    if (pit != ports_.end() && pit->second.queued_bytes >= bytes) {
+      pit->second.queued_bytes -= bytes;
+    }
+    if (drained_links >= 1) {
+      Port& up = fabric_links_[up_key];
+      if (up.queued_bytes >= bytes) up.queued_bytes -= bytes;
+    }
+    if (drained_links >= 2) {
+      Port& down = fabric_links_[down_key];
+      if (down.queued_bytes >= bytes) down.queued_bytes -= bytes;
+    }
+  };
+
+  ++in_flight_;
+
+  // Leaf→spine uplink: queue + serialize at the contended fabric rate.
+  const common::TimePoint at_leaf = tx_done + clos.host_leaf_latency;
+  {
+    Port& up = fabric_links_[up_key];
+    if (up.busy_until < at_leaf) {
+      up.busy_until = at_leaf;
+      up.queued_bytes = 0;
+    }
+    if (up.queued_bytes + bytes > config_.fabric_queue_bytes) {
+      loop_.schedule_at(at_leaf, [this, drain] {
+        --in_flight_;
+        ++dropped_fabric_;
+        drain(0);
+      });
+      return;
+    }
+    up.busy_until += fabric_ser;
+    up.queued_bytes += bytes;
+  }
+  const common::TimePoint at_spine =
+      fabric_links_[up_key].busy_until + clos.leaf_spine_latency;
+
+  // Spine→leaf downlink.
+  common::TimePoint down_done;
+  {
+    Port& down = fabric_links_[down_key];
+    if (down.busy_until < at_spine) {
+      down.busy_until = at_spine;
+      down.queued_bytes = 0;
+    }
+    if (down.queued_bytes + bytes > config_.fabric_queue_bytes) {
+      loop_.schedule_at(at_spine, [this, drain] {
+        --in_flight_;
+        ++dropped_fabric_;
+        drain(1);
+      });
+      return;
+    }
+    down.busy_until += fabric_ser;
+    down.queued_bytes += bytes;
+    down_done = down.busy_until;
+  }
+  spine_bytes_[spine] += bytes;
+
+  const common::TimePoint arrival =
+      down_done + clos.leaf_spine_latency + clos.host_leaf_latency;
+  loop_.schedule_at(arrival, [this, from, to, pkt = std::move(pkt),
+                              drain]() mutable {
+    --in_flight_;
+    drain(2);
     if (crashed_.contains(to)) {
       ++dropped_crashed_;
       return;

@@ -1,6 +1,12 @@
 // The underlay network: registers nodes, routes packets by underlay IP,
 // models per-port serialization (link bandwidth) plus fabric latency, and
 // injects node crashes for failover experiments.
+//
+// Under a Clos topology (Topology::is_clos()), cross-leaf packets also
+// traverse two contended fabric links — the leaf→spine uplink and the
+// spine→leaf downlink of the ECMP-selected spine — each with finite
+// bandwidth and a tail-drop queue, so offload traffic genuinely competes
+// for spine capacity.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +30,15 @@ struct NetworkConfig {
   double link_bps = 100e9;
   /// Egress queue capacity in bytes; beyond this, packets are tail-dropped.
   std::size_t egress_queue_bytes = 4 * 1024 * 1024;
+  /// Clos only: per-direction leaf↔spine link rate. 0 derives it from the
+  /// topology as link_bps * hosts_per_leaf / (num_spines * oversubscription),
+  /// i.e. a leaf's host-facing capacity divided across its uplinks.
+  double fabric_link_bps = 0;
+  /// Clos only: tail-drop queue capacity per fabric link.
+  std::size_t fabric_queue_bytes = 8 * 1024 * 1024;
+  /// Clos only: seed mixed into ECMP spine selection so benches can explore
+  /// different (deterministic) path placements.
+  std::uint64_t ecmp_seed = 0x636c6f73;  // "clos"
 };
 
 class Network {
@@ -42,8 +57,9 @@ class Network {
 
   /// Sends pkt from `from` to the node owning `to_ip`. The packet first
   /// waits in the sender's egress queue (serialization at link_bps), then
-  /// crosses the fabric (topology latency), then is delivered — unless the
-  /// destination is unknown, crashed, or the egress queue overflows.
+  /// crosses the fabric (topology latency; on Clos, also two contended
+  /// fabric links), then is delivered — unless the destination is unknown,
+  /// crashed, or a queue overflows.
   void send(NodeId from, net::Ipv4Addr to_ip, net::Packet pkt);
 
   /// Fault injection: a crashed node neither sends nor receives.
@@ -61,26 +77,56 @@ class Network {
   std::uint64_t dropped_partitioned() const { return dropped_partitioned_; }
 
   // --- observability ---
+  /// Total send() attempts; the conservation identity
+  ///   sent() == delivered() + dropped_total() + in_flight()
+  /// holds after every event (checked by core::InvariantChecker).
+  std::uint64_t sent() const { return sent_; }
+  /// Packets scheduled into the fabric and not yet delivered or dropped.
+  std::uint64_t in_flight() const { return in_flight_; }
   std::uint64_t delivered() const { return delivered_; }
   std::uint64_t dropped_no_route() const { return dropped_no_route_; }
   std::uint64_t dropped_crashed() const { return dropped_crashed_; }
   std::uint64_t dropped_queue_full() const { return dropped_queue_full_; }
+  /// Clos only: tail drops on leaf↔spine fabric links.
+  std::uint64_t dropped_fabric() const { return dropped_fabric_; }
+  std::uint64_t dropped_total() const {
+    return dropped_no_route_ + dropped_crashed_ + dropped_queue_full_ +
+           dropped_partitioned_ + dropped_fabric_;
+  }
   std::uint64_t total_bytes_sent() const { return total_bytes_; }
+  /// Clos only: bytes carried per spine (ECMP balance observability).
+  const std::vector<std::uint64_t>& spine_bytes() const { return spine_bytes_; }
+  /// Effective per-direction fabric link rate (0 when not Clos).
+  double fabric_link_bps() const { return fabric_link_bps_; }
 
   using TraceFn = std::function<void(common::TimePoint, const net::Packet&,
                                      NodeId from, NodeId to)>;
   void set_trace(TraceFn fn) { trace_ = std::move(fn); }
 
  private:
+  /// Cross-leaf Clos path: queue through the ECMP-selected uplink/downlink
+  /// pair after sender-port serialization completes at tx_done.
+  void send_clos(NodeId from, NodeId to, std::size_t bytes,
+                 common::TimePoint tx_done, net::Packet pkt);
+
   struct Port {
     // Virtual time at which the egress link becomes free.
     common::TimePoint busy_until = 0;
     std::size_t queued_bytes = 0;
   };
 
+  /// Key for a directed fabric link: bit 63 = direction (0 = leaf→spine
+  /// uplink, 1 = spine→leaf downlink), then leaf and spine indices.
+  static std::uint64_t fabric_key(bool down, std::uint32_t leaf,
+                                  std::uint32_t spine) {
+    return (static_cast<std::uint64_t>(down) << 63) |
+           (static_cast<std::uint64_t>(leaf) << 32) | spine;
+  }
+
   EventLoop& loop_;
   Topology topology_;
   NetworkConfig config_;
+  double fabric_link_bps_ = 0;
   std::unordered_map<NodeId, Node*> nodes_;
   std::unordered_map<std::uint32_t, Node*> by_ip_;
   static std::uint64_t pair_key(NodeId a, NodeId b) {
@@ -89,16 +135,21 @@ class Network {
   }
 
   std::unordered_map<NodeId, Port> ports_;
+  std::unordered_map<std::uint64_t, Port> fabric_links_;
   std::unordered_set<NodeId> crashed_;
   std::unordered_set<std::uint64_t> partitions_;
   TraceFn trace_;
 
+  std::uint64_t sent_ = 0;
+  std::uint64_t in_flight_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_no_route_ = 0;
   std::uint64_t dropped_crashed_ = 0;
   std::uint64_t dropped_queue_full_ = 0;
   std::uint64_t dropped_partitioned_ = 0;
+  std::uint64_t dropped_fabric_ = 0;
   std::uint64_t total_bytes_ = 0;
+  std::vector<std::uint64_t> spine_bytes_;
 };
 
 }  // namespace nezha::sim

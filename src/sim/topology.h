@@ -1,8 +1,14 @@
-// Data-center topology model: servers under ToR switches, ToRs under
-// aggregation blocks, blocks under a core. Only latency/locality matter to
-// Nezha (FE selection prefers same-ToR idle vSwitches, §4.2.1/App B.1), so
-// the fabric is modeled as per-tier one-way latencies rather than explicit
-// switch nodes.
+// Data-center topology model. Two fabrics are supported:
+//
+//  * kTiered — servers under ToR switches, ToRs under aggregation blocks,
+//    blocks under a core. Only latency/locality matter to Nezha's FE
+//    selection (§4.2.1/App B.1), so the fabric is modeled as per-tier
+//    one-way latencies rather than explicit switch nodes.
+//  * kClos — an explicit 2-tier spine/leaf Clos: configurable leaves,
+//    hosts-per-leaf, spine count and oversubscription. Cross-leaf packets
+//    pick a spine by deterministic ECMP hashing and (in sim::Network)
+//    contend for finite leaf-uplink/spine-downlink bandwidth — the fabric
+//    the fleet-scale testbed runs offload traffic across.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +19,24 @@
 
 namespace nezha::sim {
 
+/// 2-tier Clos parameters. Leaf switching capacity is assumed non-blocking
+/// within a rack; only the leaf↔spine tier carries the oversubscription.
+struct ClosConfig {
+  std::uint32_t num_leaves = 8;
+  std::uint32_t hosts_per_leaf = 16;
+  std::uint32_t num_spines = 4;
+  /// Ratio of host-facing to spine-facing capacity per leaf (1.0 = fully
+  /// non-blocking). Used by sim::Network to derive per-spine link bandwidth
+  /// when NetworkConfig::fabric_link_bps is 0.
+  double oversubscription = 2.0;
+  /// One-way host↔leaf and leaf↔spine hop latencies (propagation +
+  /// switching); a cross-leaf path pays host→leaf→spine→leaf→host.
+  common::Duration host_leaf_latency = common::microseconds(2);
+  common::Duration leaf_spine_latency = common::microseconds(8);
+};
+
+enum class FabricKind : std::uint8_t { kTiered = 0, kClos = 1 };
+
 struct TopologyConfig {
   std::uint32_t servers_per_tor = 40;
   std::uint32_t tors_per_agg = 16;
@@ -20,6 +44,8 @@ struct TopologyConfig {
   common::Duration same_tor_latency = common::microseconds(5);
   common::Duration same_agg_latency = common::microseconds(15);
   common::Duration core_latency = common::microseconds(30);
+  FabricKind kind = FabricKind::kTiered;
+  ClosConfig clos;
 };
 
 class Topology {
@@ -27,22 +53,38 @@ class Topology {
   explicit Topology(TopologyConfig config = {}) : config_(config) {}
 
   const TopologyConfig& config() const { return config_; }
+  bool is_clos() const { return config_.kind == FabricKind::kClos; }
 
+  /// Rack of a server: ToR index (tiered) or leaf index (Clos). Under Clos
+  /// the same-rack test drives the controller's FE locality preference just
+  /// as same-ToR does in the tiered model.
   std::uint32_t tor_of(NodeId node) const {
-    return node / config_.servers_per_tor;
+    return is_clos() ? node / config_.clos.hosts_per_leaf
+                     : node / config_.servers_per_tor;
   }
   std::uint32_t agg_of(NodeId node) const {
-    return tor_of(node) / config_.tors_per_agg;
+    // A 2-tier Clos has a single spine block above all leaves.
+    return is_clos() ? 0 : tor_of(node) / config_.tors_per_agg;
   }
+  std::uint32_t leaf_of(NodeId node) const { return tor_of(node); }
 
   bool same_tor(NodeId a, NodeId b) const { return tor_of(a) == tor_of(b); }
   bool same_agg(NodeId a, NodeId b) const { return agg_of(a) == agg_of(b); }
+  bool same_leaf(NodeId a, NodeId b) const { return same_tor(a, b); }
 
-  /// Number of fabric tiers a packet must cross (0 = same host).
+  /// Number of fabric tiers a packet must cross (0 = same host). Clos paths
+  /// top out at 2 (leaf, then spine).
   int hop_tier(NodeId a, NodeId b) const;
 
-  /// One-way propagation + switching latency between two servers.
+  /// One-way propagation + switching latency between two servers. For Clos
+  /// this is the uncongested path latency; queueing delay on fabric links
+  /// is added by sim::Network.
   common::Duration latency(NodeId a, NodeId b) const;
+
+  /// ECMP: the spine a cross-leaf flow with the given entropy traverses.
+  /// Deterministic in (a, b, entropy) so a flow stays on one path and a
+  /// fixed seed reproduces the exact spine load split.
+  std::uint32_t ecmp_spine(NodeId a, NodeId b, std::uint64_t entropy) const;
 
  private:
   TopologyConfig config_;

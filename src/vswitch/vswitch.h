@@ -21,11 +21,13 @@
 // in §2.2.2 is observable.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "src/common/stats.h"
 #include "src/common/time.h"
@@ -210,7 +212,27 @@ class VSwitch : public sim::Node {
   /// steady-state throughput can skip it).
   void start_aging();
 
+  /// Deterministic-order iteration over hosted vNICs / FE instances for the
+  /// invariant checker (sorted by id; the underlying maps are unordered).
+  template <typename Fn>
+  void for_each_vnic(Fn&& fn) const {
+    for (tables::VnicId id : sorted_keys(vnics_)) fn(vnics_.at(id));
+  }
+  template <typename Fn>
+  void for_each_frontend(Fn&& fn) const {
+    for (tables::VnicId id : sorted_keys(frontends_)) fn(frontends_.at(id));
+  }
+
  private:
+  template <typename Map>
+  static std::vector<tables::VnicId> sorted_keys(const Map& map) {
+    std::vector<tables::VnicId> keys;
+    keys.reserve(map.size());
+    for (const auto& [id, v] : map) keys.push_back(id);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
   // --- datapath stages ---
   void local_tx(Vnic& v, net::Packet pkt);
   void be_tx(Vnic& v, net::Packet pkt);

@@ -145,4 +145,120 @@ std::vector<FleetModel::HighCpsPair> FleetModel::sample_high_cps_pairs(
   return out;
 }
 
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+FleetScenario::FleetScenario(core::Testbed& bed, FleetScenarioConfig config)
+    : bed_(bed), config_(config) {}
+
+void FleetScenario::deploy() {
+  const sim::Topology& topo = bed_.network().topology();
+  const std::uint32_t hosts_per_leaf =
+      topo.is_clos() ? topo.config().clos.hosts_per_leaf : 1;
+  const std::size_t num_leaves =
+      topo.is_clos() ? topo.config().clos.num_leaves
+                     : std::max<std::size_t>(bed_.size(), 1);
+
+  // Heavy-hitter load shaping from the Table-1 CPS usage law; the heaviest
+  // pair runs at roughly 10x the baseline, the lightest near it.
+  FleetModel model(FleetModelConfig{config_.num_pairs, config_.seed});
+  pair_load_scale_ = model.sample_usage(HotspotCause::kCps, config_.num_pairs);
+  for (double& s : pair_load_scale_) s = 1.0 + 9.0 * s;
+
+  for (std::size_t i = 0; i < config_.num_pairs; ++i) {
+    // Server i: first host of leaf (i mod #leaves). Client: a host half the
+    // fabric away, so every pair's traffic crosses the spine tier.
+    const std::size_t server_leaf = i % num_leaves;
+    const std::size_t client_leaf = (server_leaf + num_leaves / 2) % num_leaves;
+    std::size_t server_node = server_leaf * hosts_per_leaf;
+    std::size_t client_node = client_leaf * hosts_per_leaf + 1;
+    server_node = std::min(server_node, bed_.size() - 1);
+    client_node = std::min(client_node, bed_.size() - 1);
+    if (client_node == server_node) {
+      client_node = (server_node + 1) % bed_.size();
+    }
+
+    vswitch::VnicConfig server;
+    server.id = static_cast<tables::VnicId>(1000 + i);
+    server.addr = tables::OverlayAddr{
+        config_.vpc_id,
+        net::Ipv4Addr(10, 50, static_cast<std::uint8_t>(i / 250),
+                      static_cast<std::uint8_t>(i % 250 + 1))};
+    server.profile.synthetic_rule_bytes = 2 << 20;
+    bed_.add_vnic(server_node, server);
+
+    vswitch::VnicConfig client;
+    client.id = static_cast<tables::VnicId>(2000 + i);
+    client.addr = tables::OverlayAddr{
+        config_.vpc_id,
+        net::Ipv4Addr(10, 60, static_cast<std::uint8_t>(i / 250),
+                      static_cast<std::uint8_t>(i % 250 + 1))};
+    bed_.add_vnic(client_node, client);
+
+    servers_.push_back(server.id);
+    server_switches_.push_back(server_node);
+    client_switches_.push_back(client_node);
+  }
+}
+
+std::size_t FleetScenario::offload_all() {
+  std::size_t accepted = 0;
+  for (tables::VnicId id : servers_) {
+    if (bed_.controller().trigger_offload(id, config_.fes_per_vnic).ok()) {
+      ++accepted;
+    }
+  }
+  return accepted;
+}
+
+void FleetScenario::start_traffic() {
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    CpsWorkloadConfig wl;
+    wl.attempts_per_sec = config_.base_attempts_per_sec * pair_load_scale_[i];
+    wl.seed = config_.seed * 1000003 + i;
+    workloads_.push_back(std::make_unique<CpsWorkload>(
+        bed_, client_switches_[i], static_cast<tables::VnicId>(2000 + i),
+        server_switches_[i], servers_[i], wl));
+    workloads_.back()->start();
+  }
+}
+
+void FleetScenario::stop_traffic() {
+  for (auto& wl : workloads_) wl->stop();
+}
+
+std::uint64_t FleetScenario::fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (const auto& wl : workloads_) {
+    h = fnv1a(h, wl->attempted());
+    h = fnv1a(h, wl->completed());
+  }
+  const sim::Network& net = bed_.network();
+  h = fnv1a(h, net.sent());
+  h = fnv1a(h, net.delivered());
+  h = fnv1a(h, net.dropped_total());
+  h = fnv1a(h, net.in_flight());
+  h = fnv1a(h, net.total_bytes_sent());
+  for (std::uint64_t b : net.spine_bytes()) h = fnv1a(h, b);
+  const core::Controller& ctl = bed_.controller();
+  h = fnv1a(h, ctl.offload_events());
+  h = fnv1a(h, ctl.fallback_events());
+  h = fnv1a(h, ctl.scale_out_events());
+  h = fnv1a(h, ctl.scale_in_events());
+  h = fnv1a(h, ctl.failover_events());
+  h = fnv1a(h, ctl.fes_provisioned_total());
+  return h;
+}
+
 }  // namespace nezha::workload

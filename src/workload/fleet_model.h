@@ -10,10 +10,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/core/testbed.h"
+#include "src/workload/cps_workload.h"
 
 namespace nezha::workload {
 
@@ -77,6 +80,61 @@ class FleetModel {
  private:
   FleetModelConfig config_;
   common::Rng rng_;
+};
+
+// ---------------------------------------------------------------------------
+
+struct FleetScenarioConfig {
+  /// Server (heavy, offloadable) vNICs; each gets a client vNIC placed in a
+  /// different rack, so client→server traffic crosses the spine tier.
+  std::size_t num_pairs = 8;
+  /// FEs per offloaded vNIC (the paper's minimum pool is 4).
+  std::size_t fes_per_vnic = 4;
+  /// Baseline offered load per pair; scaled per pair by the Table-1 CPS
+  /// usage distribution so the fleet has realistic heavy hitters.
+  double base_attempts_per_sec = 5000.0;
+  std::uint32_t vpc_id = 77;
+  std::uint64_t seed = 1;
+};
+
+/// Fleet-scale scenario driver: populates a (typically ≥128-vSwitch, Clos)
+/// testbed with cross-rack client/server vNIC pairs shaped by the fleet
+/// telemetry model, offloads every server vNIC, and runs CPS workloads whose
+/// BE↔FE and client→FE traffic traverses the underlay fabric. All decisions
+/// derive from (config, seed), so a run's fingerprint() is reproducible
+/// bit-for-bit.
+class FleetScenario {
+ public:
+  FleetScenario(core::Testbed& bed, FleetScenarioConfig config = {});
+
+  /// Creates the vNIC pairs: server i on the first host of leaf i (mod
+  /// #leaves), its client on a host half the fabric away.
+  void deploy();
+
+  /// Offloads every server vNIC to fes_per_vnic FEs; returns how many
+  /// offload workflows were accepted.
+  std::size_t offload_all();
+
+  void start_traffic();
+  void stop_traffic();
+
+  const std::vector<tables::VnicId>& server_vnics() const { return servers_; }
+  const std::vector<std::unique_ptr<CpsWorkload>>& workloads() const {
+    return workloads_;
+  }
+
+  /// FNV-1a digest of every workload/network/controller counter that the
+  /// simulation determines: two identically-seeded runs must match exactly.
+  std::uint64_t fingerprint() const;
+
+ private:
+  core::Testbed& bed_;
+  FleetScenarioConfig config_;
+  std::vector<tables::VnicId> servers_;
+  std::vector<std::size_t> server_switches_;
+  std::vector<std::size_t> client_switches_;
+  std::vector<std::unique_ptr<CpsWorkload>> workloads_;
+  std::vector<double> pair_load_scale_;
 };
 
 }  // namespace nezha::workload

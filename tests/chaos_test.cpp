@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "src/common/rng.h"
+#include "src/core/invariants.h"
 #include "src/core/testbed.h"
 
 namespace nezha {
@@ -173,6 +174,119 @@ TEST_P(ChaosTest, RandomOperationSequencePreservesInvariants) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
                          ::testing::Values(1ull, 2ull, 3ull, 5ull, 8ull));
+
+// ---------------------------------------------------------------------------
+// Clos chaos: the same guarantees must hold when BE↔FE traffic traverses a
+// leaf/spine fabric, including an FE crash landing in the middle of a
+// scale-out window. The InvariantChecker runs continuously, so any transient
+// inconsistency between operations (not just at settle points) is caught.
+
+class ClosChaosTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static constexpr std::size_t kClosSwitches = 32;
+  static constexpr int kClosVnics = 4;
+
+  ClosChaosTest() : bed_(make_config()) {
+    const std::uint32_t hosts_per_leaf =
+        bed_.network().topology().config().clos.hosts_per_leaf;
+    for (int i = 0; i < kClosVnics; ++i) {
+      VnicConfig v;
+      v.id = static_cast<VnicId>(100 + i);
+      v.addr = OverlayAddr{
+          kVpc, net::Ipv4Addr(10, 9, 0, static_cast<std::uint8_t>(i + 1))};
+      v.profile.synthetic_rule_bytes = 2 << 20;
+      // One managed vNIC per leaf, so FE pools and traffic cross racks.
+      bed_.add_vnic(static_cast<std::size_t>(i) * hosts_per_leaf, v);
+      vnics_.push_back(v.id);
+    }
+    VnicConfig client;
+    client.id = 1;
+    client.addr = OverlayAddr{kVpc, net::Ipv4Addr(10, 9, 1, 1)};
+    bed_.add_vnic(kClosSwitches - 1, client);
+  }
+
+  static core::TestbedConfig make_config() {
+    core::TestbedConfig cfg =
+        core::make_clos_testbed_config(kClosSwitches, /*hosts_per_leaf=*/4,
+                                       /*num_spines=*/2);
+    cfg.controller.auto_offload = false;
+    cfg.controller.auto_scale = false;
+    return cfg;
+  }
+
+  void pump_traffic() {
+    for (int i = 0; i < kClosVnics; ++i) {
+      net::FiveTuple ft{
+          net::Ipv4Addr(10, 9, 1, 1),
+          net::Ipv4Addr(10, 9, 0, static_cast<std::uint8_t>(i + 1)),
+          static_cast<std::uint16_t>(40000 + seq_++ % 20000), 80,
+          net::IpProto::kTcp};
+      bed_.vswitch(kClosSwitches - 1)
+          .from_vm(1, net::make_tcp_packet(ft, net::TcpFlags{.syn = true}, 0,
+                                           kVpc));
+    }
+  }
+
+  core::Testbed bed_;
+  std::vector<VnicId> vnics_;
+  std::uint32_t seq_ = 0;
+};
+
+TEST_P(ClosChaosTest, FeCrashDuringScaleOutKeepsInvariantsAndRecovers) {
+  common::Rng rng(GetParam());
+  core::InvariantChecker checker(
+      bed_, core::InvariantCheckerConfig{.seed = GetParam()});
+  checker.attach(milliseconds(25));
+
+  // Offload every managed vNIC and let the workflows finish.
+  for (VnicId id : vnics_) {
+    checker.record("trigger_offload vnic=" + std::to_string(id));
+    ASSERT_TRUE(bed_.controller().trigger_offload(id).ok());
+  }
+  pump_traffic();
+  bed_.run_for(seconds(6));
+  ASSERT_TRUE(checker.ok()) << checker.report();
+
+  // Start a scale-out, then kill one of the vNIC's FEs while the new FEs'
+  // rule tables are still being installed (the scale-out publish window).
+  const VnicId id = vnics_[rng.uniform_u64(0, vnics_.size() - 1)];
+  checker.record("scale_out vnic=" + std::to_string(id));
+  ASSERT_TRUE(bed_.controller().scale_out(id, 2).ok());
+  const auto fes = bed_.controller().fe_nodes_of(id);
+  ASSERT_FALSE(fes.empty());
+  const sim::NodeId victim = fes[rng.uniform_u64(0, fes.size() - 1)];
+  bed_.loop().schedule_after(milliseconds(5), [this, victim, &checker]() {
+    checker.record("crash node=" + std::to_string(victim));
+    bed_.network().crash(victim);
+    bed_.controller().handle_fe_crash(victim);
+  });
+  pump_traffic();
+  bed_.run_for(seconds(6));
+
+  // The harness stayed green through the whole crash-during-scale-out
+  // window, and the controller restored a healthy offloaded pool.
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  EXPECT_GT(checker.checks_run(), 100u);
+  EXPECT_TRUE(bed_.controller().is_offloaded(id));
+  const auto recovered = bed_.controller().fe_nodes_of(id);
+  EXPECT_GE(recovered.size(), 4u) << "min-FE pool not restored";
+  for (sim::NodeId n : recovered) {
+    EXPECT_NE(n, victim) << "crashed FE still in the pool";
+  }
+
+  // Traffic still flows end to end across the fabric.
+  std::uint64_t delivered = 0;
+  for (VnicId v : vnics_) {
+    bed_.controller().home_of(v)->set_vm_delivery(
+        [&](VnicId, const net::Packet&) { ++delivered; });
+  }
+  pump_traffic();
+  bed_.run_for(milliseconds(300));
+  EXPECT_EQ(delivered, static_cast<std::uint64_t>(kClosVnics));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosChaosTest,
+                         ::testing::Values(1ull, 4ull, 9ull));
 
 }  // namespace
 }  // namespace nezha
