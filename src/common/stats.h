@@ -3,7 +3,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace nezha::common {
@@ -83,15 +85,31 @@ class Histogram {
   std::uint64_t total_ = 0;
 };
 
-/// Simple counter map keyed by small enums/ints, for drop-reason accounting.
+/// Named counters for drop-reason accounting.
+///
+/// Hot callers register a static name table once (register_ids) and then
+/// increment by compile-time id — a plain array increment, no string work.
+/// The legacy string API stays for cold callers (benches, tests) and is
+/// O(log n) over a key-sorted vector. get()/sorted() see both populations.
 class Counter {
  public:
+  /// Binds the id-indexed counters to a static name table. The span must
+  /// outlive the Counter (point it at a constexpr array).
+  void register_ids(std::span<const std::string_view> names);
+
+  /// Id-based increment: an array increment on the datapath.
+  void inc(std::size_t id, std::uint64_t by = 1) { id_counts_[id] += by; }
+  std::uint64_t get_id(std::size_t id) const { return id_counts_[id]; }
+
   void inc(const std::string& key, std::uint64_t by = 1);
   std::uint64_t get(const std::string& key) const;
+  /// All nonzero counters (id-registered and string-keyed), largest first.
   const std::vector<std::pair<std::string, std::uint64_t>> sorted() const;
 
  private:
-  std::vector<std::pair<std::string, std::uint64_t>> entries_;
+  std::span<const std::string_view> id_names_;
+  std::vector<std::uint64_t> id_counts_;
+  std::vector<std::pair<std::string, std::uint64_t>> entries_;  // key-sorted
 };
 
 }  // namespace nezha::common

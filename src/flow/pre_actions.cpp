@@ -1,11 +1,13 @@
 #include "src/flow/pre_actions.h"
 
+#include <cassert>
+
 #include "src/net/bytes.h"
 
 namespace nezha::flow {
 namespace {
 
-void write_dir(net::ByteWriter& w, const DirPreAction& d) {
+void write_dir(net::FixedWriter& w, const DirPreAction& d) {
   std::uint8_t flags = 0;
   if (d.acl_verdict == Verdict::kDrop) flags |= 0x01;
   if (d.nat_enabled) flags |= 0x02;
@@ -40,12 +42,18 @@ DirPreAction read_dir(net::ByteReader& r) {
 
 }  // namespace
 
-std::vector<std::uint8_t> PreActions::serialize() const {
-  std::vector<std::uint8_t> out;
-  net::ByteWriter w(out);
+void PreActions::serialize_into(std::span<std::uint8_t> out) const {
+  assert(out.size() == kWireSize);
+  net::FixedWriter w(out);
   w.u32(rule_version);
   write_dir(w, tx);
   write_dir(w, rx);
+  assert(w.written() == kWireSize);
+}
+
+std::vector<std::uint8_t> PreActions::serialize() const {
+  std::vector<std::uint8_t> out(kWireSize);
+  serialize_into(out);
   return out;
 }
 

@@ -70,7 +70,13 @@ struct PreActions {
   }
   DirPreAction& dir(Direction d) { return d == Direction::kTx ? tx : rx; }
 
-  /// Carrier-TLV encoding (FE→BE piggyback on RX packets).
+  /// Exact carrier-TLV wire size: rule_version (4) + two 36-byte directions.
+  static constexpr std::size_t kWireSize = 76;
+
+  /// Carrier-TLV encoding (FE→BE piggyback on RX packets) into a
+  /// caller-provided kWireSize buffer — the datapath encode, heap-free.
+  void serialize_into(std::span<std::uint8_t> out) const;
+  /// Allocating convenience wrapper for cold callers (tests, tools).
   std::vector<std::uint8_t> serialize() const;
   static common::Result<PreActions> parse(
       std::span<const std::uint8_t> bytes);

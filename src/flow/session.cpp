@@ -1,5 +1,7 @@
 #include "src/flow/session.h"
 
+#include <cassert>
+
 #include "src/net/bytes.h"
 
 namespace nezha::flow {
@@ -34,13 +36,19 @@ std::size_t SessionState::used_bytes() const {
   return n;
 }
 
-std::vector<std::uint8_t> SessionState::serialize_snapshot() const {
-  std::vector<std::uint8_t> out;
-  net::ByteWriter w(out);
+void SessionState::serialize_snapshot_into(std::span<std::uint8_t> out) const {
+  assert(out.size() == kSnapshotWireSize);
+  net::FixedWriter w(out);
   w.u8(static_cast<std::uint8_t>(first_dir));
   w.u8(static_cast<std::uint8_t>(fsm.state()));
   w.u8(static_cast<std::uint8_t>(stats_mode));
   w.u32(decap_src_ip.value());
+  assert(w.written() == kSnapshotWireSize);
+}
+
+std::vector<std::uint8_t> SessionState::serialize_snapshot() const {
+  std::vector<std::uint8_t> out(kSnapshotWireSize);
+  serialize_snapshot_into(out);
   return out;
 }
 

@@ -58,7 +58,13 @@ struct SessionState {
   /// when set, statistics counters only when a stats policy is active.
   std::size_t used_bytes() const;
 
-  /// Compact snapshot carried BE→FE in TX packets (kStateSnapshot TLV).
+  /// Exact snapshot wire size: first_dir, fsm state, stats mode, decap IP.
+  static constexpr std::size_t kSnapshotWireSize = 7;
+
+  /// Compact snapshot carried BE→FE in TX packets (kStateSnapshot TLV),
+  /// encoded into a caller-provided kSnapshotWireSize buffer.
+  void serialize_snapshot_into(std::span<std::uint8_t> out) const;
+  /// Allocating convenience wrapper for cold callers.
   std::vector<std::uint8_t> serialize_snapshot() const;
   static common::Result<SessionState> parse_snapshot(
       std::span<const std::uint8_t> bytes);

@@ -59,11 +59,14 @@ std::uint64_t SessionTable::hash_of(const SessionKey& key) {
 
 std::uint32_t SessionTable::find_slot(const SessionKey& key,
                                       std::uint64_t h) const {
+  const auto tag = static_cast<std::uint32_t>(h);
   for (std::size_t i = h & index_mask_;; i = (i + 1) & index_mask_) {
     const Cell& cell = index_[i];
     if (cell.slot == kEmpty) return kEmpty;
     if (cell.slot == kTombstone) continue;
-    if (cell.hash == h && node_at(cell.slot).key == key) return cell.slot;
+    if (cell.hash_tag == tag && node_at(cell.slot).key == key) {
+      return cell.slot;
+    }
   }
 }
 
@@ -72,17 +75,18 @@ void SessionTable::index_insert(std::uint64_t h, std::uint32_t slot) {
     Cell& cell = index_[i];
     if (cell.slot == kEmpty || cell.slot == kTombstone) {
       if (cell.slot == kTombstone) --tombstones_;
-      cell = Cell{h, slot};
+      cell = Cell{static_cast<std::uint32_t>(h), slot};
       return;
     }
   }
 }
 
 void SessionTable::index_erase(const SessionKey& key, std::uint64_t h) {
+  const auto tag = static_cast<std::uint32_t>(h);
   for (std::size_t i = h & index_mask_;; i = (i + 1) & index_mask_) {
     Cell& cell = index_[i];
     if (cell.slot == kEmpty) return;  // not present
-    if (cell.slot != kTombstone && cell.hash == h &&
+    if (cell.slot != kTombstone && cell.hash_tag == tag &&
         node_at(cell.slot).key == key) {
       cell.slot = kTombstone;
       ++tombstones_;
@@ -91,8 +95,7 @@ void SessionTable::index_erase(const SessionKey& key, std::uint64_t h) {
   }
 }
 
-void SessionTable::grow_index() {
-  const std::size_t new_size = index_.size() * 2;
+void SessionTable::rebuild_index(std::size_t new_size) {
   index_.assign(new_size, Cell{});
   index_mask_ = new_size - 1;
   tombstones_ = 0;
@@ -143,7 +146,14 @@ SessionEntry* SessionTable::find_or_create(const SessionKey& key,
     return nullptr;
   }
   // Keep (live + tombstone) load below 3/4 so probe chains stay short.
-  if ((size_ + tombstones_ + 1) * 4 > index_.size() * 3) grow_index();
+  // Double only when live entries demand it; churn-driven rebuilds (the
+  // common case — tombstones from aged-out sessions) stay at the same size
+  // so the index tracks the concurrent-session working set instead of the
+  // cumulative churn, keeping probes cache-resident.
+  if ((size_ + tombstones_ + 1) * 4 > index_.size() * 3) {
+    rebuild_index((size_ + 1) * 2 > index_.size() ? index_.size() * 2
+                                                  : index_.size());
+  }
 
   std::uint32_t slot;
   if (!free_.empty()) {

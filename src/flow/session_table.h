@@ -142,9 +142,12 @@ class SessionTable {
   };
   using Chunk = std::vector<Node>;
 
-  /// Probe cell: cached hash for cheap rejection + slab slot (or sentinel).
+  /// Probe cell: cached hash tag for cheap rejection + slab slot (or
+  /// sentinel). The tag is the low 32 bits of the flow hash — placement
+  /// still uses the full hash; a tag collision merely falls through to the
+  /// key compare. 8 bytes/cell keeps the index cache-resident.
   struct Cell {
-    std::uint64_t hash = 0;
+    std::uint32_t hash_tag = 0;
     std::uint32_t slot = kEmpty;
   };
 
@@ -166,7 +169,7 @@ class SessionTable {
   std::uint32_t find_slot(const SessionKey& key, std::uint64_t h) const;
   void index_insert(std::uint64_t h, std::uint32_t slot);
   void index_erase(const SessionKey& key, std::uint64_t h);
-  void grow_index();
+  void rebuild_index(std::size_t new_size);
 
   std::int64_t bucket_of(common::TimePoint deadline) const {
     return deadline / wheel_width_;

@@ -1,6 +1,7 @@
 // Big-endian byte serialization helpers used by all header codecs.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -12,14 +13,65 @@
 namespace nezha::net {
 
 /// Appends big-endian (network order) fields to a growing byte buffer.
+/// Multi-byte writes grow the vector once (resize) and store directly —
+/// no per-byte push_back on the codec hot path.
 class ByteWriter {
  public:
   explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
 
   void u8(std::uint8_t v) { out_.push_back(v); }
   void u16(std::uint16_t v) {
-    out_.push_back(static_cast<std::uint8_t>(v >> 8));
-    out_.push_back(static_cast<std::uint8_t>(v));
+    std::uint8_t* p = grow(2);
+    p[0] = static_cast<std::uint8_t>(v >> 8);
+    p[1] = static_cast<std::uint8_t>(v);
+  }
+  void u32(std::uint32_t v) {
+    std::uint8_t* p = grow(4);
+    p[0] = static_cast<std::uint8_t>(v >> 24);
+    p[1] = static_cast<std::uint8_t>(v >> 16);
+    p[2] = static_cast<std::uint8_t>(v >> 8);
+    p[3] = static_cast<std::uint8_t>(v);
+  }
+  void u64(std::uint64_t v) {
+    std::uint8_t* p = grow(8);
+    for (int i = 0; i < 8; ++i) {
+      p[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+    }
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    if (data.empty()) return;
+    std::uint8_t* p = grow(data.size());
+    std::memcpy(p, data.data(), data.size());
+  }
+  void zeros(std::size_t n) { out_.resize(out_.size() + n); }
+
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  std::uint8_t* grow(std::size_t n) {
+    const std::size_t at = out_.size();
+    out_.resize(at + n);
+    return out_.data() + at;
+  }
+
+  std::vector<std::uint8_t>& out_;
+};
+
+/// Big-endian writer over a fixed caller-provided buffer: the zero-allocation
+/// counterpart of ByteWriter for fixed-size encodings (pre-actions, state
+/// snapshots, vNIC ids). Overrunning the buffer is a programming error
+/// (asserted); fixed-size codecs know their exact length at compile time.
+class FixedWriter {
+ public:
+  explicit FixedWriter(std::span<std::uint8_t> out) : out_(out) {}
+
+  void u8(std::uint8_t v) {
+    assert(pos_ + 1 <= out_.size());
+    out_[pos_++] = v;
+  }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v >> 8));
+    u8(static_cast<std::uint8_t>(v));
   }
   void u32(std::uint32_t v) {
     u16(static_cast<std::uint16_t>(v >> 16));
@@ -29,15 +81,11 @@ class ByteWriter {
     u32(static_cast<std::uint32_t>(v >> 32));
     u32(static_cast<std::uint32_t>(v));
   }
-  void bytes(std::span<const std::uint8_t> data) {
-    out_.insert(out_.end(), data.begin(), data.end());
-  }
-  void zeros(std::size_t n) { out_.insert(out_.end(), n, 0); }
-
-  std::size_t size() const { return out_.size(); }
+  std::size_t written() const { return pos_; }
 
  private:
-  std::vector<std::uint8_t>& out_;
+  std::span<std::uint8_t> out_;
+  std::size_t pos_ = 0;
 };
 
 /// Reads big-endian fields from a byte span with bounds checking.
@@ -70,10 +118,11 @@ class ByteReader {
     std::uint64_t lo = u32();
     return (hi << 32) | lo;
   }
-  std::vector<std::uint8_t> bytes(std::size_t n) {
+  /// A view of the next n bytes of the underlying buffer (no copy); empty
+  /// span on bounds failure. The view aliases the reader's input buffer.
+  std::span<const std::uint8_t> bytes(std::size_t n) {
     if (!require(n)) return {};
-    std::vector<std::uint8_t> out(data_.begin() + static_cast<long>(pos_),
-                                  data_.begin() + static_cast<long>(pos_ + n));
+    std::span<const std::uint8_t> out = data_.subspan(pos_, n);
     pos_ += n;
     return out;
   }

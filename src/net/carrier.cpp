@@ -1,22 +1,40 @@
 #include "src/net/carrier.h"
 
+#include <algorithm>
+#include <cstring>
+
 namespace nezha::net {
 
-void CarrierHeader::add(CarrierTlvType type, std::vector<std::uint8_t> value) {
-  tlvs_.push_back(CarrierTlv{type, std::move(value)});
+bool CarrierHeader::add(CarrierTlvType type,
+                        std::span<const std::uint8_t> value) {
+  std::span<std::uint8_t> dst = add_uninit(type, value.size());
+  if (dst.size() != value.size()) return false;
+  if (!value.empty()) std::memcpy(dst.data(), value.data(), value.size());
+  return true;
 }
 
-const CarrierTlv* CarrierHeader::find(CarrierTlvType type) const {
-  for (const auto& tlv : tlvs_) {
-    if (tlv.type == type) return &tlv;
+std::span<std::uint8_t> CarrierHeader::add_uninit(CarrierTlvType type,
+                                                  std::size_t len) {
+  if (count_ >= kMaxTlvs || used_ + len > kArenaCapacity) return {};
+  TlvDesc& d = descs_[count_];
+  d.type = type;
+  d.offset = used_;
+  d.len = static_cast<std::uint16_t>(len);
+  used_ = static_cast<std::uint16_t>(used_ + len);
+  ++count_;
+  return {arena_.data() + d.offset, d.len};
+}
+
+std::optional<std::span<const std::uint8_t>> CarrierHeader::find(
+    CarrierTlvType type) const {
+  for (std::size_t i = 0; i < count_; ++i) {
+    if (descs_[i].type == type) return tlv_value(i);
   }
-  return nullptr;
+  return std::nullopt;
 }
 
 std::size_t CarrierHeader::wire_size() const {
-  std::size_t n = kBaseSize;
-  for (const auto& tlv : tlvs_) n += 4 + tlv.value.size();
-  return n;
+  return kBaseSize + 4 * static_cast<std::size_t>(count_) + used_;
 }
 
 void CarrierHeader::serialize(ByteWriter& w) const {
@@ -26,10 +44,10 @@ void CarrierHeader::serialize(ByteWriter& w) const {
   if (flags.from_frontend) f |= 0x02;
   w.u8(f);
   w.u16(static_cast<std::uint16_t>(wire_size()));
-  for (const auto& tlv : tlvs_) {
-    w.u16(static_cast<std::uint16_t>(tlv.type));
-    w.u16(static_cast<std::uint16_t>(tlv.value.size()));
-    w.bytes(tlv.value);
+  for (std::size_t i = 0; i < count_; ++i) {
+    w.u16(static_cast<std::uint16_t>(descs_[i].type));
+    w.u16(descs_[i].len);
+    w.bytes(tlv_value(i));
   }
 }
 
@@ -50,13 +68,26 @@ common::Result<CarrierHeader> CarrierHeader::parse(ByteReader& r) {
     const std::uint16_t len = r.u16();
     auto value = r.bytes(len);
     if (!r.ok()) return common::make_error("carrier: truncated TLV");
-    h.tlvs_.push_back(CarrierTlv{type, std::move(value)});
+    if (!h.add(type, value)) {
+      return common::make_error("carrier: TLV capacity exceeded");
+    }
     consumed += 4 + len;
   }
   if (consumed != total || !r.ok()) {
     return common::make_error("carrier: length mismatch");
   }
   return h;
+}
+
+bool CarrierHeader::operator==(const CarrierHeader& other) const {
+  if (flags != other.flags || count_ != other.count_) return false;
+  for (std::size_t i = 0; i < count_; ++i) {
+    if (descs_[i].type != other.descs_[i].type) return false;
+    const auto a = tlv_value(i);
+    const auto b = other.tlv_value(i);
+    if (!std::ranges::equal(a, b)) return false;
+  }
+  return true;
 }
 
 }  // namespace nezha::net

@@ -1,31 +1,8 @@
 #include "src/net/five_tuple.h"
 
 #include <cstdio>
-#include <tuple>
 
 namespace nezha::net {
-namespace {
-
-std::uint64_t mix64(std::uint64_t x) {
-  x ^= x >> 33;
-  x *= 0xff51afd7ed558ccdULL;
-  x ^= x >> 33;
-  x *= 0xc4ceb9fe1a85ec53ULL;
-  x ^= x >> 33;
-  return x;
-}
-
-auto key(const FiveTuple& ft) {
-  return std::make_tuple(ft.src_ip.value(), ft.dst_ip.value(), ft.src_port,
-                         ft.dst_port);
-}
-
-}  // namespace
-
-FiveTuple FiveTuple::canonical() const {
-  const FiveTuple rev = reversed();
-  return key(*this) <= key(rev) ? *this : rev;
-}
 
 bool FiveTuple::is_canonical() const { return *this == canonical(); }
 
@@ -35,16 +12,6 @@ std::string FiveTuple::to_string() const {
                 src_port, dst_ip.to_string().c_str(), dst_port,
                 static_cast<unsigned>(proto));
   return buf;
-}
-
-std::uint64_t flow_hash(const FiveTuple& ft, std::uint64_t seed) {
-  std::uint64_t h = seed ^ 0x5851f42d4c957f2dULL;
-  h = mix64(h ^ ft.src_ip.value());
-  h = mix64(h ^ ft.dst_ip.value());
-  h = mix64(h ^ (static_cast<std::uint64_t>(ft.src_port) << 16 |
-                 ft.dst_port));
-  h = mix64(h ^ static_cast<std::uint64_t>(ft.proto));
-  return h;
 }
 
 }  // namespace nezha::net

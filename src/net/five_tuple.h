@@ -30,9 +30,16 @@ struct FiveTuple {
   }
 
   /// Direction-insensitive canonical form: the lexicographically smaller of
-  /// (this, reversed()). Bidirectional flows of a session share one
-  /// canonical tuple, which keys the session table.
-  FiveTuple canonical() const;
+  /// (this, reversed()) on (src_ip, dst_ip, src_port, dst_port).
+  /// Bidirectional flows of a session share one canonical tuple, which keys
+  /// the session table. Inline: it runs per packet per hop (session keying,
+  /// ECMP) and the orientation test is a couple of compares.
+  FiveTuple canonical() const {
+    if (src_ip.value() != dst_ip.value()) {
+      return src_ip.value() < dst_ip.value() ? *this : reversed();
+    }
+    return src_port <= dst_port ? *this : reversed();
+  }
 
   /// True when this tuple is already in canonical orientation.
   bool is_canonical() const;
@@ -43,8 +50,29 @@ struct FiveTuple {
 };
 
 /// Stable 64-bit flow hash (used for FE selection; must be deterministic
-/// across runs so tests can assert placement).
-std::uint64_t flow_hash(const FiveTuple& ft, std::uint64_t seed = 0);
+/// across runs so tests can assert placement). Inline: it runs several times
+/// per simulated packet (session index, FE pick, ECMP, encap entropy) and
+/// the call overhead was measurable. The mixing constants are part of the
+/// simulation's determinism contract — changing them moves FE/ECMP placement
+/// and therefore the golden fingerprint.
+inline std::uint64_t flow_hash_mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+inline std::uint64_t flow_hash(const FiveTuple& ft, std::uint64_t seed = 0) {
+  std::uint64_t h = seed ^ 0x5851f42d4c957f2dULL;
+  h = flow_hash_mix64(h ^ ft.src_ip.value());
+  h = flow_hash_mix64(h ^ ft.dst_ip.value());
+  h = flow_hash_mix64(h ^ (static_cast<std::uint64_t>(ft.src_port) << 16 |
+                           ft.dst_port));
+  h = flow_hash_mix64(h ^ static_cast<std::uint64_t>(ft.proto));
+  return h;
+}
 
 }  // namespace nezha::net
 

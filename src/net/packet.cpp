@@ -202,7 +202,7 @@ std::string Packet::to_string() const {
     s += " @" + overlay->src_ip.to_string() + "->" +
          overlay->dst_ip.to_string() + " vni=" + std::to_string(overlay->vni);
   }
-  if (carrier) s += " +carrier(" + std::to_string(carrier->tlvs().size()) + ")";
+  if (carrier) s += " +carrier(" + std::to_string(carrier->tlv_count()) + ")";
   return s;
 }
 

@@ -17,6 +17,7 @@ std::uint32_t EventLoop::alloc_slot() {
 void EventLoop::free_slot(std::uint32_t slot) {
   Slot& s = slots_[slot];
   s.cb = nullptr;
+  s.raw = nullptr;
   s.armed = false;
   s.period = -1;
   ++s.gen;  // ids minted for the old generation go permanently stale
@@ -30,7 +31,22 @@ EventId EventLoop::schedule_at(common::TimePoint t, Callback cb) {
   s.cb = std::move(cb);
   s.armed = true;
   s.period = -1;
-  queue_.push(QEntry{t, next_seq_++, slot, s.gen});
+  heap_push(QEntry{t, next_seq_++, slot, s.gen});
+  ++live_;
+  return make_id(slot, s.gen);
+}
+
+EventId EventLoop::schedule_raw_at(common::TimePoint t, RawFn fn, void* ctx,
+                                   std::uint64_t arg) {
+  if (t < now_) t = now_;
+  const std::uint32_t slot = alloc_slot();
+  Slot& s = slots_[slot];
+  s.raw = fn;
+  s.raw_ctx = ctx;
+  s.raw_arg = arg;
+  s.armed = true;
+  s.period = -1;
+  heap_push(QEntry{t, next_seq_++, slot, s.gen});
   ++live_;
   return make_id(slot, s.gen);
 }
@@ -47,7 +63,7 @@ EventId EventLoop::schedule_periodic(common::Duration period, Callback cb) {
   s.cb = std::move(cb);
   s.armed = true;
   s.period = period;
-  queue_.push(QEntry{now_ + period, next_seq_++, slot, s.gen});
+  heap_push(QEntry{now_ + period, next_seq_++, slot, s.gen});
   ++live_;
   return make_id(slot, s.gen);
 }
@@ -64,9 +80,9 @@ void EventLoop::cancel(EventId id) {
 }
 
 bool EventLoop::fire_next() {
-  while (!queue_.empty()) {
-    const QEntry top = queue_.top();
-    queue_.pop();
+  while (!heap_.empty()) {
+    const QEntry top = heap_.front();
+    heap_pop();
     Slot& s = slots_[top.slot];
     if (s.gen != top.gen) continue;            // stale reference
     if (!s.armed) {                            // cancelled while queued
@@ -86,10 +102,19 @@ bool EventLoop::fire_next() {
         // Re-arm after the callback ran so the next tick's sequence number
         // orders it behind events the callback itself scheduled (matches
         // the self-rescheduling pattern this API replaced).
-        queue_.push(QEntry{top.at + period, next_seq_++, top.slot, top.gen});
+        heap_push(QEntry{top.at + period, next_seq_++, top.slot, top.gen});
       } else if (after.gen == top.gen) {
         free_slot(top.slot);  // the callback cancelled its own series
       }
+    } else if (s.raw != nullptr) {
+      s.armed = false;
+      --live_;
+      // Copy out before freeing: the callee may schedule and reuse the slot.
+      const RawFn fn = s.raw;
+      void* ctx = s.raw_ctx;
+      const std::uint64_t arg = s.raw_arg;
+      free_slot(top.slot);
+      fn(ctx, arg);
     } else {
       s.armed = false;
       --live_;
@@ -103,13 +128,13 @@ bool EventLoop::fire_next() {
 }
 
 void EventLoop::drop_dead_heads() {
-  while (!queue_.empty()) {
-    const QEntry& top = queue_.top();
+  while (!heap_.empty()) {
+    const QEntry& top = heap_.front();
     const Slot& s = slots_[top.slot];
     if (s.gen == top.gen && s.armed) return;  // live head
     const std::uint32_t slot = top.slot;
     const bool owned = s.gen == top.gen;
-    queue_.pop();
+    heap_pop();
     if (owned) free_slot(slot);
   }
 }
@@ -126,7 +151,7 @@ void EventLoop::run_until(common::TimePoint t) {
     // that bug: fire_next() skipped the cancelled head and executed the
     // next live event regardless of its time).
     drop_dead_heads();
-    if (queue_.empty() || queue_.top().at > t) break;
+    if (heap_.empty() || heap_.front().at > t) break;
     fire_next();
   }
   if (now_ < t) now_ = t;

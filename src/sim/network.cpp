@@ -1,5 +1,6 @@
 #include "src/sim/network.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/net/five_tuple.h"
@@ -10,7 +11,8 @@ Network::Network(EventLoop& loop, Topology topology, NetworkConfig config)
     : loop_(loop), topology_(topology), config_(config) {
   if (topology_.is_clos()) {
     const ClosConfig& clos = topology_.config().clos;
-    spine_bytes_.assign(clos.num_spines == 0 ? 1 : clos.num_spines, 0);
+    num_spines_ = clos.num_spines == 0 ? 1 : clos.num_spines;
+    spine_bytes_.assign(num_spines_, 0);
     if (config_.fabric_link_bps > 0) {
       fabric_link_bps_ = config_.fabric_link_bps;
     } else {
@@ -22,37 +24,133 @@ Network::Network(EventLoop& loop, Topology topology, NetworkConfig config)
       fabric_link_bps_ =
           config_.link_bps * clos.hosts_per_leaf / (spines * oversub);
     }
+    fabric_links_.resize(2 * num_spines_ * clos.num_leaves);
+  }
+  ip_slots_.assign(64, {0, nullptr});
+}
+
+void Network::ip_insert(std::uint32_t ip, Node* node) {
+  if (ip == 0) {
+    if (ip_zero_node_ == nullptr) ++ip_count_;
+    ip_zero_node_ = node;
+    return;
+  }
+  const std::size_t mask = ip_slots_.size() - 1;
+  std::size_t i = (ip * 2654435761u) & mask;
+  while (ip_slots_[i].first != 0) {
+    if (ip_slots_[i].first == ip) {
+      ip_slots_[i].second = node;
+      return;
+    }
+    i = (i + 1) & mask;
+  }
+  ip_slots_[i] = {ip, node};
+  ++ip_count_;
+}
+
+void Network::rebuild_ip_table() {
+  std::size_t cap = ip_slots_.size();
+  while (cap < 2 * (ip_count_ + 1)) cap *= 2;
+  ip_slots_.assign(cap, {0, nullptr});
+  ip_count_ = 0;
+  ip_zero_node_ = nullptr;
+  for (Node* node : nodes_) {
+    if (node != nullptr) ip_insert(node->underlay_ip().value(), node);
   }
 }
 
+Node* Network::find_by_ip(net::Ipv4Addr ip) const {
+  const std::uint32_t key = ip.value();
+  if (key == 0) return ip_zero_node_;
+  const std::size_t mask = ip_slots_.size() - 1;
+  std::size_t i = (key * 2654435761u) & mask;
+  while (ip_slots_[i].first != 0) {
+    if (ip_slots_[i].first == key) return ip_slots_[i].second;
+    i = (i + 1) & mask;
+  }
+  return nullptr;
+}
+
 void Network::attach(Node& node) {
-  nodes_[node.id()] = &node;
-  by_ip_[node.underlay_ip().value()] = &node;
-  ports_.emplace(node.id(), Port{});
+  const NodeId id = node.id();
+  if (id >= nodes_.size()) {
+    nodes_.resize(id + 1, nullptr);
+    ports_.resize(id + 1);
+    crashed_.resize(id + 1, 0);
+  }
+  nodes_[id] = &node;
+  ports_[id] = Port{};
+  // Probe-table growth keeps the load factor ≤ 1/2.
+  if (2 * (ip_count_ + 1) > ip_slots_.size()) {
+    rebuild_ip_table();
+  }
+  ip_insert(node.underlay_ip().value(), &node);
 }
 
 void Network::detach(NodeId id) {
-  auto it = nodes_.find(id);
-  if (it == nodes_.end()) return;
-  by_ip_.erase(it->second->underlay_ip().value());
-  nodes_.erase(it);
-  ports_.erase(id);
-  crashed_.erase(id);
+  if (id >= nodes_.size() || nodes_[id] == nullptr) return;
+  nodes_[id] = nullptr;
+  ports_[id] = Port{};
+  crashed_[id] = 0;
+  rebuild_ip_table();
 }
 
-Node* Network::find_by_ip(net::Ipv4Addr ip) const {
-  auto it = by_ip_.find(ip.value());
-  return it == by_ip_.end() ? nullptr : it->second;
+std::uint32_t Network::alloc_slot() {
+  if (free_slots_.empty()) {
+    slab_.emplace_back();
+    free_slots_.reserve(slab_.capacity());
+    return static_cast<std::uint32_t>(slab_.size() - 1);
+  }
+  const std::uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  return slot;
 }
 
-Node* Network::find_by_id(NodeId id) const {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? nullptr : it->second;
+void Network::complete(std::uint32_t slot) {
+  InFlight& rec = slab_[slot];
+  net::Packet pkt = std::move(rec.pkt);
+  const NodeId from = rec.from;
+  const NodeId to = rec.to;
+  const std::uint32_t bytes = rec.bytes;
+  const std::int32_t up = rec.up_link;
+  const std::int32_t down = rec.down_link;
+  const HopKind kind = rec.kind;
+  // Free before delivery: receive() may send and reuse this slot.
+  free_slots_.push_back(slot);
+  --in_flight_;
+
+  // Drain the queue accounting as the bytes leave the port / fabric links.
+  if (from < ports_.size() && ports_[from].queued_bytes >= bytes) {
+    ports_[from].queued_bytes -= bytes;
+  }
+  if (up >= 0 && fabric_links_[up].queued_bytes >= bytes) {
+    fabric_links_[up].queued_bytes -= bytes;
+  }
+  if (down >= 0 && fabric_links_[down].queued_bytes >= bytes) {
+    fabric_links_[down].queued_bytes -= bytes;
+  }
+
+  if (kind == HopKind::kFabricDrop) {
+    ++dropped_fabric_;
+    return;
+  }
+  if (crashed(to)) {
+    ++dropped_crashed_;
+    return;
+  }
+  Node* node = find_by_id(to);
+  if (node == nullptr) {
+    ++dropped_no_route_;
+    return;
+  }
+  ++delivered_;
+  if (trace_) trace_(loop_.now(), pkt, from, to);
+  node->receive(std::move(pkt));
 }
 
 void Network::send(NodeId from, net::Ipv4Addr to_ip, net::Packet pkt) {
   ++sent_;
-  if (crashed_.contains(from)) {
+  if (crashed(from)) {
     ++dropped_crashed_;
     return;
   }
@@ -61,7 +159,7 @@ void Network::send(NodeId from, net::Ipv4Addr to_ip, net::Packet pkt) {
     ++dropped_no_route_;
     return;
   }
-  if (partitions_.contains(pair_key(from, dst->id()))) {
+  if (partitioned(from, dst->id())) {
     ++dropped_partitioned_;
     return;
   }
@@ -93,31 +191,20 @@ void Network::send(NodeId from, net::Ipv4Addr to_ip, net::Packet pkt) {
     return;
   }
 
-  const common::TimePoint arrival = tx_done + topology_.latency(from, dst->id());
+  const common::TimePoint arrival = tx_done + topology_.latency(from, to);
   total_bytes_ += bytes;
 
   ++in_flight_;
-  loop_.schedule_at(arrival, [this, from, to, pkt = std::move(pkt),
-                              bytes]() mutable {
-    --in_flight_;
-    // Drain the sender queue accounting as the bytes leave the port.
-    auto pit = ports_.find(from);
-    if (pit != ports_.end() && pit->second.queued_bytes >= bytes) {
-      pit->second.queued_bytes -= bytes;
-    }
-    if (crashed_.contains(to)) {
-      ++dropped_crashed_;
-      return;
-    }
-    Node* node = find_by_id(to);
-    if (node == nullptr) {
-      ++dropped_no_route_;
-      return;
-    }
-    ++delivered_;
-    if (trace_) trace_(loop_.now(), pkt, from, to);
-    node->receive(std::move(pkt));
-  });
+  const std::uint32_t slot = alloc_slot();
+  InFlight& rec = slab_[slot];
+  rec.pkt = std::move(pkt);
+  rec.from = from;
+  rec.to = to;
+  rec.bytes = static_cast<std::uint32_t>(bytes);
+  rec.up_link = -1;
+  rec.down_link = -1;
+  rec.kind = HopKind::kDeliver;
+  loop_.schedule_raw_at(arrival, &Network::complete_thunk, this, slot);
 }
 
 void Network::send_clos(NodeId from, NodeId to, std::size_t bytes,
@@ -128,109 +215,98 @@ void Network::send_clos(NodeId from, NodeId to, std::size_t bytes,
   const std::uint64_t entropy =
       net::flow_hash(pkt.inner.ft.canonical(), config_.ecmp_seed);
   const std::uint32_t spine = topology_.ecmp_spine(from, to, entropy);
-  const std::uint64_t up_key = fabric_key(false, topology_.leaf_of(from), spine);
-  const std::uint64_t down_key = fabric_key(true, topology_.leaf_of(to), spine);
+  const std::uint32_t up_idx =
+      fabric_index(false, topology_.leaf_of(from), spine);
+  const std::uint32_t down_idx =
+      fabric_index(true, topology_.leaf_of(to), spine);
+  const std::uint32_t max_idx = std::max(up_idx, down_idx);
+  if (max_idx >= fabric_links_.size()) {
+    // Off-grid senders (gateway/monitor nodes beyond the host grid) extend
+    // the link table; fabric_index() never renumbers existing links.
+    fabric_links_.resize(max_idx + 1);
+  }
   const auto fabric_ser = static_cast<common::Duration>(
       static_cast<double>(bytes) * 8.0 / fabric_link_bps_ *
       static_cast<double>(common::kSecond));
 
-  // Drains queue accounting once the packet's fate is decided. drained_links
-  // counts how many fabric links the packet was accepted onto.
-  const auto drain = [this, from, up_key, down_key, bytes](int drained_links) {
-    auto pit = ports_.find(from);
-    if (pit != ports_.end() && pit->second.queued_bytes >= bytes) {
-      pit->second.queued_bytes -= bytes;
-    }
-    if (drained_links >= 1) {
-      Port& up = fabric_links_[up_key];
-      if (up.queued_bytes >= bytes) up.queued_bytes -= bytes;
-    }
-    if (drained_links >= 2) {
-      Port& down = fabric_links_[down_key];
-      if (down.queued_bytes >= bytes) down.queued_bytes -= bytes;
-    }
-  };
-
   ++in_flight_;
+  const std::uint32_t slot = alloc_slot();
+  InFlight& rec = slab_[slot];
+  rec.pkt = std::move(pkt);
+  rec.from = from;
+  rec.to = to;
+  rec.bytes = static_cast<std::uint32_t>(bytes);
+  rec.up_link = -1;
+  rec.down_link = -1;
 
   // Leaf→spine uplink: queue + serialize at the contended fabric rate.
   const common::TimePoint at_leaf = tx_done + clos.host_leaf_latency;
-  {
-    Port& up = fabric_links_[up_key];
-    if (up.busy_until < at_leaf) {
-      up.busy_until = at_leaf;
-      up.queued_bytes = 0;
-    }
-    if (up.queued_bytes + bytes > config_.fabric_queue_bytes) {
-      loop_.schedule_at(at_leaf, [this, drain] {
-        --in_flight_;
-        ++dropped_fabric_;
-        drain(0);
-      });
-      return;
-    }
-    up.busy_until += fabric_ser;
-    up.queued_bytes += bytes;
+  Port& up = fabric_links_[up_idx];
+  if (up.busy_until < at_leaf) {
+    up.busy_until = at_leaf;
+    up.queued_bytes = 0;
   }
-  const common::TimePoint at_spine =
-      fabric_links_[up_key].busy_until + clos.leaf_spine_latency;
+  if (up.queued_bytes + bytes > config_.fabric_queue_bytes) {
+    rec.kind = HopKind::kFabricDrop;
+    loop_.schedule_raw_at(at_leaf, &Network::complete_thunk, this, slot);
+    return;
+  }
+  up.busy_until += fabric_ser;
+  up.queued_bytes += bytes;
+  rec.up_link = static_cast<std::int32_t>(up_idx);
+  const common::TimePoint at_spine = up.busy_until + clos.leaf_spine_latency;
 
   // Spine→leaf downlink.
-  common::TimePoint down_done;
-  {
-    Port& down = fabric_links_[down_key];
-    if (down.busy_until < at_spine) {
-      down.busy_until = at_spine;
-      down.queued_bytes = 0;
-    }
-    if (down.queued_bytes + bytes > config_.fabric_queue_bytes) {
-      loop_.schedule_at(at_spine, [this, drain] {
-        --in_flight_;
-        ++dropped_fabric_;
-        drain(1);
-      });
-      return;
-    }
-    down.busy_until += fabric_ser;
-    down.queued_bytes += bytes;
-    down_done = down.busy_until;
+  Port& down = fabric_links_[down_idx];
+  if (down.busy_until < at_spine) {
+    down.busy_until = at_spine;
+    down.queued_bytes = 0;
   }
+  if (down.queued_bytes + bytes > config_.fabric_queue_bytes) {
+    rec.kind = HopKind::kFabricDrop;
+    loop_.schedule_raw_at(at_spine, &Network::complete_thunk, this, slot);
+    return;
+  }
+  down.busy_until += fabric_ser;
+  down.queued_bytes += bytes;
+  rec.down_link = static_cast<std::int32_t>(down_idx);
+  const common::TimePoint down_done = down.busy_until;
   spine_bytes_[spine] += bytes;
 
   const common::TimePoint arrival =
       down_done + clos.leaf_spine_latency + clos.host_leaf_latency;
-  loop_.schedule_at(arrival, [this, from, to, pkt = std::move(pkt),
-                              drain]() mutable {
-    --in_flight_;
-    drain(2);
-    if (crashed_.contains(to)) {
-      ++dropped_crashed_;
-      return;
-    }
-    Node* node = find_by_id(to);
-    if (node == nullptr) {
-      ++dropped_no_route_;
-      return;
-    }
-    ++delivered_;
-    if (trace_) trace_(loop_.now(), pkt, from, to);
-    node->receive(std::move(pkt));
-  });
+  rec.kind = HopKind::kDeliver;
+  loop_.schedule_raw_at(arrival, &Network::complete_thunk, this, slot);
 }
 
-void Network::crash(NodeId id) { crashed_.insert(id); }
-void Network::heal(NodeId id) { crashed_.erase(id); }
+void Network::crash(NodeId id) {
+  if (id >= crashed_.size()) crashed_.resize(id + 1, 0);
+  crashed_[id] = 1;
+}
+
+void Network::heal(NodeId id) {
+  if (id < crashed_.size()) crashed_[id] = 0;
+}
 
 void Network::partition(NodeId a, NodeId b) {
-  partitions_.insert(pair_key(a, b));
+  const std::uint64_t key = pair_key(a, b);
+  if (std::find(partition_pairs_.begin(), partition_pairs_.end(), key) ==
+      partition_pairs_.end()) {
+    partition_pairs_.push_back(key);
+  }
 }
 
 void Network::heal_partition(NodeId a, NodeId b) {
-  partitions_.erase(pair_key(a, b));
+  const std::uint64_t key = pair_key(a, b);
+  partition_pairs_.erase(
+      std::remove(partition_pairs_.begin(), partition_pairs_.end(), key),
+      partition_pairs_.end());
 }
 
 bool Network::partitioned(NodeId a, NodeId b) const {
-  return partitions_.contains(pair_key(a, b));
+  if (partition_pairs_.empty()) return false;
+  return std::find(partition_pairs_.begin(), partition_pairs_.end(),
+                   pair_key(a, b)) != partition_pairs_.end();
 }
 
 }  // namespace nezha::sim

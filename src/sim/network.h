@@ -7,13 +7,20 @@
 // spine→leaf downlink of the ECMP-selected spine — each with finite
 // bandwidth and a tail-drop queue, so offload traffic genuinely competes
 // for spine capacity.
+//
+// Datapath memory model: a packet in flight lives in a pooled slab record
+// (InFlight) addressed by a small slot index, and the scheduled completion
+// captures only {this, slot} — small enough for std::function's inline
+// buffer, so forwarding a packet performs no heap allocation. All per-packet
+// lookups are dense-vector indexed: nodes/ports/crash bits by NodeId, fabric
+// links by a precomputed (leaf, spine, direction) index, and the IP→node map
+// is a flat open-addressed probe table.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/common/stats.h"
@@ -53,7 +60,9 @@ class Network {
   void detach(NodeId id);
 
   Node* find_by_ip(net::Ipv4Addr ip) const;
-  Node* find_by_id(NodeId id) const;
+  Node* find_by_id(NodeId id) const {
+    return id < nodes_.size() ? nodes_[id] : nullptr;
+  }
 
   /// Sends pkt from `from` to the node owning `to_ip`. The packet first
   /// waits in the sender's egress queue (serialization at link_bps), then
@@ -65,7 +74,9 @@ class Network {
   /// Fault injection: a crashed node neither sends nor receives.
   void crash(NodeId id);
   void heal(NodeId id);
-  bool crashed(NodeId id) const { return crashed_.contains(id); }
+  bool crashed(NodeId id) const {
+    return id < crashed_.size() && crashed_[id] != 0;
+  }
 
   /// Link-level fault injection: drops all traffic between a and b (both
   /// directions) while both nodes stay healthy — the §C.1 scenario where
@@ -104,40 +115,86 @@ class Network {
   void set_trace(TraceFn fn) { trace_ = std::move(fn); }
 
  private:
-  /// Cross-leaf Clos path: queue through the ECMP-selected uplink/downlink
-  /// pair after sender-port serialization completes at tx_done.
-  void send_clos(NodeId from, NodeId to, std::size_t bytes,
-                 common::TimePoint tx_done, net::Packet pkt);
-
   struct Port {
     // Virtual time at which the egress link becomes free.
     common::TimePoint busy_until = 0;
     std::size_t queued_bytes = 0;
   };
 
-  /// Key for a directed fabric link: bit 63 = direction (0 = leaf→spine
-  /// uplink, 1 = spine→leaf downlink), then leaf and spine indices.
-  static std::uint64_t fabric_key(bool down, std::uint32_t leaf,
-                                  std::uint32_t spine) {
-    return (static_cast<std::uint64_t>(down) << 63) |
-           (static_cast<std::uint64_t>(leaf) << 32) | spine;
+  /// What a scheduled completion does with its in-flight record.
+  enum class HopKind : std::uint8_t {
+    kDeliver = 0,          // hand the packet to the destination node
+    kFabricDrop = 1,       // tail-dropped on a Clos fabric link
+  };
+
+  /// Pooled record for one packet between send() and its completion event.
+  /// up_link / down_link are fabric-link indices to drain on completion
+  /// (-1 = not queued on that link).
+  struct InFlight {
+    net::Packet pkt;
+    NodeId from = 0;
+    NodeId to = 0;
+    std::uint32_t bytes = 0;
+    std::int32_t up_link = -1;
+    std::int32_t down_link = -1;
+    HopKind kind = HopKind::kDeliver;
+  };
+
+  /// Cross-leaf Clos path: queue through the ECMP-selected uplink/downlink
+  /// pair after sender-port serialization completes at tx_done.
+  void send_clos(NodeId from, NodeId to, std::size_t bytes,
+                 common::TimePoint tx_done, net::Packet pkt);
+
+  std::uint32_t alloc_slot();
+  void complete(std::uint32_t slot);
+  /// EventLoop raw-callback shim for the per-hop delivery events — the
+  /// hottest schedule site in the simulator; avoids a std::function per hop.
+  static void complete_thunk(void* self, std::uint64_t slot) {
+    static_cast<Network*>(self)->complete(static_cast<std::uint32_t>(slot));
+  }
+  void rebuild_ip_table();
+  void ip_insert(std::uint32_t ip, Node* node);
+
+  /// Directed fabric link index: appending leaves as higher NodeIds appear
+  /// never renumbers existing links (spine count is fixed per topology).
+  std::uint32_t fabric_index(bool down, std::uint32_t leaf,
+                             std::uint32_t spine) const {
+    return (leaf * num_spines_ + spine) * 2 + (down ? 1 : 0);
+  }
+
+  static std::uint64_t pair_key(NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
   }
 
   EventLoop& loop_;
   Topology topology_;
   NetworkConfig config_;
   double fabric_link_bps_ = 0;
-  std::unordered_map<NodeId, Node*> nodes_;
-  std::unordered_map<std::uint32_t, Node*> by_ip_;
-  static std::uint64_t pair_key(NodeId a, NodeId b) {
-    if (a > b) std::swap(a, b);
-    return (static_cast<std::uint64_t>(a) << 32) | b;
-  }
+  std::uint32_t num_spines_ = 1;
 
-  std::unordered_map<NodeId, Port> ports_;
-  std::unordered_map<std::uint64_t, Port> fabric_links_;
-  std::unordered_set<NodeId> crashed_;
-  std::unordered_set<std::uint64_t> partitions_;
+  // Dense per-node state, indexed by NodeId (ids are small and sequential).
+  std::vector<Node*> nodes_;
+  std::vector<Port> ports_;
+  std::vector<std::uint8_t> crashed_;
+
+  // Flat open-addressed IP→node probe table (key 0 = empty slot; a node
+  // with underlay IP 0.0.0.0 gets the dedicated side slot).
+  std::vector<std::pair<std::uint32_t, Node*>> ip_slots_;
+  std::size_t ip_count_ = 0;
+  Node* ip_zero_node_ = nullptr;
+
+  // Directed Clos fabric links, indexed by fabric_index().
+  std::vector<Port> fabric_links_;
+
+  // Partitions are rare and few; a tiny pair-key vector beats a hash set.
+  std::vector<std::uint64_t> partition_pairs_;
+
+  // In-flight packet slab + free list (free list capacity tracks the slab,
+  // so completion-side push_back never reallocates).
+  std::vector<InFlight> slab_;
+  std::vector<std::uint32_t> free_slots_;
+
   TraceFn trace_;
 
   std::uint64_t sent_ = 0;

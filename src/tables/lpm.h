@@ -2,9 +2,11 @@
 //
 // Implementation: one exact-match hash map per prefix length, probed from
 // /32 down — simple, allocation-friendly, and plenty fast for simulation.
-// A 33-bit populated-length bitmask lets lookups probe only lengths that
-// actually hold prefixes (real tables cluster at a handful of lengths), so
-// the common case does a few probes instead of 33 empty-level checks.
+// Lookups walk a precomputed probe list of {mask, length} pairs (descending
+// by length, one entry per populated level), so the common case is a few
+// contiguous probes with no per-probe bit-scan or mask arithmetic. The list
+// stores lengths, not level pointers, so the table stays trivially
+// copyable/movable (RuleTableSet is full-copied on FE installation).
 #pragma once
 
 #include <array>
@@ -12,6 +14,7 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "src/net/addr.h"
 #include "src/tables/prefix.h"
@@ -27,7 +30,11 @@ class LpmTable {
                                                  std::move(value));
     (void)it;
     if (inserted) ++size_;
-    populated_ |= std::uint64_t{1} << prefix.length;
+    const std::uint64_t bit = std::uint64_t{1} << prefix.length;
+    if ((populated_ & bit) == 0) {
+      populated_ |= bit;
+      rebuild_probes();
+    }
   }
 
   bool erase(Prefix prefix) {
@@ -35,7 +42,10 @@ class LpmTable {
     const bool removed = level.erase(prefix.network()) > 0;
     if (removed) {
       --size_;
-      if (level.empty()) populated_ &= ~(std::uint64_t{1} << prefix.length);
+      if (level.empty()) {
+        populated_ &= ~(std::uint64_t{1} << prefix.length);
+        rebuild_probes();
+      }
     }
     return removed;
   }
@@ -44,18 +54,16 @@ class LpmTable {
     for (auto& level : levels_) level.clear();
     size_ = 0;
     populated_ = 0;
+    probes_.clear();
   }
 
   std::size_t size() const { return size_; }
 
   /// Longest-prefix match; nullptr when no prefix covers ip.
   const V* lookup(net::Ipv4Addr ip) const {
-    for (std::uint64_t remaining = populated_; remaining != 0;) {
-      const int len = std::bit_width(remaining) - 1;  // longest first
-      remaining &= ~(std::uint64_t{1} << len);
-      const auto& level = levels_[static_cast<std::size_t>(len)];
-      const std::uint32_t mask = (len == 0) ? 0u : (~0u << (32 - len));
-      auto it = level.find(ip.value() & mask);
+    for (const Probe& p : probes_) {
+      const auto& level = levels_[p.length];
+      auto it = level.find(ip.value() & p.mask);
       if (it != level.end()) return &it->second;
     }
     return nullptr;
@@ -73,9 +81,28 @@ class LpmTable {
   std::size_t memory_bytes() const { return size_ * kEntryBytes; }
 
  private:
+  struct Probe {
+    std::uint32_t mask;
+    std::uint8_t length;
+  };
+
+  /// Regenerates the probe list from the populated-length bitmask; runs only
+  /// when a level transitions empty↔non-empty, never per lookup.
+  void rebuild_probes() {
+    probes_.clear();
+    for (std::uint64_t remaining = populated_; remaining != 0;) {
+      const int len = std::bit_width(remaining) - 1;  // longest first
+      remaining &= ~(std::uint64_t{1} << len);
+      const std::uint32_t mask = (len == 0) ? 0u : (~0u << (32 - len));
+      probes_.push_back(Probe{mask, static_cast<std::uint8_t>(len)});
+    }
+  }
+
   std::array<std::unordered_map<std::uint32_t, V>, 33> levels_;
   /// Bit L set ⇔ levels_[L] is non-empty.
   std::uint64_t populated_ = 0;
+  /// Populated levels, longest first; what lookup() actually walks.
+  std::vector<Probe> probes_;
   std::size_t size_ = 0;
 };
 

@@ -61,6 +61,12 @@ class Vnic {
   void set_mode(VnicMode mode) { mode_ = mode; }
   bool has_local_tables() const { return rules_ != nullptr; }
 
+  /// Stateful decap (§5.2): record the overlay source of the first RX
+  /// packet so TX responses return to the LB. Kept here (not in a vSwitch
+  /// side map) so the datapath reads it with the vNIC it already holds.
+  bool stateful_decap() const { return stateful_decap_; }
+  void set_stateful_decap(bool on) { stateful_decap_ = on; }
+
   /// Rule tables; null once the vNIC reaches the offloaded final stage.
   tables::RuleTableSet* rules() { return rules_.get(); }
   const tables::RuleTableSet* rules() const { return rules_.get(); }
@@ -91,12 +97,20 @@ class Vnic {
   common::TimePoint dual_running_until() const { return dual_running_until_; }
   void set_dual_running_until(common::TimePoint t) { dual_running_until_ = t; }
 
+  /// Slot of this vNIC's adapter delivery counter, resolved once by the
+  /// hosting vSwitch at creation (the counter map's nodes are stable) so the
+  /// per-packet delivery path does not hash the adapter id.
+  std::uint64_t* delivery_counter() const { return delivery_counter_; }
+  void set_delivery_counter(std::uint64_t* slot) { delivery_counter_ = slot; }
+
  private:
   VnicConfig config_;
   VnicMode mode_ = VnicMode::kLocal;
+  bool stateful_decap_ = false;
   std::unique_ptr<tables::RuleTableSet> rules_;
   std::vector<tables::Location> fe_locations_;
   common::TimePoint dual_running_until_ = 0;
+  std::uint64_t* delivery_counter_ = nullptr;
 };
 
 }  // namespace nezha::vswitch

@@ -22,11 +22,13 @@ constexpr std::size_t kPreActionCacheBytes = flow::kPreActionsBytes;
 constexpr std::size_t kFeCacheEntryBytes =
     flow::kSessionKeyBytes + flow::kPreActionsBytes;
 
-std::vector<std::uint8_t> encode_vnic_id(tables::VnicId id) {
-  std::vector<std::uint8_t> out;
-  net::ByteWriter w(out);
+constexpr std::size_t kVnicIdWireSize = 8;
+
+/// Encodes the vNIC id TLV directly into the carrier's inline arena.
+void add_vnic_id_tlv(net::CarrierHeader& c, tables::VnicId id) {
+  net::FixedWriter w(
+      c.add_uninit(net::CarrierTlvType::kVnicId, kVnicIdWireSize));
   w.u64(id);
-  return out;
 }
 
 tables::VnicId decode_vnic_id(std::span<const std::uint8_t> bytes) {
@@ -56,7 +58,9 @@ VSwitch::VSwitch(sim::NodeId id, std::string name, net::Ipv4Addr underlay_ip,
       rule_pool_(config.rule_memory_bytes),
       session_pool_(config.session_memory_bytes),
       learned_map_(gateway_map, config.learning_interval),
-      sessions_(with_shape(config.session_config, true, true)) {}
+      sessions_(with_shape(config.session_config, true, true)) {
+  counters_.register_ids(kCounterNames);
+}
 
 // ---------------------------------------------------------------- vNICs
 
@@ -66,13 +70,15 @@ common::Status VSwitch::add_vnic(const VnicConfig& vnic_config,
     return common::make_error("vnic already exists");
   }
   Vnic v(vnic_config);
+  v.set_stateful_decap(stateful_decap);
   const std::size_t bytes = v.rules()->memory_bytes();
   if (!rule_pool_.reserve(bytes)) {
     return common::make_error("rule memory exhausted (#vNICs limit)");
   }
-  vnic_by_addr_[vnic_config.addr] = vnic_config.id;
-  stateful_decap_[vnic_config.id] = stateful_decap;
-  vnics_.emplace(vnic_config.id, std::move(v));
+  auto [it, inserted] = vnics_.emplace(vnic_config.id, std::move(v));
+  dispatch_by_addr_[vnic_config.addr].vnic = &it->second;
+  it->second.set_delivery_counter(
+      &adapter_deliveries_[vnic_config.parent.value_or(vnic_config.id)]);
   return common::Status::ok_status();
 }
 
@@ -84,8 +90,11 @@ void VSwitch::remove_vnic(tables::VnicId id) {
   } else {
     rule_pool_.release(kBackendMetadataBytes);
   }
-  vnic_by_addr_.erase(it->second.addr());
-  stateful_decap_.erase(id);
+  if (auto dit = dispatch_by_addr_.find(it->second.addr());
+      dit != dispatch_by_addr_.end()) {
+    dit->second.vnic = nullptr;
+    if (dit->second.fe == nullptr) dispatch_by_addr_.erase(dit);
+  }
   vnics_.erase(it);
 }
 
@@ -122,8 +131,8 @@ common::Status VSwitch::install_frontend(const VnicConfig& vnic_config,
                           with_shape(config_.session_config, true, false)),
                       be_location,
                       stateful_decap};
-  frontend_by_addr_[vnic_config.addr] = vnic_config.id;
-  frontends_.emplace(vnic_config.id, std::move(fe));
+  auto [it, inserted] = frontends_.emplace(vnic_config.id, std::move(fe));
+  dispatch_by_addr_[vnic_config.addr].fe = &it->second;
   return common::Status::ok_status();
 }
 
@@ -132,7 +141,11 @@ void VSwitch::remove_frontend(tables::VnicId id) {
   if (it == frontends_.end()) return;
   rule_pool_.release(it->second.rules.memory_bytes());
   session_pool_.release(it->second.flow_cache.size() * kFeCacheEntryBytes);
-  frontend_by_addr_.erase(it->second.addr);
+  if (auto dit = dispatch_by_addr_.find(it->second.addr);
+      dit != dispatch_by_addr_.end()) {
+    dit->second.fe = nullptr;
+    if (dit->second.vnic == nullptr) dispatch_by_addr_.erase(dit);
+  }
   frontends_.erase(it);
 }
 
@@ -243,18 +256,91 @@ void VSwitch::invalidate_cached_flows(tables::VnicId id) {
 bool VSwitch::consume_cpu(double cycles, std::function<void()> then) {
   const CpuModel::Outcome out = cpu_.consume(cycles, loop_.now());
   if (!out.accepted) {
-    counters_.inc("drop.cpu_overload");
+    inc(Ctr::kDropCpuOverload);
     return false;
   }
   loop_.schedule_at(out.done, std::move(then));
   return true;
 }
 
+void VSwitch::consume_cpu_noop(double cycles) {
+  const CpuModel::Outcome out = cpu_.consume(cycles, loop_.now());
+  if (!out.accepted) {
+    inc(Ctr::kDropCpuOverload);
+    return;
+  }
+  loop_.schedule_raw_at(out.done, [](void*, std::uint64_t) {}, nullptr);
+}
+
+std::uint32_t VSwitch::alloc_op_slot() {
+  if (op_free_.empty()) {
+    op_slab_.emplace_back();
+    // The free list never outgrows the slab, so matching its capacity makes
+    // the completion-side push_back allocation-free.
+    op_free_.reserve(op_slab_.capacity());
+    return static_cast<std::uint32_t>(op_slab_.size() - 1);
+  }
+  const std::uint32_t slot = op_free_.back();
+  op_free_.pop_back();
+  return slot;
+}
+
+void VSwitch::run_op(std::uint32_t slot) {
+  PendingOp& rec = op_slab_[slot];
+  net::Packet pkt = std::move(rec.pkt);
+  const tables::Location dst = rec.dst;
+  std::uint64_t* adapter_count = rec.adapter_count;
+  const tables::VnicId vid = rec.vid;
+  const OpKind kind = rec.kind;
+  // Free before acting: send_encapped / vm_delivery_ may re-enter and
+  // reuse this slot.
+  op_free_.push_back(slot);
+  if (kind == OpKind::kSend) {
+    send_encapped(std::move(pkt), dst);
+    return;
+  }
+  ++vm_deliveries_;
+  ++*adapter_count;
+  if (vm_delivery_) vm_delivery_(vid, pkt);
+}
+
+void VSwitch::consume_cpu_send(double cycles, net::Packet pkt,
+                               const tables::Location& dst) {
+  const CpuModel::Outcome out = cpu_.consume(cycles, loop_.now());
+  if (!out.accepted) {
+    inc(Ctr::kDropCpuOverload);
+    return;
+  }
+  const std::uint32_t slot = alloc_op_slot();
+  PendingOp& rec = op_slab_[slot];
+  rec.pkt = std::move(pkt);
+  rec.dst = dst;
+  rec.kind = OpKind::kSend;
+  loop_.schedule_raw_at(out.done, &VSwitch::run_op_thunk, this, slot);
+}
+
+void VSwitch::consume_cpu_deliver(double cycles, net::Packet pkt,
+                                  tables::VnicId vid,
+                                  std::uint64_t* adapter_count) {
+  const CpuModel::Outcome out = cpu_.consume(cycles, loop_.now());
+  if (!out.accepted) {
+    inc(Ctr::kDropCpuOverload);
+    return;
+  }
+  const std::uint32_t slot = alloc_op_slot();
+  PendingOp& rec = op_slab_[slot];
+  rec.pkt = std::move(pkt);
+  rec.adapter_count = adapter_count;
+  rec.vid = vid;
+  rec.kind = OpKind::kDeliver;
+  loop_.schedule_raw_at(out.done, &VSwitch::run_op_thunk, this, slot);
+}
+
 flow::SessionEntry* VSwitch::get_or_create_session(
     const flow::SessionKey& key) {
   if (auto* e = sessions_.find(key)) return e;
   if (!session_pool_.reserve(state_entry_bytes(config_))) {
-    counters_.inc("drop.session_full");
+    inc(Ctr::kDropSessionFull);
     return nullptr;
   }
   return sessions_.find_or_create(key, loop_.now());
@@ -264,7 +350,7 @@ flow::SessionEntry* VSwitch::get_or_create_cache_entry(
     FrontendInstance& fe, const flow::SessionKey& key) {
   if (auto* e = fe.flow_cache.find(key)) return e;
   if (!session_pool_.reserve(kFeCacheEntryBytes)) {
-    counters_.inc("drop.fe_cache_full");
+    inc(Ctr::kDropFeCacheFull);
     return nullptr;
   }
   return fe.flow_cache.find_or_create(key, loop_.now());
@@ -289,7 +375,7 @@ const flow::PreActions& VSwitch::ensure_pre_actions(
     entry.pre_actions = fallback;
     return *entry.pre_actions;
   }
-  counters_.inc("cache_insert_fail");
+  inc(Ctr::kCacheInsertFail);
   return fallback;
 }
 
@@ -355,7 +441,7 @@ void VSwitch::start_aging() {
 void VSwitch::from_vm(tables::VnicId vnic_id, net::Packet pkt) {
   Vnic* v = vnic(vnic_id);
   if (v == nullptr) {
-    counters_.inc("drop.no_vnic");
+    inc(Ctr::kDropNoVnic);
     return;
   }
   pkt.vpc_id = v->addr().vpc_id;
@@ -392,9 +478,9 @@ void VSwitch::local_tx(Vnic& v, net::Packet pkt) {
   const flow::Verdict verdict =
       nf::finalize_action(flow::Direction::kTx, pre, entry->state);
   if (verdict == flow::Verdict::kDrop) {
-    counters_.inc("drop.acl");
+    inc(Ctr::kDropAcl);
     local_cycles_ += cycles;
-    consume_cpu(cycles, [] {});
+    consume_cpu_noop(cycles);
     return;
   }
 
@@ -403,8 +489,8 @@ void VSwitch::local_tx(Vnic& v, net::Packet pkt) {
   // coordination needed, §2.3.3).
   if (!entry->qos_admit(pre.tx.rate_limit_kbps, pkt.wire_size() * 8,
                         loop_.now())) {
-    counters_.inc("drop.qos");
-    consume_cpu(cycles, [] {});
+    inc(Ctr::kDropQos);
+    consume_cpu_noop(cycles);
     return;
   }
 
@@ -432,20 +518,18 @@ void VSwitch::local_tx(Vnic& v, net::Packet pkt) {
                       pkt.inner.ft);
   }
   if (!dst) {
-    counters_.inc("drop.no_route");
+    inc(Ctr::kDropNoRoute);
     local_cycles_ += cycles;
-    consume_cpu(cycles, [] {});
+    consume_cpu_noop(cycles);
     return;
   }
   local_cycles_ += cycles;
-  consume_cpu(cycles, [this, pkt = std::move(pkt), d = *dst]() mutable {
-    send_encapped(std::move(pkt), d);
-  });
+  consume_cpu_send(cycles, std::move(pkt), *dst);
 }
 
 void VSwitch::be_tx(Vnic& v, net::Packet pkt) {
   if (v.fe_locations().empty()) {
-    counters_.inc("drop.no_frontend");
+    inc(Ctr::kDropNoFrontend);
     return;
   }
   double cycles = (config_.cost.parse_cycles +
@@ -467,11 +551,11 @@ void VSwitch::be_tx(Vnic& v, net::Packet pkt) {
                        pkt.inner.wire_size(), loop_.now());
   sessions_.touch(entry);
 
-  net::CarrierHeader carrier;
-  carrier.add(net::CarrierTlvType::kVnicId, encode_vnic_id(v.id()));
-  carrier.add(net::CarrierTlvType::kStateSnapshot,
-              entry->state.serialize_snapshot());
-  pkt.carrier = std::move(carrier);
+  net::CarrierHeader& carrier = pkt.carrier.emplace();
+  add_vnic_id_tlv(carrier, v.id());
+  entry->state.serialize_snapshot_into(
+      carrier.add_uninit(net::CarrierTlvType::kStateSnapshot,
+                         flow::SessionState::kSnapshotWireSize));
 
   // Flow-level (not packet-level) load balancing across FEs (§3.2.3),
   // unless the flow was pinned to a dedicated FE (§7.5 elephant isolation).
@@ -485,9 +569,7 @@ void VSwitch::be_tx(Vnic& v, net::Packet pkt) {
     fe = pit->second;
   }
   local_cycles_ += cycles;
-  consume_cpu(cycles, [this, pkt = std::move(pkt), fe]() mutable {
-    send_encapped(std::move(pkt), fe);
-  });
+  consume_cpu_send(cycles, std::move(pkt), fe);
 }
 
 // ------------------------------------------------------------ RX entry
@@ -500,61 +582,65 @@ void VSwitch::receive(net::Packet pkt) {
                link_probe_reply_) {
       link_probe_reply_(pkt);
     } else {
-      counters_.inc("drop.unroutable");
+      inc(Ctr::kDropUnroutable);
     }
     return;
   }
   if (pkt.overlay->dst_ip != underlay_ip()) {
-    counters_.inc("drop.misdelivered");
+    inc(Ctr::kDropMisdelivered);
     return;
   }
 
   if (pkt.carrier) {
-    const net::CarrierTlv* vid = pkt.carrier->find(net::CarrierTlvType::kVnicId);
-    if (vid == nullptr) {
-      counters_.inc("drop.bad_carrier");
+    const auto vid = pkt.carrier->find(net::CarrierTlvType::kVnicId);
+    if (!vid) {
+      inc(Ctr::kDropBadCarrier);
       return;
     }
-    const tables::VnicId vnic_id = decode_vnic_id(vid->value);
+    const tables::VnicId vnic_id = decode_vnic_id(*vid);
     if (pkt.carrier->flags.is_notify) {
       if (Vnic* v = vnic(vnic_id)) be_notify(*v, pkt);
-      else counters_.inc("drop.no_vnic");
+      else inc(Ctr::kDropNoVnic);
       return;
     }
-    if (pkt.carrier->find(net::CarrierTlvType::kStateSnapshot) != nullptr) {
+    if (pkt.carrier->has(net::CarrierTlvType::kStateSnapshot)) {
       if (FrontendInstance* fe = frontend(vnic_id)) fe_tx(*fe, std::move(pkt));
-      else counters_.inc("drop.no_frontend");
+      else inc(Ctr::kDropNoFrontend);
       return;
     }
-    if (pkt.carrier->find(net::CarrierTlvType::kPreActions) != nullptr) {
+    if (pkt.carrier->has(net::CarrierTlvType::kPreActions)) {
       if (Vnic* v = vnic(vnic_id)) be_rx(*v, std::move(pkt));
-      else counters_.inc("drop.no_vnic");
+      else inc(Ctr::kDropNoVnic);
       return;
     }
-    counters_.inc("drop.bad_carrier");
+    inc(Ctr::kDropBadCarrier);
     return;
   }
 
-  // Plain overlay data packet: dispatch on the inner destination.
+  // Plain overlay data packet: one lookup resolves FE-vs-hosted-vNIC.
   const tables::OverlayAddr dst{pkt.vpc_id, pkt.inner.ft.dst_ip};
-  if (auto it = frontend_by_addr_.find(dst); it != frontend_by_addr_.end()) {
-    fe_rx(frontends_.at(it->second), std::move(pkt));
+  const auto it = dispatch_by_addr_.find(dst);
+  if (it == dispatch_by_addr_.end()) {
+    inc(Ctr::kDropNoVnic);
     return;
   }
-  if (auto it = vnic_by_addr_.find(dst); it != vnic_by_addr_.end()) {
-    Vnic& v = vnics_.at(it->second);
-    if (v.has_local_tables()) {
+  if (it->second.fe != nullptr) {
+    fe_rx(*it->second.fe, std::move(pkt));
+    return;
+  }
+  if (Vnic* v = it->second.vnic; v != nullptr) {
+    if (v->has_local_tables()) {
       // Local mode or a dual-running stage: retained tables serve senders
       // that have not learned the new placement yet (gray flow, Fig 7).
-      local_rx(v, std::move(pkt));
+      local_rx(*v, std::move(pkt));
     } else {
       // Final offloaded stage: this packet followed a stale route; it can
       // no longer be processed here (§4.1) — rely on retransmission.
-      counters_.inc("drop.stale_route");
+      inc(Ctr::kDropStaleRoute);
     }
     return;
   }
-  counters_.inc("drop.no_vnic");
+  inc(Ctr::kDropNoVnic);
 }
 
 void VSwitch::local_rx(Vnic& v, net::Packet pkt) {
@@ -580,16 +666,16 @@ void VSwitch::local_rx(Vnic& v, net::Packet pkt) {
                        pkt.inner.wire_size(), loop_.now());
   sessions_.touch(entry);
   entry->state.stats_mode = pre.rx.stats_mode;
-  if (stateful_decap_[v.id()] && entry->state.decap_src_ip.value() == 0) {
+  if (v.stateful_decap() && entry->state.decap_src_ip.value() == 0) {
     entry->state.decap_src_ip = overlay_src;
   }
 
   const flow::Verdict verdict =
       nf::finalize_action(flow::Direction::kRx, pre, entry->state);
   if (verdict == flow::Verdict::kDrop) {
-    counters_.inc("drop.acl");
+    inc(Ctr::kDropAcl);
     local_cycles_ += cycles;
-    consume_cpu(cycles, [] {});
+    consume_cpu_noop(cycles);
     return;
   }
   // Traffic mirroring for the RX direction, at the pre-action evaluation
@@ -599,13 +685,7 @@ void VSwitch::local_rx(Vnic& v, net::Packet pkt) {
     mirror_copy(pkt, pre.rx);
   }
   local_cycles_ += cycles;
-  const tables::VnicId vid = v.id();
-  const tables::VnicId adapter = v.config().parent.value_or(vid);
-  consume_cpu(cycles, [this, vid, adapter, pkt = std::move(pkt)]() {
-    ++vm_deliveries_;
-    ++adapter_deliveries_[adapter];
-    if (vm_delivery_) vm_delivery_(vid, pkt);
-  });
+  consume_cpu_deliver(cycles, std::move(pkt), v.id(), v.delivery_counter());
 }
 
 void VSwitch::be_rx(Vnic& v, net::Packet pkt) {
@@ -616,15 +696,13 @@ void VSwitch::be_rx(Vnic& v, net::Packet pkt) {
                        static_cast<double>(pkt.inner.wire_size())) *
                   config_.cost.be_hw_accel_factor;  // §7.3 BE acceleration
 
-  const net::CarrierTlv* pre_tlv =
-      pkt.carrier->find(net::CarrierTlvType::kPreActions);
-  auto pre = flow::PreActions::parse(pre_tlv->value);
+  const auto pre_tlv = pkt.carrier->find(net::CarrierTlvType::kPreActions);
+  auto pre = flow::PreActions::parse(*pre_tlv);
   if (!pre.ok()) {
-    counters_.inc("drop.bad_carrier");
+    inc(Ctr::kDropBadCarrier);
     return;
   }
-  const net::CarrierTlv* decap_tlv =
-      pkt.carrier->find(net::CarrierTlvType::kDecapInfo);
+  const auto decap_tlv = pkt.carrier->find(net::CarrierTlvType::kDecapInfo);
 
   const flow::SessionKey key =
       flow::SessionKey::from_packet(pkt.vpc_id, pkt.inner.ft);
@@ -638,29 +716,23 @@ void VSwitch::be_rx(Vnic& v, net::Packet pkt) {
                        pkt.inner.wire_size(), loop_.now());
   sessions_.touch(entry);
   entry->state.stats_mode = pre.value().rx.stats_mode;
-  if (decap_tlv != nullptr && stateful_decap_[v.id()] &&
+  if (decap_tlv.has_value() && v.stateful_decap() &&
       entry->state.decap_src_ip.value() == 0) {
-    net::ByteReader r(decap_tlv->value);
+    net::ByteReader r(*decap_tlv);
     entry->state.decap_src_ip = net::Ipv4Addr(r.u32());
   }
 
   const flow::Verdict verdict =
       nf::finalize_action(flow::Direction::kRx, pre.value(), entry->state);
   if (verdict == flow::Verdict::kDrop) {
-    counters_.inc("drop.acl");
+    inc(Ctr::kDropAcl);
     local_cycles_ += cycles;
-    consume_cpu(cycles, [] {});
+    consume_cpu_noop(cycles);
     return;
   }
   local_cycles_ += cycles;
   pkt.decap();
-  const tables::VnicId vid = v.id();
-  const tables::VnicId adapter = v.config().parent.value_or(vid);
-  consume_cpu(cycles, [this, vid, adapter, pkt = std::move(pkt)]() {
-    ++vm_deliveries_;
-    ++adapter_deliveries_[adapter];
-    if (vm_delivery_) vm_delivery_(vid, pkt);
-  });
+  consume_cpu_deliver(cycles, std::move(pkt), v.id(), v.delivery_counter());
 }
 
 void VSwitch::be_notify(Vnic& v, const net::Packet& pkt) {
@@ -668,21 +740,19 @@ void VSwitch::be_notify(Vnic& v, const net::Packet& pkt) {
   double cycles = config_.cost.parse_cycles +
                   config_.cost.carrier_codec_cycles +
                   config_.cost.state_update_cycles;
-  const net::CarrierTlv* notify =
-      pkt.carrier->find(net::CarrierTlvType::kNotify);
-  if (notify == nullptr || notify->value.empty()) {
-    counters_.inc("drop.bad_carrier");
+  const auto notify = pkt.carrier->find(net::CarrierTlvType::kNotify);
+  if (!notify || notify->empty()) {
+    inc(Ctr::kDropBadCarrier);
     return;
   }
   const flow::SessionKey key =
       flow::SessionKey::from_packet(pkt.vpc_id, pkt.inner.ft);
   if (flow::SessionEntry* entry = sessions_.find(key)) {
-    entry->state.stats_mode =
-        static_cast<flow::StatsMode>(notify->value.front());
+    entry->state.stats_mode = static_cast<flow::StatsMode>(notify->front());
   }
-  counters_.inc("notify_received");
+  inc(Ctr::kNotifyReceived);
   local_cycles_ += cycles;
-  consume_cpu(cycles, [] {});
+  consume_cpu_noop(cycles);
 }
 
 void VSwitch::fe_tx(FrontendInstance& fe, net::Packet pkt) {
@@ -691,11 +761,10 @@ void VSwitch::fe_tx(FrontendInstance& fe, net::Packet pkt) {
                   config_.cost.per_byte_cycles *
                       static_cast<double>(pkt.inner.wire_size());
 
-  const net::CarrierTlv* snap_tlv =
-      pkt.carrier->find(net::CarrierTlvType::kStateSnapshot);
-  auto snapshot = flow::SessionState::parse_snapshot(snap_tlv->value);
+  const auto snap_tlv = pkt.carrier->find(net::CarrierTlvType::kStateSnapshot);
+  auto snapshot = flow::SessionState::parse_snapshot(*snap_tlv);
   if (!snapshot.ok()) {
-    counters_.inc("drop.bad_carrier");
+    inc(Ctr::kDropBadCarrier);
     return;
   }
 
@@ -722,34 +791,30 @@ void VSwitch::fe_tx(FrontendInstance& fe, net::Packet pkt) {
   if (chain_ran && pre.tx.stats_mode != snapshot.value().stats_mode) {
     net::Packet notify_pkt = pkt;  // same inner flow identity
     notify_pkt.inner.payload_len = 0;
-    net::CarrierHeader carrier;
+    net::CarrierHeader& carrier = notify_pkt.carrier.emplace();
     carrier.flags.is_notify = true;
-    carrier.add(net::CarrierTlvType::kVnicId, encode_vnic_id(fe.vnic));
+    add_vnic_id_tlv(carrier, fe.vnic);
     carrier.add(net::CarrierTlvType::kNotify,
                 {static_cast<std::uint8_t>(pre.tx.stats_mode)});
-    notify_pkt.carrier = std::move(carrier);
     notify_pkt.overlay.reset();
     ++notify_sent_;
     cycles += config_.cost.carrier_codec_cycles;
-    const tables::Location be = fe.be_location;
-    consume_cpu(config_.cost.carrier_codec_cycles,
-                [this, notify_pkt = std::move(notify_pkt), be]() mutable {
-                  send_encapped(std::move(notify_pkt), be);
-                });
+    consume_cpu_send(config_.cost.carrier_codec_cycles, std::move(notify_pkt),
+                     fe.be_location);
   }
 
   if (verdict == flow::Verdict::kDrop) {
-    counters_.inc("drop.acl");
+    inc(Ctr::kDropAcl);
     fe_cycles_ += cycles;
-    consume_cpu(cycles, [] {});
+    consume_cpu_noop(cycles);
     return;
   }
 
   if (entry != nullptr &&
       !entry->qos_admit(pre.tx.rate_limit_kbps, pkt.wire_size() * 8,
                         loop_.now())) {
-    counters_.inc("drop.qos");
-    consume_cpu(cycles, [] {});
+    inc(Ctr::kDropQos);
+    consume_cpu_noop(cycles);
     return;
   }
 
@@ -776,16 +841,14 @@ void VSwitch::fe_tx(FrontendInstance& fe, net::Packet pkt) {
                       pkt.inner.ft);
   }
   if (!dst) {
-    counters_.inc("drop.no_route");
+    inc(Ctr::kDropNoRoute);
     fe_cycles_ += cycles;
-    consume_cpu(cycles, [] {});
+    consume_cpu_noop(cycles);
     return;
   }
   fe_cycles_ += cycles;
   pkt.decap();  // strip the BE's overlay + carrier; re-encap toward the dst
-  consume_cpu(cycles, [this, pkt = std::move(pkt), d = *dst]() mutable {
-    send_encapped(std::move(pkt), d);
-  });
+  consume_cpu_send(cycles, std::move(pkt), *dst);
 }
 
 void VSwitch::fe_rx(FrontendInstance& fe, net::Packet pkt) {
@@ -825,30 +888,26 @@ void VSwitch::fe_rx(FrontendInstance& fe, net::Packet pkt) {
   // Annotate the packet with the pre-actions and forward to the BE, which
   // holds the state needed for the final decision (blue flow, Fig 5).
   pkt.decap();
-  net::CarrierHeader carrier;
+  net::CarrierHeader& carrier = pkt.carrier.emplace();
   carrier.flags.from_frontend = true;
-  carrier.add(net::CarrierTlvType::kVnicId, encode_vnic_id(fe.vnic));
-  carrier.add(net::CarrierTlvType::kPreActions, pre.serialize());
+  add_vnic_id_tlv(carrier, fe.vnic);
+  pre.serialize_into(carrier.add_uninit(net::CarrierTlvType::kPreActions,
+                                        flow::PreActions::kWireSize));
   if (fe.stateful_decap) {
-    std::vector<std::uint8_t> ip_bytes;
-    net::ByteWriter w(ip_bytes);
+    net::FixedWriter w(
+        carrier.add_uninit(net::CarrierTlvType::kDecapInfo, 4));
     w.u32(overlay_src.value());
-    carrier.add(net::CarrierTlvType::kDecapInfo, std::move(ip_bytes));
   }
-  pkt.carrier = std::move(carrier);
 
   fe_cycles_ += cycles;
-  const tables::Location be = fe.be_location;
-  consume_cpu(cycles, [this, pkt = std::move(pkt), be]() mutable {
-    send_encapped(std::move(pkt), be);
-  });
+  consume_cpu_send(cycles, std::move(pkt), fe.be_location);
 }
 
 void VSwitch::health_probe_reply(const net::Packet& pkt) {
   // Flow-direct rule: probes bypass the normal pipeline (§4.4).
   net::Packet reply = net::make_udp_packet(pkt.inner.ft.reversed(), 0, 0);
   reply.id = pkt.id;  // echo the probe id so the monitor can match it
-  counters_.inc("probe_replied");
+  inc(Ctr::kProbeReplied);
   consume_cpu(100.0, [this, reply = std::move(reply)]() mutable {
     network_.send(id(), reply.inner.ft.dst_ip, std::move(reply));
   });

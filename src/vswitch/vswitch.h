@@ -39,6 +39,7 @@
 #include "src/tables/cost_model.h"
 #include "src/tables/rule_set.h"
 #include "src/tables/vnic_server_map.h"
+#include "src/vswitch/counters.h"
 #include "src/vswitch/learned_map.h"
 #include "src/vswitch/resources.h"
 #include "src/vswitch/vnic.h"
@@ -244,9 +245,35 @@ class VSwitch : public sim::Node {
   void health_probe_reply(const net::Packet& pkt);
 
   // --- helpers ---
+  void inc(Ctr c) { counters_.inc(static_cast<std::size_t>(c)); }
+
   /// Charges `cycles`; on acceptance schedules `then` at completion and
-  /// returns true, otherwise counts an overload drop.
+  /// returns true, otherwise counts an overload drop. Cold paths only —
+  /// capturing a Packet in `then` heap-allocates; the datapath uses the
+  /// pooled variants below.
   bool consume_cpu(double cycles, std::function<void()> then);
+
+  /// Datapath variants: the deferred work lives in a pooled PendingOp slab
+  /// and the scheduled closure captures only {this, slot} (fits
+  /// std::function's inline buffer — no heap allocation per packet).
+  /// Charges cycles and, at completion, sends `pkt` encapped toward `dst`.
+  void consume_cpu_send(double cycles, net::Packet pkt,
+                        const tables::Location& dst);
+  /// Charges cycles and, at completion, delivers `pkt` to the VM side,
+  /// bumping *adapter_count (a node-stable pointer into
+  /// adapter_deliveries_).
+  void consume_cpu_deliver(double cycles, net::Packet pkt,
+                           tables::VnicId vid, std::uint64_t* adapter_count);
+  /// Charges cycles with no completion work (verdict-drop paths).
+  void consume_cpu_noop(double cycles);
+
+  std::uint32_t alloc_op_slot();
+  void run_op(std::uint32_t slot);
+  /// EventLoop raw-callback shim for the per-packet CPU-completion events;
+  /// avoids a std::function per switched packet.
+  static void run_op_thunk(void* self, std::uint64_t slot) {
+    static_cast<VSwitch*>(self)->run_op(static_cast<std::uint32_t>(slot));
+  }
 
   /// Session-entry creation with pool accounting (key + state bytes); null
   /// when fast-path memory is full.
@@ -288,14 +315,17 @@ class VSwitch : public sim::Node {
   LearnedVnicMap learned_map_;
 
   std::unordered_map<tables::VnicId, Vnic> vnics_;
-  std::unordered_map<tables::OverlayAddr, tables::VnicId,
-                     tables::OverlayAddrHash>
-      vnic_by_addr_;
   std::unordered_map<tables::VnicId, FrontendInstance> frontends_;
-  std::unordered_map<tables::OverlayAddr, tables::VnicId,
+  /// Single per-packet dispatch point for plain overlay packets: one lookup
+  /// resolves both "is there an FE for this address" and "is it a hosted
+  /// vNIC". Pointers are node-stable (unordered_map values never move).
+  struct AddrDispatch {
+    FrontendInstance* fe = nullptr;
+    Vnic* vnic = nullptr;
+  };
+  std::unordered_map<tables::OverlayAddr, AddrDispatch,
                      tables::OverlayAddrHash>
-      frontend_by_addr_;
-  std::unordered_map<tables::VnicId, bool> stateful_decap_;
+      dispatch_by_addr_;
   /// Elephant-flow pins: (vnic, canonical tuple) → dedicated FE (§7.5).
   std::unordered_map<flow::SessionKey, tables::Location, flow::SessionKeyHash>
       pinned_flows_;
@@ -304,6 +334,19 @@ class VSwitch : public sim::Node {
   std::unordered_map<tables::VnicId, std::uint64_t> adapter_deliveries_;
 
   flow::SessionTable sessions_;  // unified store; see sessions() docs
+
+  /// Deferred-work slab for the CPU model: packets waiting out their cycle
+  /// cost live here, addressed by slot (see consume_cpu_send/_deliver).
+  enum class OpKind : std::uint8_t { kSend = 0, kDeliver = 1 };
+  struct PendingOp {
+    net::Packet pkt;
+    tables::Location dst;
+    std::uint64_t* adapter_count = nullptr;
+    tables::VnicId vid = 0;
+    OpKind kind = OpKind::kSend;
+  };
+  std::vector<PendingOp> op_slab_;
+  std::vector<std::uint32_t> op_free_;
 
   VmDeliveryFn vm_delivery_;
   common::Counter counters_;

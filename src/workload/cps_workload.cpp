@@ -78,8 +78,9 @@ void CpsWorkload::attempt() {
   }
   const net::FiveTuple ft = next_tuple();
   conns_[ft] = Conn{bed_.loop().now(), false, 0};
-  bed_.loop().schedule_at(admit.done,
-                          [this, ft]() { send_syn(ft, 0); });
+  const std::uint32_t ports = ports_key(ft);
+  bed_.loop().schedule_at(
+      admit.done, [this, ports]() { send_syn(client_tuple(ports), 0); });
 }
 
 void CpsWorkload::send_syn(const net::FiveTuple& ft, int attempt) {
@@ -89,11 +90,12 @@ void CpsWorkload::send_syn(const net::FiveTuple& ft, int attempt) {
                                          vpc_);
   syn.created_at = bed_.loop().now();
   client_switch_.from_vm(client_vnic_, std::move(syn));
+  const std::uint32_t ports = ports_key(ft);
   if (attempt >= config_.max_syn_retries) {
     // Give up after one final RTO (frees the tracking entry and, in closed
     // loop mode, the concurrency slot).
-    bed_.loop().schedule_after(config_.syn_rto << attempt, [this, ft]() {
-      auto rit = conns_.find(ft);
+    bed_.loop().schedule_after(config_.syn_rto << attempt, [this, ports]() {
+      auto rit = conns_.find(client_tuple(ports));
       if (rit != conns_.end() && !rit->second.established) {
         conns_.erase(rit);
         if (config_.concurrency > 0) this->attempt();
@@ -103,11 +105,11 @@ void CpsWorkload::send_syn(const net::FiveTuple& ft, int attempt) {
   }
   // Exponential backoff retransmission, as the guest TCP stack would do.
   const common::Duration rto = config_.syn_rto << attempt;
-  bed_.loop().schedule_after(rto, [this, ft, attempt]() {
-    auto rit = conns_.find(ft);
+  bed_.loop().schedule_after(rto, [this, ports, attempt]() {
+    auto rit = conns_.find(client_tuple(ports));
     if (rit == conns_.end() || rit->second.established) return;
     ++rit->second.retries;
-    send_syn(ft, attempt + 1);
+    send_syn(rit->first, attempt + 1);
   });
 }
 
@@ -117,15 +119,28 @@ void CpsWorkload::on_server_delivery(const net::Packet& pkt) {
     // Server kernel accepts and replies SYN-ACK when it gets CPU.
     const VmKernel::Outcome admit = server_kernel_.admit(bed_.loop().now());
     if (!admit.accepted) return;  // SYN queue overflow: client would retry
-    const net::FiveTuple reply = pkt.inner.ft.reversed();
-    bed_.loop().schedule_at(admit.done, [this, reply]() {
-      server_switch_.from_vm(
-          server_vnic_,
-          net::make_tcp_packet(reply, net::TcpFlags{.syn = true, .ack = true},
-                               0, vpc_));
-    });
+    const net::FiveTuple& ft = pkt.inner.ft;
+    if (ft.src_ip == client_ip_ && ft.dst_ip == server_ip_ &&
+        ft.proto == net::IpProto::kTcp) {
+      const std::uint32_t ports = ports_key(ft);
+      bed_.loop().schedule_at(admit.done, [this, ports]() {
+        send_synack(client_tuple(ports).reversed());
+      });
+    } else {
+      // Rewritten (e.g. NAT'd) tuple: keep the exact reply address.
+      const net::FiveTuple reply = ft.reversed();
+      bed_.loop().schedule_at(admit.done,
+                              [this, reply]() { send_synack(reply); });
+    }
   }
   // Final ACK / FIN handling needs no further server action in this model.
+}
+
+void CpsWorkload::send_synack(const net::FiveTuple& reply) {
+  server_switch_.from_vm(
+      server_vnic_,
+      net::make_tcp_packet(reply, net::TcpFlags{.syn = true, .ack = true}, 0,
+                           vpc_));
 }
 
 void CpsWorkload::on_client_delivery(const net::Packet& pkt) {

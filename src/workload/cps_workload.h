@@ -87,6 +87,22 @@ class CpsWorkload {
   void on_client_delivery(const net::Packet& pkt);
   void on_server_delivery(const net::Packet& pkt);
   net::FiveTuple next_tuple();
+  void send_synack(const net::FiveTuple& reply);
+
+  /// Every workload tuple is client_ip -> server_ip over TCP, so a 32-bit
+  /// port pair identifies it. Deferred per-connection steps capture this key
+  /// instead of the 13-byte FiveTuple: [this, ports] (and even
+  /// [this, ports, attempt]) fits std::function's 16-byte inline buffer, so
+  /// the handshake schedules no heap allocations for its closures.
+  static std::uint32_t ports_key(const net::FiveTuple& ft) {
+    return static_cast<std::uint32_t>(ft.src_port) << 16 | ft.dst_port;
+  }
+  net::FiveTuple client_tuple(std::uint32_t ports) const {
+    return net::FiveTuple{client_ip_, server_ip_,
+                          static_cast<std::uint16_t>(ports >> 16),
+                          static_cast<std::uint16_t>(ports & 0xffff),
+                          net::IpProto::kTcp};
+  }
 
   core::Testbed& bed_;
   vswitch::VSwitch& client_switch_;

@@ -1,0 +1,110 @@
+// Counting replacements for the global allocation functions. Everything —
+// the counters, the API, and the replaceable operators — lives in this one
+// translation unit so the linker either pulls all of it or none of it (see
+// alloc_hook.h for the flag semantics this provides).
+#include "support/alloc_hook.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace nezha::support {
+namespace {
+
+std::uint64_t g_news = 0;
+std::uint64_t g_deletes = 0;
+std::uint64_t g_bytes = 0;
+
+void* counted_alloc(std::size_t size) {
+  ++g_news;
+  g_bytes += size;
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  ++g_news;
+  g_bytes += size;
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded == 0 ? align : rounded);
+}
+
+void counted_free(void* p) {
+  if (p == nullptr) return;
+  ++g_deletes;
+  std::free(p);
+}
+
+}  // namespace
+
+AllocCounts alloc_counts() { return AllocCounts{g_news, g_deletes, g_bytes}; }
+
+void reset_alloc_counts() {
+  g_news = 0;
+  g_deletes = 0;
+  g_bytes = 0;
+}
+
+}  // namespace nezha::support
+
+// ------------------------------------------------- replaceable operators
+
+void* operator new(std::size_t size) {
+  void* p = nezha::support::counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = nezha::support::counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = nezha::support::counted_aligned_alloc(
+      size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = nezha::support::counted_aligned_alloc(
+      size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return nezha::support::counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return nezha::support::counted_alloc(size);
+}
+
+void operator delete(void* p) noexcept { nezha::support::counted_free(p); }
+void operator delete[](void* p) noexcept { nezha::support::counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept {
+  nezha::support::counted_free(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  nezha::support::counted_free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  nezha::support::counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  nezha::support::counted_free(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  nezha::support::counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  nezha::support::counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  nezha::support::counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  nezha::support::counted_free(p);
+}

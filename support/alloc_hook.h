@@ -1,0 +1,32 @@
+// Allocation-counting harness for benches and tests (never linked into the
+// core `nezha` library). Linking `nezha_alloc_hook` replaces the global
+// `operator new`/`operator delete` family with counting forwarders to
+// malloc/free; `alloc_counts()` then reports what the process allocated.
+//
+// Link-time flag semantics: the replacement operators live in the same
+// translation unit as `alloc_counts()`, so a binary that never calls the
+// API never pulls the hook object out of the archive and runs with the
+// stock allocator. Binaries that do call it (bench_engine_hotpath,
+// alloc_regression_test) get exact counts.
+//
+// The simulator is single-threaded; counters are plain (non-atomic)
+// globals.
+#pragma once
+
+#include <cstdint>
+
+namespace nezha::support {
+
+struct AllocCounts {
+  std::uint64_t news = 0;    // operator new / new[] calls
+  std::uint64_t deletes = 0; // operator delete / delete[] calls
+  std::uint64_t bytes = 0;   // total bytes requested via operator new
+};
+
+/// Process-lifetime totals (monotonic; diff two snapshots for a window).
+AllocCounts alloc_counts();
+
+/// Resets all counters to zero.
+void reset_alloc_counts();
+
+}  // namespace nezha::support

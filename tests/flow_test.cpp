@@ -3,6 +3,9 @@
 // Fig-15 used-bytes census), and the session table in its three shapes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+
 #include "src/flow/pre_actions.h"
 #include "src/flow/session.h"
 #include "src/flow/session_table.h"
@@ -44,6 +47,50 @@ TEST(PreActionsTest, SerializeParseRoundTrip) {
 TEST(PreActionsTest, ParseRejectsGarbage) {
   std::vector<std::uint8_t> junk(5, 0xff);
   EXPECT_FALSE(PreActions::parse(junk).ok());
+}
+
+TEST(PreActionsTest, FixedSizeEncodeMatchesHeapEncode) {
+  PreActions p;
+  p.rule_version = 99;
+  p.tx.nat_enabled = true;
+  p.tx.nat_ip = Ipv4Addr(100, 64, 9, 9);
+  p.tx.mirror = true;
+  p.tx.mirror_target = NextHop{Ipv4Addr(172, 16, 0, 9), net::MacAddr(0x9ULL)};
+  p.rx.acl_verdict = Verdict::kDrop;
+  p.rx.rate_limit_kbps = 1234;
+  const auto heap = p.serialize();
+  ASSERT_EQ(heap.size(), PreActions::kWireSize);
+  std::array<std::uint8_t, PreActions::kWireSize> fixed{};
+  p.serialize_into(fixed);
+  EXPECT_TRUE(std::equal(heap.begin(), heap.end(), fixed.begin()));
+  auto parsed = PreActions::parse(fixed);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), p);
+}
+
+TEST(PreActionsTest, ParseRejectsTruncatedFixedEncoding) {
+  PreActions p;
+  p.rule_version = 7;
+  auto bytes = p.serialize();
+  bytes.resize(PreActions::kWireSize - 1);
+  EXPECT_FALSE(PreActions::parse(bytes).ok());
+}
+
+TEST(SessionStateTest, SnapshotFixedEncodeMatchesHeapEncode) {
+  SessionState s;
+  s.first_dir = FirstDirection::kRx;
+  s.stats_mode = StatsMode::kBytes;
+  s.decap_src_ip = Ipv4Addr(192, 168, 3, 4);
+  const auto heap = s.serialize_snapshot();
+  ASSERT_EQ(heap.size(), SessionState::kSnapshotWireSize);
+  std::array<std::uint8_t, SessionState::kSnapshotWireSize> fixed{};
+  s.serialize_snapshot_into(fixed);
+  EXPECT_TRUE(std::equal(heap.begin(), heap.end(), fixed.begin()));
+  auto parsed = SessionState::parse_snapshot(fixed);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().first_dir, s.first_dir);
+  EXPECT_EQ(parsed.value().stats_mode, s.stats_mode);
+  EXPECT_EQ(parsed.value().decap_src_ip, s.decap_src_ip);
 }
 
 TEST(PreActionsTest, DirAccessor) {

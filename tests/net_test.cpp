@@ -151,9 +151,9 @@ TEST(CarrierTest, RoundTripWithTlvs) {
   auto parsed = CarrierHeader::parse(r);
   ASSERT_TRUE(parsed.ok());
   EXPECT_EQ(parsed.value(), c);
-  ASSERT_NE(parsed.value().find(CarrierTlvType::kVnicId), nullptr);
-  EXPECT_EQ(parsed.value().find(CarrierTlvType::kVnicId)->value.size(), 8u);
-  EXPECT_EQ(parsed.value().find(CarrierTlvType::kPreActions), nullptr);
+  ASSERT_TRUE(parsed.value().find(CarrierTlvType::kVnicId).has_value());
+  EXPECT_EQ(parsed.value().find(CarrierTlvType::kVnicId)->size(), 8u);
+  EXPECT_FALSE(parsed.value().find(CarrierTlvType::kPreActions).has_value());
 }
 
 TEST(CarrierTest, RejectsBadVersion) {
@@ -171,6 +171,61 @@ TEST(CarrierTest, RejectsTruncatedTlv) {
   buf.resize(buf.size() - 2);  // chop the TLV payload
   ByteReader r(buf);
   EXPECT_FALSE(CarrierHeader::parse(r).ok());
+}
+
+TEST(CarrierTest, AddRejectsTlvCountOverflow) {
+  CarrierHeader c;
+  for (std::size_t i = 0; i < CarrierHeader::kMaxTlvs; ++i) {
+    EXPECT_TRUE(c.add(CarrierTlvType::kNotify, {static_cast<std::uint8_t>(i)}));
+  }
+  EXPECT_FALSE(c.add(CarrierTlvType::kNotify, {0xff}));
+  EXPECT_TRUE(c.add_uninit(CarrierTlvType::kNotify, 1).empty());
+  EXPECT_EQ(c.tlv_count(), CarrierHeader::kMaxTlvs);
+}
+
+TEST(CarrierTest, AddRejectsArenaOverflow) {
+  CarrierHeader c;
+  const std::vector<std::uint8_t> big(CarrierHeader::kArenaCapacity - 10, 0xab);
+  ASSERT_TRUE(c.add(CarrierTlvType::kPreActions, big));
+  // 11 more bytes would exceed the arena even though the TLV slot is free.
+  EXPECT_FALSE(c.add(CarrierTlvType::kDecapInfo,
+                     std::vector<std::uint8_t>(11, 0xcd)));
+  EXPECT_TRUE(c.add_uninit(CarrierTlvType::kDecapInfo, 11).empty());
+  // A payload that still fits is accepted.
+  EXPECT_TRUE(c.add(CarrierTlvType::kDecapInfo,
+                    std::vector<std::uint8_t>(10, 0xcd)));
+  EXPECT_EQ(c.tlv_count(), 2u);
+}
+
+TEST(CarrierTest, ParseRejectsOverCapacityWire) {
+  // A wire image with more TLVs than the inline arena can hold must be
+  // rejected at parse time, not silently truncated.
+  std::vector<std::uint8_t> buf;
+  ByteWriter w(buf);
+  const std::size_t n_tlvs = CarrierHeader::kMaxTlvs + 1;
+  w.u8(CarrierHeader::kVersion);
+  w.u8(0);
+  w.u16(static_cast<std::uint16_t>(CarrierHeader::kBaseSize + n_tlvs * 5));
+  for (std::size_t i = 0; i < n_tlvs; ++i) {
+    w.u16(static_cast<std::uint16_t>(CarrierTlvType::kNotify));
+    w.u16(1);
+    w.u8(static_cast<std::uint8_t>(i));
+  }
+  ByteReader r(buf);
+  EXPECT_FALSE(CarrierHeader::parse(r).ok());
+}
+
+TEST(CarrierTest, AddUninitEncodesInPlace) {
+  CarrierHeader c;
+  auto dst = c.add_uninit(CarrierTlvType::kVnicId, 8);
+  ASSERT_EQ(dst.size(), 8u);
+  FixedWriter w(dst);
+  w.u64(0x1122334455667788ULL);
+  EXPECT_EQ(w.written(), 8u);
+  auto got = c.find(CarrierTlvType::kVnicId);
+  ASSERT_TRUE(got.has_value());
+  ByteReader r(*got);
+  EXPECT_EQ(r.u64(), 0x1122334455667788ULL);
 }
 
 TEST(PacketTest, BarePacketRoundTrip) {

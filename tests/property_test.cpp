@@ -97,7 +97,8 @@ INSTANTIATE_TEST_SUITE_P(
                       PacketCase{true, 64, true, 0},
                       PacketCase{true, 64, true, 1},
                       PacketCase{false, 200, true, 3},
-                      PacketCase{true, 1400, true, 5}));
+                      PacketCase{true, 1400, true,
+                                 net::CarrierHeader::kMaxTlvs}));
 
 TEST(PacketFuzz, ParseNeverMisbehavesOnRandomBytes) {
   common::Rng rng = make_rng(2);

@@ -116,6 +116,69 @@ TEST(EventLoopTest, CancelAfterFireIsANoOp) {
   EXPECT_EQ(loop.pending(), 0u);
 }
 
+// The raw fast path must interleave with std::function events in exact
+// (at, seq) order and honor cancel() identically.
+TEST(EventLoopTest, RawEventsOrderWithCallbacks) {
+  EventLoop loop;
+  std::vector<int> order;
+  struct Ctx {
+    std::vector<int>* order;
+  } ctx{&order};
+  const auto raw = [](void* c, std::uint64_t arg) {
+    static_cast<Ctx*>(c)->order->push_back(static_cast<int>(arg));
+  };
+  loop.schedule_at(10, [&] { order.push_back(1); });
+  loop.schedule_raw_at(10, raw, &ctx, 2);  // same time: schedule order wins
+  loop.schedule_raw_at(5, raw, &ctx, 0);
+  loop.schedule_at(20, [&] { order.push_back(3); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventLoopTest, RawEventCancelAndSlotReuse) {
+  EventLoop loop;
+  int fired = 0;
+  struct Ctx {
+    int* fired;
+  } ctx{&fired};
+  const auto raw = [](void* c, std::uint64_t arg) {
+    *static_cast<Ctx*>(c)->fired += static_cast<int>(arg);
+  };
+  EventId id = loop.schedule_raw_at(10, raw, &ctx, 100);
+  loop.cancel(id);
+  loop.cancel(id);  // double-cancel is a no-op
+  EXPECT_EQ(loop.pending(), 0u);
+  loop.run();
+  EXPECT_EQ(fired, 0);
+  // The freed slot must not resurrect the raw pointer for a std::function
+  // event that reuses it.
+  bool cb_fired = false;
+  loop.schedule_at(20, [&] { cb_fired = true; });
+  loop.run();
+  EXPECT_TRUE(cb_fired);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventLoopTest, RawEventReschedulesFromCallee) {
+  EventLoop loop;
+  struct Ctx {
+    EventLoop* loop;
+    int count = 0;
+    static void tick(void* self, std::uint64_t remaining) {
+      auto* c = static_cast<Ctx*>(self);
+      ++c->count;
+      if (remaining > 0) {
+        c->loop->schedule_raw_at(c->loop->now() + 5, &Ctx::tick, self,
+                                 remaining - 1);
+      }
+    }
+  } ctx{&loop};
+  loop.schedule_raw_at(0, &Ctx::tick, &ctx, 9);
+  loop.run();
+  EXPECT_EQ(ctx.count, 10);
+  EXPECT_EQ(loop.now(), 45);
+}
+
 TEST(EventLoopTest, DoubleCancelCountsOnce) {
   EventLoop loop;
   bool fired = false;
