@@ -32,7 +32,14 @@ int main(int argc, char** argv) {
   cfg.controller.auto_offload = true;
   cfg.controller.auto_scale = true;
   cfg.controller.monitor_period = common::milliseconds(250);
+  // CPU-utilization series come from the telemetry registry's per-vSwitch
+  // gauges; the sampler tick matches the bench's 500ms reporting window.
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.trace = false;  // metrics only; no trace consumer here
+  cfg.telemetry.sample_period = common::milliseconds(500);
+  cfg.telemetry.max_samples = 64;
   core::Testbed bed(cfg);
+  telemetry::MetricsRegistry& metrics = bed.telemetry()->metrics();
 
   constexpr std::uint32_t kVpc = 7;
   constexpr tables::VnicId kServer = 100;
@@ -74,9 +81,10 @@ int main(int argc, char** argv) {
     });
   }
 
-  // Sample BE + average-FE utilization every 500ms.
-  vswitch::UtilizationSampler be_sampler;
-  std::vector<vswitch::UtilizationSampler> fe_samplers(bed.size());
+  // BE + average-FE utilization from the registry's last sampler tick
+  // (the tick at each 500ms boundary fires inside run_for before it
+  // returns, so the read covers exactly the preceding window).
+  const auto be_gauge = metrics.find_gauge("vs30.cpu_util");
   benchutil::Table t({"t (s)", "offered CPS", "BE CPU", "avg FE CPU",
                       "#FEs", "mode"});
   double be_peak = 0, be_after_offload = 1.0;
@@ -86,11 +94,12 @@ int main(int argc, char** argv) {
   for (int tick = 1; tick <= 36; ++tick) {
     bed.run_for(common::milliseconds(500));
     const common::TimePoint now = bed.loop().now();
-    const double be_util = be_sampler.sample(bed.vswitch(30).cpu(), now);
+    const double be_util = metrics.last_sample_gauge(be_gauge);
     const auto fes = bed.controller().fe_nodes_of(kServer);
     double fe_util = 0;
     for (sim::NodeId n : fes) {
-      fe_util += fe_samplers[n].sample(bed.vswitch(n).cpu(), now);
+      fe_util += metrics.last_sample_gauge(
+          metrics.find_gauge("vs" + std::to_string(n) + ".cpu_util"));
     }
     if (!fes.empty()) fe_util /= static_cast<double>(fes.size());
     max_fes = std::max(max_fes, fes.size());

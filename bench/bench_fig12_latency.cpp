@@ -11,7 +11,6 @@
 #include <memory>
 
 #include "bench/bench_util.h"
-#include "src/common/stats.h"
 #include "src/core/testbed.h"
 
 using namespace nezha;
@@ -34,6 +33,10 @@ core::TestbedConfig testbed_config() {
   cfg.vswitch.cost = tables::CostModel::production();
   cfg.controller.auto_offload = false;
   cfg.controller.auto_scale = false;
+  // Probe latency/delivery go through the telemetry registry (metrics
+  // only; the flight recorder stays off — no trace consumer here).
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.trace = false;
   return cfg;
 }
 
@@ -72,13 +75,22 @@ RunResult run(double utilization, bool with_nezha) {
                                 net::Ipv4Addr(10, 0, 0, 100), 39999, 80,
                                 net::IpProto::kUdp};
 
-  common::Percentiles latency;
-  std::uint64_t probe_delivered = 0;
+  // Bounded-memory histogram: 10ns-grain buckets over [0, 20ms] cover
+  // everything short of total meltdown; the overflow bucket absorbs the
+  // rest (mean stays exact — the slot tracks the true sum).
+  telemetry::MetricsRegistry& metrics = bed.telemetry()->metrics();
+  const auto lat_hist =
+      metrics.histogram("bench.probe_latency_us", 0.0, 20000.0, 2000);
+  const auto delivered_ctr = metrics.counter("bench.probe_delivered");
+  // The registry has no per-histogram reset, so gate measurement on a flag
+  // instead of clearing after warmup.
+  bool measuring = false;
   bed.vswitch(10).set_vm_delivery(
       [&](tables::VnicId, const net::Packet& p) {
-        if (p.inner.ft == probe_ft) {
-          ++probe_delivered;
-          latency.add(common::to_micros(bed.loop().now() - p.created_at));
+        if (measuring && p.inner.ft == probe_ft) {
+          metrics.add(delivered_ctr);
+          metrics.observe(lat_hist,
+                          common::to_micros(bed.loop().now() - p.created_at));
         }
       });
 
@@ -104,8 +116,7 @@ RunResult run(double utilization, bool with_nezha) {
   }
   bed.vswitch(12).from_vm(1, net::make_udp_packet(probe_ft, kPayload, kVpc));
   bed.run_for(common::milliseconds(100));
-  latency.clear();
-  probe_delivered = 0;
+  measuring = true;
 
   const common::TimePoint t0 = bed.loop().now();
   const common::Duration window = common::milliseconds(400);
@@ -140,8 +151,9 @@ RunResult run(double utilization, bool with_nezha) {
   bed.run_for(window + common::milliseconds(100));
 
   RunResult r;
-  r.avg_latency_us = latency.mean();
-  r.p99_latency_us = latency.percentile(99);
+  r.avg_latency_us = metrics.hist_mean(lat_hist);
+  r.p99_latency_us = metrics.hist_quantile(lat_hist, 99);
+  const std::uint64_t probe_delivered = metrics.counter_value(delivered_ctr);
   r.delivered_fraction =
       probe_sent == 0
           ? 0

@@ -22,7 +22,14 @@ int main(int argc, char** argv) {
   cfg.monitor.probe_interval = common::milliseconds(500);
   cfg.monitor.probe_timeout = common::milliseconds(300);
   cfg.monitor.miss_threshold = 3;
+  // Sent/delivered tallies live in the telemetry registry (metrics only;
+  // no trace consumer here).
+  cfg.telemetry.enabled = true;
+  cfg.telemetry.trace = false;
   core::Testbed bed(cfg);
+  telemetry::MetricsRegistry& metrics = bed.telemetry()->metrics();
+  const auto sent_ctr = metrics.counter("bench.pkts_sent");
+  const auto delivered_ctr = metrics.counter("bench.pkts_delivered");
 
   constexpr std::uint32_t kVpc = 7;
   constexpr tables::VnicId kServer = 100;
@@ -35,9 +42,10 @@ int main(int argc, char** argv) {
   client.addr = tables::OverlayAddr{kVpc, net::Ipv4Addr(10, 0, 1, 1)};
   bed.add_vnic(12, client);
 
-  std::uint64_t delivered = 0;
-  bed.vswitch(10).set_vm_delivery(
-      [&](tables::VnicId, const net::Packet&) { ++delivered; });
+  bed.vswitch(10).set_vm_delivery([&metrics, delivered_ctr](
+                                      tables::VnicId, const net::Packet&) {
+    metrics.add(delivered_ctr);
+  });
 
   (void)bed.controller().trigger_offload(kServer, 4);
   bed.run_for(common::seconds(4));
@@ -47,16 +55,15 @@ int main(int argc, char** argv) {
   // Steady traffic: 200 flows × 100 pps = 20K pps toward the server.
   constexpr int kFlows = 200;
   constexpr double kPps = 100.0;
-  std::uint64_t sent = 0;
-  auto send_burst = [&bed, &sent]() {
+  auto send_burst = [&bed, &metrics, sent_ctr]() {
     for (int f = 0; f < kFlows; ++f) {
       net::FiveTuple ft{net::Ipv4Addr(10, 0, 1, 1),
                         net::Ipv4Addr(10, 0, 0, 100),
                         static_cast<std::uint16_t>(20000 + f), 80,
                         net::IpProto::kUdp};
       bed.vswitch(12).from_vm(1, net::make_udp_packet(ft, 100, 7));
-      ++sent;
     }
+    metrics.add(sent_ctr, kFlows);
   };
   send_burst();
   auto pump_id = std::make_shared<sim::EventId>();
@@ -81,15 +88,17 @@ int main(int argc, char** argv) {
 
   // Sample loss rate in 250ms windows.
   benchutil::Table t({"t since crash (s)", "loss rate"});
-  std::uint64_t prev_sent = sent, prev_delivered = delivered;
+  std::uint64_t prev_sent = metrics.counter_value(sent_ctr);
+  std::uint64_t prev_delivered = metrics.counter_value(delivered_ctr);
   double max_loss = 0;
   common::TimePoint loss_start = -1, loss_end = -1;
   for (int w = 0; w < 24; ++w) {
     bed.run_for(common::milliseconds(250));
-    const std::uint64_t ws = sent - prev_sent;
-    const std::uint64_t wd = delivered - prev_delivered;
-    prev_sent = sent;
-    prev_delivered = delivered;
+    const std::uint64_t ws = metrics.counter_value(sent_ctr) - prev_sent;
+    const std::uint64_t wd =
+        metrics.counter_value(delivered_ctr) - prev_delivered;
+    prev_sent += ws;
+    prev_delivered += wd;
     const double loss =
         ws == 0 ? 0 : 1.0 - static_cast<double>(wd) / static_cast<double>(ws);
     const double ts = common::to_seconds(bed.loop().now() - crash_at);

@@ -1,8 +1,11 @@
 #include "src/common/log.h"
 
+#include "src/common/time.h"
+
 namespace nezha::common {
 namespace {
 LogLevel g_level = LogLevel::kOff;
+LogTimeSource g_time_source{};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -19,8 +22,17 @@ const char* level_name(LogLevel level) {
 LogLevel log_level() { return g_level; }
 void set_log_level(LogLevel level) { g_level = level; }
 
+LogTimeSource log_time_source() { return g_time_source; }
+void set_log_time_source(LogTimeSource src) { g_time_source = src; }
+
 void log_message(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  if (g_time_source.fn != nullptr) {
+    const long long t_ns = g_time_source.fn(g_time_source.ctx);
+    std::fprintf(stderr, "[%s @%s] %s\n", level_name(level),
+                 format_duration(t_ns).c_str(), msg.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  }
 }
 
 }  // namespace nezha::common

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -33,31 +34,6 @@ class Summary {
   double max_ = 0.0;
 };
 
-/// Exact percentile estimator: stores all samples; fine for simulation-scale
-/// sample counts (millions). percentile(p) with p in [0,100].
-class Percentiles {
- public:
-  void add(double x) { samples_.push_back(x); sorted_ = false; }
-  void reserve(std::size_t n) { samples_.reserve(n); }
-  std::size_t count() const { return samples_.size(); }
-  bool empty() const { return samples_.empty(); }
-
-  /// Linear-interpolated percentile; p in [0, 100]. Returns 0 when empty.
-  double percentile(double p) const;
-  double median() const { return percentile(50.0); }
-  double mean() const;
-  double min() const { return percentile(0.0); }
-  double max() const { return percentile(100.0); }
-
-  const std::vector<double>& samples() const { return samples_; }
-  void clear() { samples_.clear(); sorted_ = false; }
-
- private:
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = false;
-  void ensure_sorted() const;
-};
-
 /// Fixed-bucket histogram over [lo, hi) with overflow/underflow buckets.
 class Histogram {
  public:
@@ -69,11 +45,24 @@ class Histogram {
   std::uint64_t underflow() const { return underflow_; }
   std::uint64_t overflow() const { return overflow_; }
   std::uint64_t total() const { return total_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
   double bucket_lo(std::size_t i) const;
   double bucket_hi(std::size_t i) const;
 
   /// CDF value at bucket upper edge i (counts underflow as mass below lo).
   double cdf_at(std::size_t i) const;
+
+  /// Interpolated quantile, p in [0, 100]. Mass in the underflow bucket maps
+  /// to lo, overflow mass to hi; within a bucket the mass is assumed
+  /// uniform. Returns 0 when empty.
+  double quantile(double p) const;
+
+  /// Accumulates `other` into this. Both histograms must have identical
+  /// [lo, hi)/bucket shape; throws std::invalid_argument otherwise.
+  void merge(const Histogram& other);
+
+  void clear();
 
  private:
   double lo_;
@@ -83,6 +72,59 @@ class Histogram {
   std::uint64_t underflow_ = 0;
   std::uint64_t overflow_ = 0;
   std::uint64_t total_ = 0;
+};
+
+/// Percentile estimator with two backends:
+///
+///  * exact (default) — stores every sample; fine for test-scale counts.
+///  * bounded — construct via bounded(lo, hi, buckets); samples land in a
+///    fixed-bucket Histogram and percentiles are interpolated from bucket
+///    mass. Memory is O(buckets) regardless of sample count, which is what
+///    fleet-scale benches need.
+///
+/// percentile(p) with p in [0,100]. merge() combines two estimators; when
+/// either side is bounded the result is bounded (an exact target adopts the
+/// bounded source's bucket shape, replaying its stored samples).
+class Percentiles {
+ public:
+  Percentiles() = default;
+
+  /// Bounded-memory estimator over [lo, hi) with `buckets` fixed buckets.
+  static Percentiles bounded(double lo, double hi, std::size_t buckets);
+  bool is_bounded() const { return hist_.has_value(); }
+
+  void add(double x);
+  void reserve(std::size_t n) { if (!hist_) samples_.reserve(n); }
+  std::size_t count() const;
+  bool empty() const { return count() == 0; }
+
+  /// Accumulates `other` into this (see class comment for mode mixing).
+  /// Merging two bounded estimators of different shape throws
+  /// std::invalid_argument.
+  void merge(const Percentiles& other);
+
+  /// Linear-interpolated percentile; p in [0, 100]. Returns 0 when empty.
+  /// Bounded mode clamps the bucket estimate to the true observed
+  /// [min, max] (tracked exactly alongside the buckets).
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  double mean() const;
+  double min() const { return percentile(0.0); }
+  double max() const { return percentile(100.0); }
+
+  /// Raw samples; empty in bounded mode (individual values are not kept).
+  const std::vector<double>& samples() const { return samples_; }
+  void clear();
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  std::optional<Histogram> hist_;  // engaged => bounded mode
+  double sum_ = 0.0;               // bounded-mode accumulators
+  double min_ = 0.0;
+  double max_ = 0.0;
+  void ensure_sorted() const;
+  void convert_to_bounded(double lo, double hi, std::size_t buckets);
 };
 
 /// Named counters for drop-reason accounting.

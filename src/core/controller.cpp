@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/log.h"
+#include "src/telemetry/hub.h"
 
 namespace nezha::core {
 
@@ -28,6 +29,18 @@ void Controller::register_vnic(vswitch::VSwitch* home,
   vnics_[vnic_config.id] = rec;
   gateway_.set_placement(vnic_config.addr, vnic_config.id,
                          {home->location()});
+}
+
+void Controller::record_ctrl(telemetry::EventKind kind, std::uint32_t node,
+                             std::uint64_t a, std::uint64_t b) {
+  if (telemetry_ == nullptr) return;
+  telemetry::TraceEvent e;
+  e.at = loop_.now();
+  e.node = node;
+  e.kind = kind;
+  e.a = a;
+  e.b = b;
+  telemetry_->record(e);
 }
 
 common::Duration Controller::sample_config_latency() {
@@ -120,6 +133,8 @@ common::Status Controller::trigger_offload(tables::VnicId id,
 
   const common::TimePoint t0 = loop_.now();
   rec.transition_pending = true;
+  record_ctrl(telemetry::EventKind::kCtrlOffloadBegin, rec.home->id(), id,
+              fes.size());
 
   // Dual-running stage (Fig 7):
   //  (1) configure rule tables in every selected FE,
@@ -172,6 +187,8 @@ common::Status Controller::trigger_offload(tables::VnicId id,
     home->finalize_offload(id);
     auto rit = vnics_.find(id);
     if (rit != vnics_.end()) rit->second.transition_pending = false;
+    record_ctrl(telemetry::EventKind::kCtrlOffloadDone, home->id(), id,
+                rit != vnics_.end() ? rit->second.fe_nodes.size() : 0);
   });
 
   ++offload_events_;
@@ -197,6 +214,7 @@ common::Status Controller::trigger_fallback(tables::VnicId id) {
   const common::TimePoint t0 = loop_.now();
   rec.transition_pending = true;
   vswitch::VSwitch* home = rec.home;
+  record_ctrl(telemetry::EventKind::kCtrlFallbackBegin, home->id(), id);
 
   // Dual-running: restore local tables, then point the gateway back at the
   // BE; FEs keep serving stale senders until learning completes.
@@ -230,6 +248,7 @@ common::Status Controller::trigger_fallback(tables::VnicId id) {
       rit->second.fe_nodes.clear();
       rit->second.transition_pending = false;
     }
+    record_ctrl(telemetry::EventKind::kCtrlFallbackDone, home->id(), id);
   });
 
   ++fallback_events_;
@@ -298,15 +317,19 @@ common::Status Controller::scale_out(
   });
 
   ++scale_out_events_;
+  record_ctrl(telemetry::EventKind::kCtrlScaleOut, rec.home->id(), id,
+              extra.size());
   return common::Status::ok_status();
 }
 
 void Controller::scale_in_vswitch(sim::NodeId node) {
   bool any = false;
+  std::uint64_t removed = 0;
   for (auto& [id, rec] : vnics_) {
     auto pos = std::find(rec.fe_nodes.begin(), rec.fe_nodes.end(), node);
     if (pos == rec.fe_nodes.end()) continue;
     any = true;
+    ++removed;
     rec.fe_nodes.erase(pos);
 
     // Update BE config + gateway now; retain the FE's tables until stale
@@ -342,7 +365,10 @@ void Controller::scale_in_vswitch(sim::NodeId node) {
       (void)scale_out(id, config_.min_fes - rec.fe_nodes.size(), {node});
     }
   }
-  if (any) ++scale_in_events_;
+  if (any) {
+    ++scale_in_events_;
+    record_ctrl(telemetry::EventKind::kCtrlScaleIn, node, removed);
+  }
 }
 
 void Controller::handle_fe_crash(sim::NodeId node) {
@@ -376,6 +402,7 @@ void Controller::handle_fe_crash(sim::NodeId node) {
   }
   if (any) {
     ++failover_events_;
+    record_ctrl(telemetry::EventKind::kCtrlFeCrash, node, node);
     NEZHA_LOG_WARN("failover: removed crashed FE node " +
                    std::to_string(node));
   }
@@ -413,6 +440,7 @@ void Controller::handle_link_failure(tables::VnicId id, sim::NodeId fe_node) {
     (void)scale_out(id, config_.min_fes - rec.fe_nodes.size(), {fe_node});
   }
   ++failover_events_;
+  record_ctrl(telemetry::EventKind::kCtrlLinkFailover, fe_node, id, fe_node);
 }
 
 void Controller::reseed_fe_hash(std::uint64_t seed) {

@@ -20,7 +20,12 @@
 #include "src/common/time.h"
 #include "src/sim/network.h"
 #include "src/tables/vnic_server_map.h"
+#include "src/telemetry/trace_event.h"
 #include "src/vswitch/vswitch.h"
+
+namespace nezha::telemetry {
+class Hub;
+}
 
 namespace nezha::core {
 
@@ -121,6 +126,11 @@ class Controller {
     return offload_completion_;
   }
 
+  /// Telemetry hook (null = off): control-plane workflow transitions are
+  /// recorded into the flight recorder (offload/fallback begin+done,
+  /// scale-out/-in, failover).
+  void set_telemetry(telemetry::Hub* hub) { telemetry_ = hub; }
+
   /// Monitoring hook for experiments: called after each monitor tick with
   /// (node, cpu utilization) samples.
   using UtilizationHook =
@@ -147,6 +157,8 @@ class Controller {
 
   common::Duration sample_config_latency();
   void monitor_tick();
+  void record_ctrl(telemetry::EventKind kind, std::uint32_t node,
+                   std::uint64_t a, std::uint64_t b = 0);
 
   /// Picks `count` idle vSwitches for a vNIC homed at `home`, preferring
   /// the same ToR, then the same aggregation block (App B.1), excluding
@@ -177,6 +189,7 @@ class Controller {
   std::uint64_t fes_provisioned_ = 0;
   common::Percentiles offload_completion_;
   UtilizationHook utilization_hook_;
+  telemetry::Hub* telemetry_ = nullptr;
   bool started_ = false;
 };
 

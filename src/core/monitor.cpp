@@ -1,8 +1,27 @@
 #include "src/core/monitor.h"
 
+#include "src/telemetry/hub.h"
 #include "src/vswitch/vswitch.h"
 
 namespace nezha::core {
+
+namespace {
+
+void record_probe(telemetry::Hub* hub, common::TimePoint at,
+                  std::uint32_t node, telemetry::EventKind kind,
+                  std::uint64_t target, std::uint64_t probe_id) {
+  if (hub == nullptr) return;
+  telemetry::TraceEvent e;
+  e.at = at;
+  e.node = node;
+  e.kind = kind;
+  e.a = target;
+  e.b = probe_id;
+  e.packet_id = probe_id;
+  hub->record(e);
+}
+
+}  // namespace
 
 HealthMonitor::HealthMonitor(sim::NodeId id, net::Ipv4Addr underlay_ip,
                              sim::EventLoop& loop, sim::Network& network,
@@ -38,6 +57,8 @@ void HealthMonitor::send_probe(sim::NodeId node, Target& target) {
   target.reply_seen = false;
   probe_owner_[probe_id] = node;
   ++probes_sent_;
+  record_probe(telemetry_, loop_.now(), id(),
+               telemetry::EventKind::kProbeSent, node, probe_id);
   network_.send(id(), target.ip, std::move(probe));
   loop_.schedule_after(config_.probe_timeout, [this, node, probe_id]() {
     check_probe(node, probe_id);
@@ -52,6 +73,8 @@ void HealthMonitor::receive(net::Packet pkt) {
   auto tit = targets_.find(node);
   if (tit == targets_.end()) return;
   ++replies_;
+  record_probe(telemetry_, loop_.now(), id(),
+               telemetry::EventKind::kProbeReply, node, pkt.id);
   if (tit->second.outstanding_probe == pkt.id) {
     tit->second.reply_seen = true;
     tit->second.consecutive_misses = 0;
@@ -86,10 +109,14 @@ void HealthMonitor::check_probe(sim::NodeId node, std::uint64_t probe_id) {
       static_cast<double>(targets_.empty() ? 1 : targets_.size());
   if (dead_fraction > config_.widespread_failure_fraction) {
     ++suppressed_;
+    record_probe(telemetry_, loop_.now(), id(),
+                 telemetry::EventKind::kCrashSuppressed, node, probe_id);
     return;
   }
   target.declared_dead = true;
   ++crashes_;
+  record_probe(telemetry_, loop_.now(), id(),
+               telemetry::EventKind::kCrashDeclared, node, probe_id);
   if (on_crash_) on_crash_(node);
 }
 

@@ -19,6 +19,10 @@
 #include "src/sim/network.h"
 #include "src/sim/node.h"
 
+namespace nezha::telemetry {
+class Hub;
+}
+
 namespace nezha::core {
 
 struct MonitorConfig {
@@ -38,6 +42,10 @@ class HealthMonitor : public sim::Node {
 
   using CrashFn = std::function<void(sim::NodeId)>;
   void set_crash_callback(CrashFn fn) { on_crash_ = std::move(fn); }
+
+  /// Telemetry hook (null = off): probe sends/replies and crash
+  /// declarations/suppressions go to the flight recorder.
+  void set_telemetry(telemetry::Hub* hub) { telemetry_ = hub; }
 
   /// Starts probing a vSwitch.
   void watch(sim::NodeId node, net::Ipv4Addr ip);
@@ -74,6 +82,7 @@ class HealthMonitor : public sim::Node {
   std::unordered_map<sim::NodeId, Target> targets_;
   std::unordered_map<std::uint64_t, sim::NodeId> probe_owner_;
   CrashFn on_crash_;
+  telemetry::Hub* telemetry_ = nullptr;
   std::uint64_t next_probe_id_ = 1;
   std::uint64_t probes_sent_ = 0;
   std::uint64_t replies_ = 0;

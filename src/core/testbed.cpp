@@ -44,6 +44,51 @@ Testbed::Testbed(TestbedConfig config) {
       [this](tables::VnicId id, sim::NodeId fe) {
         controller_->handle_link_failure(id, fe);
       });
+  if (config.telemetry.enabled) wire_telemetry(config.telemetry);
+}
+
+void Testbed::wire_telemetry(const telemetry::TelemetryConfig& cfg) {
+  // Node-id space: vSwitches occupy [0, N), the monitor N+1; anything else
+  // lands in the hub's spillover ring.
+  telemetry_ = std::make_unique<telemetry::Hub>(switches_.size() + 2, cfg);
+  telemetry::Hub* hub = telemetry_.get();
+  network_->set_telemetry(hub);
+  for (auto& vs : switches_) vs->set_telemetry(hub);
+  controller_->set_telemetry(hub);
+  monitor_->set_telemetry(hub);
+
+  telemetry::MetricsRegistry& m = hub->metrics();
+  sim::Network* net = network_.get();
+  m.gauge("net.delivered",
+          [net] { return static_cast<double>(net->delivered()); });
+  m.gauge("net.dropped",
+          [net] { return static_cast<double>(net->dropped_total()); });
+  m.gauge("net.in_flight",
+          [net] { return static_cast<double>(net->in_flight()); });
+  sim::EventLoop* loop = &loop_;
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    vswitch::VSwitch* vs = switches_[i].get();
+    const std::string p = "vs" + std::to_string(i);
+    // The sampler's checkpoint lives in telemetry (shared_ptr in the
+    // closure), so reading the gauge never mutates simulation state.
+    m.gauge(p + ".cpu_util",
+            [vs, loop, s = std::make_shared<vswitch::UtilizationSampler>()] {
+              return s->sample(vs->cpu(), loop->now());
+            });
+    m.gauge(p + ".sessions",
+            [vs] { return static_cast<double>(vs->sessions().size()); });
+    m.gauge(p + ".session_mem",
+            [vs] { return vs->session_memory().utilization(); });
+    m.gauge(p + ".port_q", [net, id = vs->id()] {
+      return static_cast<double>(net->port_queued_bytes(id));
+    });
+  }
+  for (std::size_t i = 0; i < net->fabric_link_count(); ++i) {
+    m.gauge("net.fabric_q." + std::to_string(i), [net, i] {
+      return static_cast<double>(net->fabric_queued_bytes(i));
+    });
+  }
+  telemetry_->start_sampler(loop_);
 }
 
 void Testbed::watch_fe_links(tables::VnicId id) {

@@ -16,6 +16,7 @@
 #include "src/sim/network.h"
 #include "src/sim/topology.h"
 #include "src/tables/vnic_server_map.h"
+#include "src/telemetry/hub.h"
 #include "src/vswitch/vswitch.h"
 
 namespace nezha::core {
@@ -27,6 +28,14 @@ struct TestbedConfig {
   vswitch::VSwitchConfig vswitch;
   ControllerConfig controller;
   MonitorConfig monitor;
+  /// Observability plane. When `telemetry.enabled` the Testbed builds a
+  /// telemetry::Hub, hands it to the network / every vSwitch / the
+  /// controller / the monitor, registers the standard gauge set
+  /// (per-vSwitch CPU utilization, session-table occupancy and port queue
+  /// depth; per-fabric-link queue depth; network delivery counters) and
+  /// starts the periodic sampler. NOTE: a running sampler re-arms forever,
+  /// so drive a telemetry-enabled testbed with run_for(), not loop().run().
+  telemetry::TelemetryConfig telemetry;
 };
 
 /// TestbedConfig preset for the fleet-scale 2-tier Clos testbed: enough
@@ -49,6 +58,8 @@ class Testbed {
   Controller& controller() { return *controller_; }
   HealthMonitor& monitor() { return *monitor_; }
   LinkProber& link_prober() { return *link_prober_; }
+  /// Null when config.telemetry.enabled was false.
+  telemetry::Hub* telemetry() { return telemetry_.get(); }
 
   /// Starts §C.1 mutual probing on every (BE, FE) path of an offloaded
   /// vNIC; link failures route to Controller::handle_link_failure.
@@ -74,6 +85,8 @@ class Testbed {
   void run_for(common::Duration d) { loop_.run_until(loop_.now() + d); }
 
  private:
+  void wire_telemetry(const telemetry::TelemetryConfig& cfg);
+
   sim::EventLoop loop_;
   tables::VnicServerMap gateway_;
   std::unique_ptr<sim::Network> network_;
@@ -81,6 +94,7 @@ class Testbed {
   std::unique_ptr<Controller> controller_;
   std::unique_ptr<HealthMonitor> monitor_;
   std::unique_ptr<LinkProber> link_prober_;
+  std::unique_ptr<telemetry::Hub> telemetry_;
 };
 
 }  // namespace nezha::core

@@ -4,8 +4,17 @@
 #include <utility>
 
 #include "src/net/five_tuple.h"
+#include "src/telemetry/hub.h"
 
 namespace nezha::sim {
+
+namespace {
+/// Connection identity for trace events: the canonical inner 5-tuple hash
+/// (seed 0), identical for both directions of a flow.
+std::uint64_t trace_flow(const net::Packet& pkt) {
+  return net::flow_hash(pkt.inner.ft.canonical(), 0);
+}
+}  // namespace
 
 Network::Network(EventLoop& loop, Topology topology, NetworkConfig config)
     : loop_(loop), topology_(topology), config_(config) {
@@ -132,35 +141,86 @@ void Network::complete(std::uint32_t slot) {
 
   if (kind == HopKind::kFabricDrop) {
     ++dropped_fabric_;
+    record_drop(pkt, to, from,
+                static_cast<std::uint8_t>(telemetry::DropReason::kFabric),
+                bytes);
     return;
   }
   if (crashed(to)) {
     ++dropped_crashed_;
+    record_drop(pkt, to, from,
+                static_cast<std::uint8_t>(telemetry::DropReason::kCrashed),
+                bytes);
     return;
   }
   Node* node = find_by_id(to);
   if (node == nullptr) {
     ++dropped_no_route_;
+    record_drop(pkt, to, from,
+                static_cast<std::uint8_t>(telemetry::DropReason::kNoRoute),
+                bytes);
     return;
   }
   ++delivered_;
-  if (trace_) trace_(loop_.now(), pkt, from, to);
+  deliver_tap(pkt, from, to, bytes);
   node->receive(std::move(pkt));
+}
+
+void Network::deliver_tap(const net::Packet& pkt, NodeId from, NodeId to,
+                          std::uint32_t bytes) {
+  if (trace_) trace_(loop_.now(), pkt, from, to);
+  if (telemetry_ != nullptr) {
+    telemetry::TraceEvent e;
+    e.at = loop_.now();
+    e.packet_id = pkt.id;
+    e.flow = trace_flow(pkt);
+    e.a = from;
+    e.b = bytes;
+    e.node = to;
+    e.kind = telemetry::EventKind::kPktDeliver;
+    telemetry_->record(e);
+  }
+}
+
+void Network::record_drop(const net::Packet& pkt, NodeId node,
+                          std::uint64_t peer, std::uint8_t reason,
+                          std::uint32_t bytes) {
+  if (telemetry_ == nullptr) return;
+  telemetry::TraceEvent e;
+  e.at = loop_.now();
+  e.packet_id = pkt.id;
+  e.flow = trace_flow(pkt);
+  e.a = peer;
+  e.b = bytes;
+  e.node = node;
+  e.kind = telemetry::EventKind::kPktDrop;
+  e.detail = reason;
+  telemetry_->record(e);
 }
 
 void Network::send(NodeId from, net::Ipv4Addr to_ip, net::Packet pkt) {
   ++sent_;
+  if (telemetry_ != nullptr) telemetry_->stamp(pkt);
   if (crashed(from)) {
     ++dropped_crashed_;
+    record_drop(pkt, from, to_ip.value(),
+                static_cast<std::uint8_t>(telemetry::DropReason::kCrashed),
+                static_cast<std::uint32_t>(pkt.wire_size()));
     return;
   }
   Node* dst = find_by_ip(to_ip);
   if (dst == nullptr) {
     ++dropped_no_route_;
+    record_drop(pkt, from, to_ip.value(),
+                static_cast<std::uint8_t>(telemetry::DropReason::kNoRoute),
+                static_cast<std::uint32_t>(pkt.wire_size()));
     return;
   }
   if (partitioned(from, dst->id())) {
     ++dropped_partitioned_;
+    record_drop(pkt, from, dst->id(),
+                static_cast<std::uint8_t>(telemetry::DropReason::kPartitioned),
+                static_cast<std::uint32_t>(pkt.wire_size()));
     return;
   }
   const std::size_t bytes = pkt.wire_size();
@@ -175,6 +235,9 @@ void Network::send(NodeId from, net::Ipv4Addr to_ip, net::Packet pkt) {
   }
   if (port.queued_bytes + bytes > config_.egress_queue_bytes) {
     ++dropped_queue_full_;
+    record_drop(pkt, from, dst->id(),
+                static_cast<std::uint8_t>(telemetry::DropReason::kQueueFull),
+                static_cast<std::uint32_t>(bytes));
     return;
   }
   const auto serialization = static_cast<common::Duration>(
@@ -184,6 +247,18 @@ void Network::send(NodeId from, net::Ipv4Addr to_ip, net::Packet pkt) {
   port.queued_bytes += bytes;
   const common::TimePoint tx_done = port.busy_until;
   const NodeId to = dst->id();
+
+  if (telemetry_ != nullptr) {
+    telemetry::TraceEvent e;
+    e.at = loop_.now();
+    e.packet_id = pkt.id;
+    e.flow = trace_flow(pkt);
+    e.a = to;
+    e.b = static_cast<std::uint32_t>(bytes);
+    e.node = from;
+    e.kind = telemetry::EventKind::kPktEnqueue;
+    telemetry_->record(e);
+  }
 
   if (topology_.is_clos() && !topology_.same_leaf(from, to)) {
     total_bytes_ += bytes;

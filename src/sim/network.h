@@ -29,6 +29,10 @@
 #include "src/sim/node.h"
 #include "src/sim/topology.h"
 
+namespace nezha::telemetry {
+class Hub;
+}
+
 namespace nezha::sim {
 
 struct NetworkConfig {
@@ -114,6 +118,20 @@ class Network {
                                      NodeId from, NodeId to)>;
   void set_trace(TraceFn fn) { trace_ = std::move(fn); }
 
+  /// Telemetry hook (null = off). The hub records enqueue/deliver/drop
+  /// events and stamps packet ids at the send edge.
+  void set_telemetry(telemetry::Hub* hub) { telemetry_ = hub; }
+
+  /// Queue-depth observability for telemetry gauges.
+  std::size_t port_queued_bytes(NodeId id) const {
+    return id < ports_.size() ? ports_[id].queued_bytes : 0;
+  }
+  std::size_t fabric_link_count() const { return fabric_links_.size(); }
+  std::size_t fabric_queued_bytes(std::size_t i) const {
+    return i < fabric_links_.size() ? fabric_links_[i].queued_bytes : 0;
+  }
+  std::uint32_t num_spines() const { return num_spines_; }
+
  private:
   struct Port {
     // Virtual time at which the egress link becomes free.
@@ -147,6 +165,13 @@ class Network {
 
   std::uint32_t alloc_slot();
   void complete(std::uint32_t slot);
+  /// The single delivery tap: every completed hop — point-to-point and Clos
+  /// fast path alike — funnels through here before the destination's
+  /// receive(), so pcap capture and telemetry see identical traffic.
+  void deliver_tap(const net::Packet& pkt, NodeId from, NodeId to,
+                   std::uint32_t bytes);
+  void record_drop(const net::Packet& pkt, NodeId node, std::uint64_t peer,
+                   std::uint8_t reason, std::uint32_t bytes);
   /// EventLoop raw-callback shim for the per-hop delivery events — the
   /// hottest schedule site in the simulator; avoids a std::function per hop.
   static void complete_thunk(void* self, std::uint64_t slot) {
@@ -196,6 +221,7 @@ class Network {
   std::vector<std::uint32_t> free_slots_;
 
   TraceFn trace_;
+  telemetry::Hub* telemetry_ = nullptr;
 
   std::uint64_t sent_ = 0;
   std::uint64_t in_flight_ = 0;

@@ -1,0 +1,18 @@
+#include "src/telemetry/hub.h"
+
+#include "src/net/packet.h"
+
+namespace nezha::telemetry {
+
+Hub::Hub(std::size_t num_nodes, const TelemetryConfig& cfg)
+    : cfg_(cfg),
+      recorder_(num_nodes, cfg.events_per_node),
+      trace_on_(cfg.trace),
+      next_packet_id_(std::uint64_t{1} << 32) {}
+
+std::uint64_t Hub::stamp(net::Packet& pkt) {
+  if (pkt.id == 0) pkt.id = next_packet_id_++;
+  return pkt.id;
+}
+
+}  // namespace nezha::telemetry

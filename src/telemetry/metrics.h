@@ -1,0 +1,132 @@
+// Metrics registry: named interned counters, pull-gauges and fixed-bucket
+// histograms, plus a periodic sampler that records deterministic time-series
+// snapshots into preallocated storage and emits them as JSON.
+//
+// Hot-path contract: add()/observe() are array operations on interned ids —
+// no string work, no allocation. The sampler tick only *reads* simulation
+// state (gauges are pull functions) and writes into a row buffer sized at
+// start_sampler(), so telemetry-on steady state stays allocation-free and
+// the simulation outcome is bit-identical to a telemetry-off run.
+//
+// Determinism: series are ordered by registration, sampler ticks by virtual
+// time, and the JSON writer formats numbers with fixed printf conversions —
+// two same-seed runs produce byte-identical output.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/time.h"
+#include "src/sim/event_loop.h"
+
+namespace nezha::telemetry {
+
+class MetricsRegistry {
+ public:
+  using Id = std::uint32_t;
+  static constexpr Id kInvalidId = 0xffffffffu;
+
+  // ---- registration (cold; idempotent by name) ----
+  Id counter(std::string name);
+  /// Pull-gauge: `fn` is invoked at each sampler tick (and by
+  /// gauge_value()); it must read simulation state without mutating it.
+  Id gauge(std::string name, std::function<double()> fn);
+  Id histogram(std::string name, double lo, double hi, std::size_t buckets);
+
+  Id find_counter(std::string_view name) const;
+  Id find_gauge(std::string_view name) const;
+  Id find_histogram(std::string_view name) const;
+
+  // ---- hot path ----
+  void add(Id c, std::uint64_t by = 1) { counters_[c].value += by; }
+  void observe(Id h, double x) {
+    HistSlot& s = hists_[h];
+    if (s.hist.total() == 0) {
+      s.min = s.max = x;
+    } else {
+      if (x < s.min) s.min = x;
+      if (x > s.max) s.max = x;
+    }
+    s.sum += x;
+    s.hist.add(x);
+  }
+
+  // ---- reads ----
+  std::uint64_t counter_value(Id c) const { return counters_[c].value; }
+  double gauge_value(Id g) const { return gauges_[g].fn(); }
+  std::uint64_t hist_count(Id h) const { return hists_[h].hist.total(); }
+  double hist_mean(Id h) const;
+  /// Interpolated quantile (p in [0,100]) from the fixed buckets.
+  double hist_quantile(Id h, double p) const;
+
+  std::size_t counter_count() const { return counters_.size(); }
+  std::size_t gauge_count() const { return gauges_.size(); }
+  std::size_t histogram_count() const { return hists_.size(); }
+
+  // ---- sampler ----
+  /// Starts the periodic snapshot series on `loop`. The series set is
+  /// frozen at this call (counters/gauges registered later are still
+  /// readable and appear in the JSON footer, but not in the time series);
+  /// row storage for `max_samples` ticks is preallocated here so the tick
+  /// itself never allocates. Ticks beyond max_samples are counted as
+  /// dropped instead of growing memory.
+  void start_sampler(sim::EventLoop& loop, common::Duration period,
+                     std::size_t max_samples);
+  void stop_sampler();
+  bool sampling() const { return sampler_loop_ != nullptr; }
+  common::Duration sample_period() const { return period_; }
+  std::size_t samples_taken() const { return rows_used_; }
+  std::uint64_t dropped_ticks() const { return dropped_ticks_; }
+
+  /// Most recent sampled value of a series (0 when no tick yet). Benches
+  /// read these instead of keeping private accumulators.
+  double last_sample_counter(Id c) const;
+  double last_sample_gauge(Id g) const;
+
+  /// Deterministic JSON dump of the time series + final counter values +
+  /// histogram buckets/percentiles (schema documented in README.md).
+  void write_json(std::ostream& os) const;
+
+ private:
+  struct CounterSlot {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeSlot {
+    std::string name;
+    std::function<double()> fn;
+  };
+  struct HistSlot {
+    std::string name;
+    common::Histogram hist;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+
+  void tick(common::TimePoint now);
+
+  std::vector<CounterSlot> counters_;
+  std::vector<GaugeSlot> gauges_;
+  std::vector<HistSlot> hists_;
+
+  // Sampled row layout: [t_ns, counters[0..series_counters_),
+  // gauges[0..series_gauges_)], all as double.
+  std::vector<double> rows_;
+  std::size_t row_width_ = 0;
+  std::size_t series_counters_ = 0;
+  std::size_t series_gauges_ = 0;
+  std::size_t rows_used_ = 0;
+  std::size_t max_rows_ = 0;
+  std::uint64_t dropped_ticks_ = 0;
+  common::Duration period_ = 0;
+  sim::EventLoop* sampler_loop_ = nullptr;
+  sim::EventId sampler_id_ = 0;
+};
+
+}  // namespace nezha::telemetry

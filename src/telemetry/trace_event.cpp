@@ -1,0 +1,71 @@
+#include "src/telemetry/trace_event.h"
+
+#include <cstdio>
+
+namespace nezha::telemetry {
+
+std::string_view kind_name(EventKind kind) {
+  const auto i = static_cast<std::size_t>(kind);
+  return i < kEventKindNames.size() ? kEventKindNames[i] : "?";
+}
+
+std::string_view stage_name(std::uint8_t detail) {
+  return detail < kStageNames.size() ? kStageNames[detail] : "?";
+}
+
+std::string_view drop_reason_name(std::uint8_t detail) {
+  return detail < kDropReasonNames.size() ? kDropReasonNames[detail] : "?";
+}
+
+std::string to_string(const TraceEvent& e) {
+  char buf[256];
+  const double t_us = static_cast<double>(e.at) / 1000.0;
+  int n = std::snprintf(buf, sizeof(buf),
+                        "%14.3fus seq=%-8llu node=%-4u %-22s",
+                        t_us, static_cast<unsigned long long>(e.seq), e.node,
+                        std::string(kind_name(e.kind)).c_str());
+  std::string out(buf, n > 0 ? static_cast<std::size_t>(n) : 0);
+  switch (e.kind) {
+    case EventKind::kCpuOpStart:
+    case EventKind::kCpuOpFinish:
+    case EventKind::kCpuReject:
+      out += " stage=";
+      out += stage_name(e.detail);
+      break;
+    case EventKind::kPktDrop:
+      out += " reason=";
+      out += drop_reason_name(e.detail);
+      break;
+    case EventKind::kVnicMode:
+      std::snprintf(buf, sizeof(buf), " vnic=%llu %u->%u",
+                    static_cast<unsigned long long>(e.a), mode_from(e.detail),
+                    mode_to(e.detail));
+      out += buf;
+      break;
+    default:
+      break;
+  }
+  if (e.packet_id != 0) {
+    std::snprintf(buf, sizeof(buf), " pkt=%llu",
+                  static_cast<unsigned long long>(e.packet_id));
+    out += buf;
+  }
+  if (e.flow != 0) {
+    std::snprintf(buf, sizeof(buf), " flow=%016llx",
+                  static_cast<unsigned long long>(e.flow));
+    out += buf;
+  }
+  if (e.a != 0 && e.kind != EventKind::kVnicMode) {
+    std::snprintf(buf, sizeof(buf), " a=%llu",
+                  static_cast<unsigned long long>(e.a));
+    out += buf;
+  }
+  if (e.b != 0) {
+    std::snprintf(buf, sizeof(buf), " b=%llu",
+                  static_cast<unsigned long long>(e.b));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace nezha::telemetry

@@ -1,0 +1,137 @@
+// Flight-recorder trace event schema.
+//
+// One fixed-size POD record per observable datapath or control-plane
+// moment. Events carry the simulation timestamp, a global sequence number
+// (assigned by the FlightRecorder at record time — the total order of a
+// run), the emitting node, and two identity fields that survive every hop
+// of Nezha's BE→FE→peer detour:
+//
+//  * packet_id — the sim-metadata Packet::id. It is preserved across
+//    encap/decap and the extra FE hop, so one physical packet's events can
+//    be chained across nodes. 0 means "no packet context".
+//  * flow — the canonical-5-tuple hash (seed 0), identical for both
+//    directions of a connection, so one connection's whole life can be
+//    reconstructed from a merged dump.
+//
+// The struct is trivially copyable and written byte-for-byte into binary
+// dumps, so the layout (and the explicit padding) is part of the dump
+// format: bump kTraceFormatVersion when changing it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/time.h"
+
+namespace nezha::telemetry {
+
+enum class EventKind : std::uint8_t {
+  kPktEnqueue = 0,    // network accepted a packet onto the sender's port
+  kPktDeliver,        // network handed a packet to the destination node
+  kPktDrop,           // network dropped the packet (detail = DropReason)
+  kCpuOpStart,        // vSwitch charged a CPU cost (detail = Stage)
+  kCpuOpFinish,       // deferred CPU op completed (detail = Stage)
+  kCpuReject,         // CPU model refused the op: overload (detail = Stage)
+  kBeFeRedirect,      // BE picked an FE for a TX packet (a = FE underlay IP)
+  kTableMiss,         // slow-path rule chain ran (a = running miss count)
+  kVmDeliver,         // packet handed to the VM side (a = vNIC id)
+  kVnicMode,          // vNIC offload FSM step (a = vNIC, detail = from<<4|to)
+  kCtrlOffloadBegin,  // controller started an offload workflow (a = vNIC)
+  kCtrlOffloadDone,   // offload workflow completed (a = vNIC, b = #FEs)
+  kCtrlFallbackBegin, // controller started a fallback workflow (a = vNIC)
+  kCtrlFallbackDone,  // fallback workflow completed (a = vNIC)
+  kCtrlScaleOut,      // FE pool grew (a = vNIC, b = FEs added)
+  kCtrlScaleIn,       // FEs evicted from a vSwitch (a = FE count removed)
+  kCtrlFeCrash,       // controller handled an FE crash (a = crashed node)
+  kCtrlLinkFailover,  // §C.1 per-vNIC link failover (a = vNIC, b = FE node)
+  kProbeSent,         // monitor probe sent (a = target node, b = probe id)
+  kProbeReply,        // monitor got a reply (a = target node, b = probe id)
+  kCrashDeclared,     // monitor declared a target dead (a = target node)
+  kCrashSuppressed,   // §C.2 widespread-failure guard tripped (a = target)
+  kCount,
+};
+
+/// Datapath stage tags for CPU-op events (mirrors the vSwitch stage
+/// functions; kProbe covers the health-probe fast reply).
+enum class Stage : std::uint8_t {
+  kLocalTx = 0,
+  kBeTx,
+  kLocalRx,
+  kBeRx,
+  kBeNotify,
+  kFeTx,
+  kFeRx,
+  kProbe,
+  kCount,
+};
+
+/// Network drop reasons for kPktDrop (mirrors Network's drop counters).
+enum class DropReason : std::uint8_t {
+  kNone = 0,
+  kNoRoute,
+  kCrashed,
+  kQueueFull,
+  kPartitioned,
+  kFabric,
+  kCount,
+};
+
+inline constexpr std::uint32_t kTraceFormatVersion = 1;
+
+struct TraceEvent {
+  common::TimePoint at = 0;    // simulation time
+  std::uint64_t seq = 0;       // global record order (FlightRecorder stamps)
+  std::uint64_t packet_id = 0; // Packet::id; persists across the FE hop
+  std::uint64_t flow = 0;      // canonical-5-tuple hash; 0 = no flow context
+  std::uint64_t a = 0;         // kind-specific (see EventKind comments)
+  std::uint64_t b = 0;         // kind-specific
+  std::uint32_t node = 0;      // emitting sim::NodeId
+  EventKind kind = EventKind::kPktEnqueue;
+  std::uint8_t detail = 0;     // Stage / DropReason / packed mode transition
+  std::uint16_t reserved = 0;  // dump-format padding; always 0
+};
+static_assert(sizeof(TraceEvent) == 56, "TraceEvent layout is dump format");
+
+inline constexpr std::array<std::string_view,
+                            static_cast<std::size_t>(EventKind::kCount)>
+    kEventKindNames = {
+        "pkt.enqueue",        "pkt.deliver",       "pkt.drop",
+        "cpu.op_start",       "cpu.op_finish",     "cpu.reject",
+        "be.fe_redirect",     "table.miss",        "vm.deliver",
+        "vnic.mode",          "ctrl.offload_begin", "ctrl.offload_done",
+        "ctrl.fallback_begin", "ctrl.fallback_done", "ctrl.scale_out",
+        "ctrl.scale_in",      "ctrl.fe_crash",     "ctrl.link_failover",
+        "probe.sent",         "probe.reply",       "probe.crash_declared",
+        "probe.crash_suppressed",
+};
+
+inline constexpr std::array<std::string_view,
+                            static_cast<std::size_t>(Stage::kCount)>
+    kStageNames = {
+        "local_tx", "be_tx", "local_rx", "be_rx",
+        "be_notify", "fe_tx", "fe_rx",   "probe",
+};
+
+inline constexpr std::array<std::string_view,
+                            static_cast<std::size_t>(DropReason::kCount)>
+    kDropReasonNames = {
+        "none", "no_route", "crashed", "queue_full", "partitioned", "fabric",
+};
+
+std::string_view kind_name(EventKind kind);
+std::string_view stage_name(std::uint8_t detail);
+std::string_view drop_reason_name(std::uint8_t detail);
+
+/// Packs a vNIC mode transition into TraceEvent::detail (4 bits each side).
+inline std::uint8_t pack_mode_transition(std::uint8_t from, std::uint8_t to) {
+  return static_cast<std::uint8_t>((from << 4) | (to & 0x0f));
+}
+inline std::uint8_t mode_from(std::uint8_t detail) { return detail >> 4; }
+inline std::uint8_t mode_to(std::uint8_t detail) { return detail & 0x0f; }
+
+/// One-line human rendering (used by nezha_trace and test diagnostics).
+std::string to_string(const TraceEvent& e);
+
+}  // namespace nezha::telemetry

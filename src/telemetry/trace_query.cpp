@@ -1,0 +1,175 @@
+#include "src/telemetry/trace_query.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+
+#include "src/telemetry/flight_recorder.h"
+
+namespace nezha::telemetry {
+
+common::Result<std::vector<TraceEvent>> load_trace(std::istream& is) {
+  std::uint64_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint32_t record_size = 0;
+  std::uint64_t count = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  is.read(reinterpret_cast<char*>(&version), sizeof(version));
+  is.read(reinterpret_cast<char*>(&record_size), sizeof(record_size));
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!is) return common::make_error("trace: truncated header");
+  if (magic != kTraceMagic) return common::make_error("trace: bad magic");
+  if (version != kTraceFormatVersion) {
+    return common::make_error("trace: unsupported version " +
+                              std::to_string(version));
+  }
+  if (record_size != sizeof(TraceEvent)) {
+    return common::make_error("trace: record size mismatch");
+  }
+  std::vector<TraceEvent> events(count);
+  if (count != 0) {
+    is.read(reinterpret_cast<char*>(events.data()),
+            static_cast<std::streamsize>(count * sizeof(TraceEvent)));
+    if (!is) return common::make_error("trace: truncated body");
+  }
+  return events;
+}
+
+common::Result<std::vector<TraceEvent>> load_trace_file(
+    const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return common::make_error("trace: cannot open " + path);
+  return load_trace(f);
+}
+
+std::vector<TraceEvent> filter_flow(const std::vector<TraceEvent>& events,
+                                    std::uint64_t flow) {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events) {
+    if (e.flow == flow) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> filter_packet(const std::vector<TraceEvent>& events,
+                                      std::uint64_t packet_id) {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events) {
+    if (e.packet_id == packet_id) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<SetupLatency> slowest_setups(const std::vector<TraceEvent>& events,
+                                         std::size_t k) {
+  // Per flow: the first table.miss, then the first vm.deliver at or after
+  // it. std::map keeps flow iteration deterministic.
+  struct Pending {
+    common::TimePoint miss_at = 0;
+    bool have_miss = false;
+    bool done = false;
+    common::TimePoint deliver_at = 0;
+  };
+  std::map<std::uint64_t, Pending> flows;
+  for (const TraceEvent& e : events) {
+    if (e.flow == 0) continue;
+    if (e.kind == EventKind::kTableMiss) {
+      Pending& p = flows[e.flow];
+      if (!p.have_miss) {
+        p.have_miss = true;
+        p.miss_at = e.at;
+      }
+    } else if (e.kind == EventKind::kVmDeliver) {
+      auto it = flows.find(e.flow);
+      if (it != flows.end() && it->second.have_miss && !it->second.done &&
+          e.at >= it->second.miss_at) {
+        it->second.done = true;
+        it->second.deliver_at = e.at;
+      }
+    }
+  }
+  std::vector<SetupLatency> out;
+  for (const auto& [flow, p] : flows) {
+    if (p.done) out.push_back(SetupLatency{flow, p.miss_at, p.deliver_at});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SetupLatency& a, const SetupLatency& b) {
+              if (a.latency() != b.latency()) return a.latency() > b.latency();
+              return a.flow < b.flow;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::vector<ModeTransition> audit_vswitch(
+    const std::vector<TraceEvent>& events, std::uint32_t node) {
+  // Legal FSM cycle: 0 → 1 → 2 → 3 → 0 (vswitch::VnicMode values).
+  const auto legal_edge = [](std::uint8_t from, std::uint8_t to) {
+    return (from == 0 && to == 1) || (from == 1 && to == 2) ||
+           (from == 2 && to == 3) || (from == 3 && to == 0);
+  };
+  std::map<std::uint64_t, std::uint8_t> last_state;  // vnic -> last `to`
+  std::vector<ModeTransition> out;
+  for (const TraceEvent& e : events) {
+    if (e.kind != EventKind::kVnicMode || e.node != node) continue;
+    ModeTransition t;
+    t.at = e.at;
+    t.vnic = e.a;
+    t.from = mode_from(e.detail);
+    t.to = mode_to(e.detail);
+    auto it = last_state.find(t.vnic);
+    const bool continuous = it == last_state.end() || it->second == t.from;
+    t.legal = legal_edge(t.from, t.to) && continuous;
+    last_state[t.vnic] = t.to;
+    out.push_back(t);
+  }
+  return out;
+}
+
+PathCheck check_be_fe_peer_path(const std::vector<TraceEvent>& events,
+                                std::uint64_t flow) {
+  PathCheck pc;
+  pc.timeline = filter_flow(events, flow);
+  for (const TraceEvent& e : pc.timeline) {
+    switch (e.kind) {
+      case EventKind::kCpuOpStart:
+        if (e.detail == static_cast<std::uint8_t>(Stage::kBeTx) &&
+            !pc.have_be_tx) {
+          pc.have_be_tx = true;
+          pc.be_node = e.node;
+        } else if (e.detail == static_cast<std::uint8_t>(Stage::kFeTx) &&
+                   pc.have_redirect && !pc.have_fe_hop) {
+          pc.have_fe_hop = true;
+          pc.fe_node = e.node;
+        }
+        break;
+      case EventKind::kBeFeRedirect:
+        // The BE records the redirect and the be_tx CPU charge at the same
+        // instant (one packet, one node); their relative order is an
+        // implementation detail, so the redirect leg does not require prior
+        // be_tx evidence — complete() still demands both.
+        pc.have_redirect = true;
+        break;
+      case EventKind::kVmDeliver:
+        if (pc.have_fe_hop && !pc.have_peer_deliver && e.node != pc.be_node &&
+            e.node != pc.fe_node) {
+          pc.have_peer_deliver = true;
+          pc.peer_node = e.node;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return pc;
+}
+
+void print_timeline(std::ostream& os, const std::vector<TraceEvent>& events) {
+  for (const TraceEvent& e : events) {
+    os << to_string(e) << "\n";
+  }
+}
+
+}  // namespace nezha::telemetry

@@ -1,0 +1,92 @@
+// Trace-dump query library backing the nezha_trace CLI (and tests).
+//
+// Loads binary flight-recorder dumps and answers the three questions the
+// tentpole asks for: the timeline of one connection, the top-K slowest
+// first-packet setups, and a vNIC state-machine audit for one vSwitch.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/telemetry/trace_event.h"
+
+namespace nezha::telemetry {
+
+/// Parses a binary dump (FlightRecorder::dump format); validates magic,
+/// version and record size.
+common::Result<std::vector<TraceEvent>> load_trace(std::istream& is);
+common::Result<std::vector<TraceEvent>> load_trace_file(
+    const std::string& path);
+
+/// Events touching one connection (flow hash), in seq order.
+std::vector<TraceEvent> filter_flow(const std::vector<TraceEvent>& events,
+                                    std::uint64_t flow);
+
+/// Events touching one physical packet, in seq order.
+std::vector<TraceEvent> filter_packet(const std::vector<TraceEvent>& events,
+                                      std::uint64_t packet_id);
+
+/// First-packet setup cost of one connection: the span from its first
+/// slow-path rule-chain run (table.miss) to the first VM delivery at or
+/// after it.
+struct SetupLatency {
+  std::uint64_t flow = 0;
+  common::TimePoint miss_at = 0;
+  common::TimePoint deliver_at = 0;
+  common::Duration latency() const { return deliver_at - miss_at; }
+};
+
+/// Top-K slowest first-packet setups, latency descending (ties broken by
+/// flow ascending so the answer is deterministic). Connections whose setup
+/// never completed (no delivery after the miss) are excluded.
+std::vector<SetupLatency> slowest_setups(const std::vector<TraceEvent>& events,
+                                         std::size_t k);
+
+/// One vNIC offload-FSM step observed on a vSwitch.
+struct ModeTransition {
+  common::TimePoint at = 0;
+  std::uint64_t vnic = 0;
+  std::uint8_t from = 0;
+  std::uint8_t to = 0;
+  bool legal = false;  // edge allowed AND continuous with previous state
+};
+
+/// Audits every vnic.mode event recorded by `node` against the legal cycle
+/// kLocal(0) → kOffloadDualRunning(1) → kOffloaded(2) →
+/// kFallbackDualRunning(3) → kLocal(0), per vNIC: an edge is legal when it
+/// is one of those four steps and its `from` matches the vNIC's previous
+/// `to` (the first observation only needs a legal edge).
+std::vector<ModeTransition> audit_vswitch(
+    const std::vector<TraceEvent>& events, std::uint32_t node);
+
+/// Reconstruction of one connection's BE→FE→peer forwarding path.
+struct PathCheck {
+  bool have_be_tx = false;       // CPU charged at the BE for the TX packet
+  bool have_redirect = false;    // BE chose an FE
+  bool have_fe_hop = false;      // FE charged CPU for the forwarded packet
+  bool have_peer_deliver = false;  // VM delivery at a third node
+  std::uint32_t be_node = 0;
+  std::uint32_t fe_node = 0;
+  std::uint32_t peer_node = 0;
+  std::vector<TraceEvent> timeline;  // the connection's events, seq order
+
+  bool complete() const {
+    return have_be_tx && have_redirect && have_fe_hop && have_peer_deliver;
+  }
+};
+
+/// Verifies that `flow`'s trace contains the full Nezha detour: a BE-side
+/// be_tx CPU op, the BE→FE redirect (unordered relative to the be_tx op —
+/// both are recorded at the same instant on the BE), CPU work at a
+/// *different* node after the redirect (the FE), and a VM delivery at a
+/// third node after that (the peer).
+PathCheck check_be_fe_peer_path(const std::vector<TraceEvent>& events,
+                                std::uint64_t flow);
+
+/// One-line rendering (to_string) of each event in order.
+void print_timeline(std::ostream& os, const std::vector<TraceEvent>& events);
+
+}  // namespace nezha::telemetry

@@ -4,6 +4,7 @@
 
 #include "src/net/bytes.h"
 #include "src/nf/stateful.h"
+#include "src/telemetry/hub.h"
 
 namespace nezha::vswitch {
 namespace {
@@ -172,6 +173,7 @@ common::Status VSwitch::begin_offload(tables::VnicId id,
   v->set_fe_locations(std::move(fes));
   v->set_dual_running_until(dual_running_until);
   v->set_mode(VnicMode::kOffloadDualRunning);
+  record_mode(id, VnicMode::kLocal, VnicMode::kOffloadDualRunning);
   return common::Status::ok_status();
 }
 
@@ -182,6 +184,7 @@ void VSwitch::finalize_offload(tables::VnicId id) {
   rule_pool_.release(v->release_local_tables());
   invalidate_cached_flows(id);
   v->set_mode(VnicMode::kOffloaded);
+  record_mode(id, VnicMode::kOffloadDualRunning, VnicMode::kOffloaded);
 }
 
 common::Status VSwitch::begin_fallback(tables::VnicId id,
@@ -201,6 +204,7 @@ common::Status VSwitch::begin_fallback(tables::VnicId id,
   v->restore_local_tables();
   v->set_dual_running_until(dual_running_until);
   v->set_mode(VnicMode::kFallbackDualRunning);
+  record_mode(id, VnicMode::kOffloaded, VnicMode::kFallbackDualRunning);
   return common::Status::ok_status();
 }
 
@@ -210,6 +214,7 @@ void VSwitch::finalize_fallback(tables::VnicId id) {
   v->set_fe_locations({});
   rule_pool_.release(kBackendMetadataBytes);
   v->set_mode(VnicMode::kLocal);
+  record_mode(id, VnicMode::kFallbackDualRunning, VnicMode::kLocal);
 }
 
 void VSwitch::update_fe_locations(tables::VnicId id,
@@ -253,22 +258,71 @@ void VSwitch::invalidate_cached_flows(tables::VnicId id) {
 
 // ------------------------------------------------------------- helpers
 
-bool VSwitch::consume_cpu(double cycles, std::function<void()> then) {
+void VSwitch::set_telemetry(telemetry::Hub* hub) {
+  telemetry_ = hub;
+  if (hub != nullptr) {
+    // Shared per-hop-class latency histograms (µs from packet creation to
+    // VM delivery); idempotent across vSwitches — one fleet-wide series.
+    lat_local_rx_us_ =
+        hub->metrics().histogram("latency.local_rx_us", 0.0, 2000.0, 200);
+    lat_be_rx_us_ =
+        hub->metrics().histogram("latency.be_rx_us", 0.0, 2000.0, 200);
+  }
+}
+
+void VSwitch::record_cpu(telemetry::EventKind kind, telemetry::Stage stage,
+                         const net::Packet* pkt, double cycles,
+                         common::TimePoint done) {
+  if (telemetry_ == nullptr) return;
+  telemetry::TraceEvent e;
+  e.at = loop_.now();
+  e.node = id();
+  e.kind = kind;
+  e.detail = static_cast<std::uint8_t>(stage);
+  e.a = static_cast<std::uint64_t>(cycles);
+  e.b = static_cast<std::uint64_t>(done);
+  if (pkt != nullptr) {
+    e.packet_id = pkt->id;
+    e.flow = net::flow_hash(pkt->inner.ft.canonical(), 0);
+  }
+  telemetry_->record(e);
+}
+
+void VSwitch::record_mode(tables::VnicId vnic, VnicMode from, VnicMode to) {
+  if (telemetry_ == nullptr) return;
+  telemetry::TraceEvent e;
+  e.at = loop_.now();
+  e.node = id();
+  e.kind = telemetry::EventKind::kVnicMode;
+  e.detail = telemetry::pack_mode_transition(static_cast<std::uint8_t>(from),
+                                             static_cast<std::uint8_t>(to));
+  e.a = vnic;
+  telemetry_->record(e);
+}
+
+bool VSwitch::consume_cpu(double cycles, telemetry::Stage stage,
+                          std::function<void()> then) {
   const CpuModel::Outcome out = cpu_.consume(cycles, loop_.now());
   if (!out.accepted) {
     inc(Ctr::kDropCpuOverload);
+    record_cpu(telemetry::EventKind::kCpuReject, stage, nullptr, cycles, 0);
     return false;
   }
+  record_cpu(telemetry::EventKind::kCpuOpStart, stage, nullptr, cycles,
+             out.done);
   loop_.schedule_at(out.done, std::move(then));
   return true;
 }
 
-void VSwitch::consume_cpu_noop(double cycles) {
+void VSwitch::consume_cpu_noop(double cycles, telemetry::Stage stage) {
   const CpuModel::Outcome out = cpu_.consume(cycles, loop_.now());
   if (!out.accepted) {
     inc(Ctr::kDropCpuOverload);
+    record_cpu(telemetry::EventKind::kCpuReject, stage, nullptr, cycles, 0);
     return;
   }
+  record_cpu(telemetry::EventKind::kCpuOpStart, stage, nullptr, cycles,
+             out.done);
   loop_.schedule_raw_at(out.done, [](void*, std::uint64_t) {}, nullptr);
 }
 
@@ -292,47 +346,79 @@ void VSwitch::run_op(std::uint32_t slot) {
   std::uint64_t* adapter_count = rec.adapter_count;
   const tables::VnicId vid = rec.vid;
   const OpKind kind = rec.kind;
+  const auto stage = static_cast<telemetry::Stage>(rec.stage);
   // Free before acting: send_encapped / vm_delivery_ may re-enter and
   // reuse this slot.
   op_free_.push_back(slot);
+  record_cpu(telemetry::EventKind::kCpuOpFinish, stage, &pkt, 0, 0);
   if (kind == OpKind::kSend) {
     send_encapped(std::move(pkt), dst);
     return;
   }
   ++vm_deliveries_;
   ++*adapter_count;
+  if (telemetry_ != nullptr) {
+    telemetry::TraceEvent e;
+    e.at = loop_.now();
+    e.node = id();
+    e.kind = telemetry::EventKind::kVmDeliver;
+    e.packet_id = pkt.id;
+    e.flow = net::flow_hash(pkt.inner.ft.canonical(), 0);
+    e.a = vid;
+    telemetry_->record(e);
+    // Per-hop-class latency: creation to VM delivery (workloads that stamp
+    // created_at only; probes and synthetic packets carry 0).
+    if (pkt.created_at > 0) {
+      const double us = common::to_micros(loop_.now() - pkt.created_at);
+      if (stage == telemetry::Stage::kLocalRx) {
+        telemetry_->metrics().observe(lat_local_rx_us_, us);
+      } else if (stage == telemetry::Stage::kBeRx) {
+        telemetry_->metrics().observe(lat_be_rx_us_, us);
+      }
+    }
+  }
   if (vm_delivery_) vm_delivery_(vid, pkt);
 }
 
 void VSwitch::consume_cpu_send(double cycles, net::Packet pkt,
-                               const tables::Location& dst) {
+                               const tables::Location& dst,
+                               telemetry::Stage stage) {
   const CpuModel::Outcome out = cpu_.consume(cycles, loop_.now());
   if (!out.accepted) {
     inc(Ctr::kDropCpuOverload);
+    record_cpu(telemetry::EventKind::kCpuReject, stage, &pkt, cycles, 0);
     return;
   }
+  record_cpu(telemetry::EventKind::kCpuOpStart, stage, &pkt, cycles,
+             out.done);
   const std::uint32_t slot = alloc_op_slot();
   PendingOp& rec = op_slab_[slot];
   rec.pkt = std::move(pkt);
   rec.dst = dst;
   rec.kind = OpKind::kSend;
+  rec.stage = static_cast<std::uint8_t>(stage);
   loop_.schedule_raw_at(out.done, &VSwitch::run_op_thunk, this, slot);
 }
 
 void VSwitch::consume_cpu_deliver(double cycles, net::Packet pkt,
                                   tables::VnicId vid,
-                                  std::uint64_t* adapter_count) {
+                                  std::uint64_t* adapter_count,
+                                  telemetry::Stage stage) {
   const CpuModel::Outcome out = cpu_.consume(cycles, loop_.now());
   if (!out.accepted) {
     inc(Ctr::kDropCpuOverload);
+    record_cpu(telemetry::EventKind::kCpuReject, stage, &pkt, cycles, 0);
     return;
   }
+  record_cpu(telemetry::EventKind::kCpuOpStart, stage, &pkt, cycles,
+             out.done);
   const std::uint32_t slot = alloc_op_slot();
   PendingOp& rec = op_slab_[slot];
   rec.pkt = std::move(pkt);
   rec.adapter_count = adapter_count;
   rec.vid = vid;
   rec.kind = OpKind::kDeliver;
+  rec.stage = static_cast<std::uint8_t>(stage);
   loop_.schedule_raw_at(out.done, &VSwitch::run_op_thunk, this, slot);
 }
 
@@ -367,6 +453,15 @@ const flow::PreActions& VSwitch::ensure_pre_actions(
   }
   // Miss (first packet) or stale (rule tables updated): run the chain.
   ++slow_lookups_;
+  if (telemetry_ != nullptr) {
+    telemetry::TraceEvent e;
+    e.at = loop_.now();
+    e.node = id();
+    e.kind = telemetry::EventKind::kTableMiss;
+    e.flow = net::flow_hash(tx_ft.canonical(), 0);
+    e.a = slow_lookups_;
+    telemetry_->record(e);
+  }
   *cycles += rules.lookup_cycles(config_.cost) +
              config_.cost.session_insert_cycles;
   fallback = rules.lookup(tx_ft);
@@ -444,6 +539,8 @@ void VSwitch::from_vm(tables::VnicId vnic_id, net::Packet pkt) {
     inc(Ctr::kDropNoVnic);
     return;
   }
+  // Stamp at the VM edge so the id covers every hop of the packet's life.
+  if (telemetry_ != nullptr) telemetry_->stamp(pkt);
   pkt.vpc_id = v->addr().vpc_id;
   switch (v->mode()) {
     case VnicMode::kLocal:
@@ -480,7 +577,7 @@ void VSwitch::local_tx(Vnic& v, net::Packet pkt) {
   if (verdict == flow::Verdict::kDrop) {
     inc(Ctr::kDropAcl);
     local_cycles_ += cycles;
-    consume_cpu_noop(cycles);
+    consume_cpu_noop(cycles, telemetry::Stage::kLocalTx);
     return;
   }
 
@@ -490,7 +587,7 @@ void VSwitch::local_tx(Vnic& v, net::Packet pkt) {
   if (!entry->qos_admit(pre.tx.rate_limit_kbps, pkt.wire_size() * 8,
                         loop_.now())) {
     inc(Ctr::kDropQos);
-    consume_cpu_noop(cycles);
+    consume_cpu_noop(cycles, telemetry::Stage::kLocalTx);
     return;
   }
 
@@ -520,11 +617,11 @@ void VSwitch::local_tx(Vnic& v, net::Packet pkt) {
   if (!dst) {
     inc(Ctr::kDropNoRoute);
     local_cycles_ += cycles;
-    consume_cpu_noop(cycles);
+    consume_cpu_noop(cycles, telemetry::Stage::kLocalTx);
     return;
   }
   local_cycles_ += cycles;
-  consume_cpu_send(cycles, std::move(pkt), *dst);
+  consume_cpu_send(cycles, std::move(pkt), *dst, telemetry::Stage::kLocalTx);
 }
 
 void VSwitch::be_tx(Vnic& v, net::Packet pkt) {
@@ -568,8 +665,18 @@ void VSwitch::be_tx(Vnic& v, net::Packet pkt) {
   if (auto pit = pinned_flows_.find(key); pit != pinned_flows_.end()) {
     fe = pit->second;
   }
+  if (telemetry_ != nullptr) {
+    telemetry::TraceEvent e;
+    e.at = loop_.now();
+    e.node = id();
+    e.kind = telemetry::EventKind::kBeFeRedirect;
+    e.packet_id = pkt.id;
+    e.flow = net::flow_hash(pkt.inner.ft.canonical(), 0);
+    e.a = fe.ip.value();
+    telemetry_->record(e);
+  }
   local_cycles_ += cycles;
-  consume_cpu_send(cycles, std::move(pkt), fe);
+  consume_cpu_send(cycles, std::move(pkt), fe, telemetry::Stage::kBeTx);
 }
 
 // ------------------------------------------------------------ RX entry
@@ -675,7 +782,7 @@ void VSwitch::local_rx(Vnic& v, net::Packet pkt) {
   if (verdict == flow::Verdict::kDrop) {
     inc(Ctr::kDropAcl);
     local_cycles_ += cycles;
-    consume_cpu_noop(cycles);
+    consume_cpu_noop(cycles, telemetry::Stage::kLocalRx);
     return;
   }
   // Traffic mirroring for the RX direction, at the pre-action evaluation
@@ -685,7 +792,8 @@ void VSwitch::local_rx(Vnic& v, net::Packet pkt) {
     mirror_copy(pkt, pre.rx);
   }
   local_cycles_ += cycles;
-  consume_cpu_deliver(cycles, std::move(pkt), v.id(), v.delivery_counter());
+  consume_cpu_deliver(cycles, std::move(pkt), v.id(), v.delivery_counter(),
+                      telemetry::Stage::kLocalRx);
 }
 
 void VSwitch::be_rx(Vnic& v, net::Packet pkt) {
@@ -727,12 +835,13 @@ void VSwitch::be_rx(Vnic& v, net::Packet pkt) {
   if (verdict == flow::Verdict::kDrop) {
     inc(Ctr::kDropAcl);
     local_cycles_ += cycles;
-    consume_cpu_noop(cycles);
+    consume_cpu_noop(cycles, telemetry::Stage::kBeRx);
     return;
   }
   local_cycles_ += cycles;
   pkt.decap();
-  consume_cpu_deliver(cycles, std::move(pkt), v.id(), v.delivery_counter());
+  consume_cpu_deliver(cycles, std::move(pkt), v.id(), v.delivery_counter(),
+                      telemetry::Stage::kBeRx);
 }
 
 void VSwitch::be_notify(Vnic& v, const net::Packet& pkt) {
@@ -752,7 +861,7 @@ void VSwitch::be_notify(Vnic& v, const net::Packet& pkt) {
   }
   inc(Ctr::kNotifyReceived);
   local_cycles_ += cycles;
-  consume_cpu_noop(cycles);
+  consume_cpu_noop(cycles, telemetry::Stage::kBeNotify);
 }
 
 void VSwitch::fe_tx(FrontendInstance& fe, net::Packet pkt) {
@@ -800,13 +909,13 @@ void VSwitch::fe_tx(FrontendInstance& fe, net::Packet pkt) {
     ++notify_sent_;
     cycles += config_.cost.carrier_codec_cycles;
     consume_cpu_send(config_.cost.carrier_codec_cycles, std::move(notify_pkt),
-                     fe.be_location);
+                     fe.be_location, telemetry::Stage::kFeTx);
   }
 
   if (verdict == flow::Verdict::kDrop) {
     inc(Ctr::kDropAcl);
     fe_cycles_ += cycles;
-    consume_cpu_noop(cycles);
+    consume_cpu_noop(cycles, telemetry::Stage::kFeTx);
     return;
   }
 
@@ -814,7 +923,7 @@ void VSwitch::fe_tx(FrontendInstance& fe, net::Packet pkt) {
       !entry->qos_admit(pre.tx.rate_limit_kbps, pkt.wire_size() * 8,
                         loop_.now())) {
     inc(Ctr::kDropQos);
-    consume_cpu_noop(cycles);
+    consume_cpu_noop(cycles, telemetry::Stage::kFeTx);
     return;
   }
 
@@ -843,12 +952,12 @@ void VSwitch::fe_tx(FrontendInstance& fe, net::Packet pkt) {
   if (!dst) {
     inc(Ctr::kDropNoRoute);
     fe_cycles_ += cycles;
-    consume_cpu_noop(cycles);
+    consume_cpu_noop(cycles, telemetry::Stage::kFeTx);
     return;
   }
   fe_cycles_ += cycles;
   pkt.decap();  // strip the BE's overlay + carrier; re-encap toward the dst
-  consume_cpu_send(cycles, std::move(pkt), *dst);
+  consume_cpu_send(cycles, std::move(pkt), *dst, telemetry::Stage::kFeTx);
 }
 
 void VSwitch::fe_rx(FrontendInstance& fe, net::Packet pkt) {
@@ -900,7 +1009,8 @@ void VSwitch::fe_rx(FrontendInstance& fe, net::Packet pkt) {
   }
 
   fe_cycles_ += cycles;
-  consume_cpu_send(cycles, std::move(pkt), fe.be_location);
+  consume_cpu_send(cycles, std::move(pkt), fe.be_location,
+                   telemetry::Stage::kFeRx);
 }
 
 void VSwitch::health_probe_reply(const net::Packet& pkt) {
@@ -908,7 +1018,8 @@ void VSwitch::health_probe_reply(const net::Packet& pkt) {
   net::Packet reply = net::make_udp_packet(pkt.inner.ft.reversed(), 0, 0);
   reply.id = pkt.id;  // echo the probe id so the monitor can match it
   inc(Ctr::kProbeReplied);
-  consume_cpu(100.0, [this, reply = std::move(reply)]() mutable {
+  consume_cpu(100.0, telemetry::Stage::kProbe,
+              [this, reply = std::move(reply)]() mutable {
     network_.send(id(), reply.inner.ft.dst_ip, std::move(reply));
   });
 }

@@ -39,10 +39,15 @@
 #include "src/tables/cost_model.h"
 #include "src/tables/rule_set.h"
 #include "src/tables/vnic_server_map.h"
+#include "src/telemetry/trace_event.h"
 #include "src/vswitch/counters.h"
 #include "src/vswitch/learned_map.h"
 #include "src/vswitch/resources.h"
 #include "src/vswitch/vnic.h"
+
+namespace nezha::telemetry {
+class Hub;
+}
 
 namespace nezha::vswitch {
 
@@ -172,6 +177,10 @@ class VSwitch : public sim::Node {
   }
 
   // ---------- telemetry ----------
+  /// Connects the flight recorder / metrics plane (null = off). Registers
+  /// the shared per-hop-class latency histograms on first attach.
+  void set_telemetry(telemetry::Hub* hub);
+
   CpuModel& cpu() { return cpu_; }
   const CpuModel& cpu() const { return cpu_; }
   MemoryPool& rule_memory() { return rule_pool_; }
@@ -251,21 +260,29 @@ class VSwitch : public sim::Node {
   /// returns true, otherwise counts an overload drop. Cold paths only —
   /// capturing a Packet in `then` heap-allocates; the datapath uses the
   /// pooled variants below.
-  bool consume_cpu(double cycles, std::function<void()> then);
+  bool consume_cpu(double cycles, telemetry::Stage stage,
+                   std::function<void()> then);
 
   /// Datapath variants: the deferred work lives in a pooled PendingOp slab
   /// and the scheduled closure captures only {this, slot} (fits
   /// std::function's inline buffer — no heap allocation per packet).
   /// Charges cycles and, at completion, sends `pkt` encapped toward `dst`.
   void consume_cpu_send(double cycles, net::Packet pkt,
-                        const tables::Location& dst);
+                        const tables::Location& dst, telemetry::Stage stage);
   /// Charges cycles and, at completion, delivers `pkt` to the VM side,
   /// bumping *adapter_count (a node-stable pointer into
   /// adapter_deliveries_).
   void consume_cpu_deliver(double cycles, net::Packet pkt,
-                           tables::VnicId vid, std::uint64_t* adapter_count);
+                           tables::VnicId vid, std::uint64_t* adapter_count,
+                           telemetry::Stage stage);
   /// Charges cycles with no completion work (verdict-drop paths).
-  void consume_cpu_noop(double cycles);
+  void consume_cpu_noop(double cycles, telemetry::Stage stage);
+
+  /// Flight-recorder helpers; single pointer test when telemetry is off.
+  void record_cpu(telemetry::EventKind kind, telemetry::Stage stage,
+                  const net::Packet* pkt, double cycles,
+                  common::TimePoint done);
+  void record_mode(tables::VnicId vnic, VnicMode from, VnicMode to);
 
   std::uint32_t alloc_op_slot();
   void run_op(std::uint32_t slot);
@@ -344,12 +361,17 @@ class VSwitch : public sim::Node {
     std::uint64_t* adapter_count = nullptr;
     tables::VnicId vid = 0;
     OpKind kind = OpKind::kSend;
+    std::uint8_t stage = 0;  // telemetry::Stage of the charging site
   };
   std::vector<PendingOp> op_slab_;
   std::vector<std::uint32_t> op_free_;
 
   VmDeliveryFn vm_delivery_;
   common::Counter counters_;
+  telemetry::Hub* telemetry_ = nullptr;
+  /// Interned metric ids, resolved once in set_telemetry (0xffffffff = none).
+  std::uint32_t lat_local_rx_us_ = 0xffffffffu;
+  std::uint32_t lat_be_rx_us_ = 0xffffffffu;
   std::uint64_t slow_lookups_ = 0;
   std::uint64_t fast_hits_ = 0;
   std::uint64_t notify_sent_ = 0;

@@ -11,10 +11,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <sstream>
 #include <string>
 
 #include "src/core/invariants.h"
 #include "src/core/testbed.h"
+#include "src/telemetry/trace_query.h"
 #include "src/workload/fleet_model.h"
 
 namespace nezha {
@@ -32,14 +34,26 @@ struct FleetRun {
   std::size_t violations = 0;
   std::uint64_t checks = 0;
   std::string report;
+  // Telemetry runs only: the flight-recorder events, metric sample count
+  // and the JSON snapshot (empty otherwise).
+  std::vector<telemetry::TraceEvent> events;
+  std::size_t samples_taken = 0;
+  std::string metrics_json;
 };
 
-FleetRun run_fleet_scenario(std::uint64_t seed) {
+FleetRun run_fleet_scenario(std::uint64_t seed, bool with_telemetry = false) {
   core::TestbedConfig cfg = core::make_clos_testbed_config(
       kVSwitches, /*hosts_per_leaf=*/8, /*num_spines=*/4,
       /*oversubscription=*/2.0);
   cfg.controller.auto_offload = false;
   cfg.controller.auto_scale = false;
+  if (with_telemetry) {
+    cfg.telemetry.enabled = true;
+    // 4K events/node keeps the 131-ring recorder under ~30 MB at this
+    // fleet size while retaining several seconds of per-node history.
+    cfg.telemetry.events_per_node = 1 << 12;
+    cfg.telemetry.sample_period = common::milliseconds(250);
+  }
   core::Testbed bed(cfg);
 
   workload::FleetScenarioConfig sc;
@@ -91,6 +105,13 @@ FleetRun run_fleet_scenario(std::uint64_t seed) {
   r.violations = checker.violations().size();
   r.checks = checker.checks_run();
   r.report = checker.ok() ? "" : checker.report();
+  if (bed.telemetry() != nullptr) {
+    r.events = bed.telemetry()->recorder().merged();
+    r.samples_taken = bed.telemetry()->metrics().samples_taken();
+    std::ostringstream js;
+    bed.telemetry()->write_json(js);
+    r.metrics_json = js.str();
+  }
   return r;
 }
 
@@ -115,6 +136,54 @@ TEST(FleetClos, SameSeedRunsProduceIdenticalFingerprints) {
   EXPECT_EQ(a.completed, b.completed);
   EXPECT_EQ(a.violations, 0u) << a.report;
   EXPECT_EQ(b.violations, 0u) << b.report;
+}
+
+// Tentpole acceptance: turning the full telemetry plane on (flight
+// recorder + metric sampler) must not perturb the simulation — the
+// workload fingerprint is bit-identical to the telemetry-off run — and the
+// recorded trace must reconstruct at least one connection's complete
+// BE→FE→peer forwarding detour at fleet scale.
+TEST(FleetClos, TelemetryOnMatchesTelemetryOffFingerprint) {
+  const FleetRun off = run_fleet_scenario(7, /*with_telemetry=*/false);
+  const FleetRun on = run_fleet_scenario(7, /*with_telemetry=*/true);
+
+  EXPECT_EQ(on.fingerprint, off.fingerprint)
+      << "enabling telemetry changed the simulation outcome";
+  EXPECT_EQ(on.attempted, off.attempted);
+  EXPECT_EQ(on.completed, off.completed);
+  EXPECT_EQ(on.violations, 0u) << on.report;
+
+  EXPECT_FALSE(on.events.empty());
+  EXPECT_GT(on.samples_taken, 0u);
+  EXPECT_NE(on.metrics_json.find("nezha-telemetry-v1"), std::string::npos);
+  // The registry carries the fleet-wide per-hop-class latency series.
+  EXPECT_NE(on.metrics_json.find("latency.be_rx_us"), std::string::npos);
+
+  // Every BE→FE redirect names a flow; at least one of them must trace out
+  // the full detour (a crashed FE can legitimately truncate others).
+  std::size_t redirects = 0;
+  bool complete = false;
+  std::uint64_t witness = 0;
+  for (const auto& e : on.events) {
+    if (e.kind != telemetry::EventKind::kBeFeRedirect || e.flow == 0) {
+      continue;
+    }
+    ++redirects;
+    if (!complete &&
+        telemetry::check_be_fe_peer_path(on.events, e.flow).complete()) {
+      complete = true;
+      witness = e.flow;
+    }
+  }
+  EXPECT_GT(redirects, 0u) << "no BE→FE redirects were traced";
+  EXPECT_TRUE(complete)
+      << "no connection's BE→FE→peer path reconstructed from " << redirects
+      << " redirects";
+  if (complete) {
+    const auto check = telemetry::check_be_fe_peer_path(on.events, witness);
+    EXPECT_NE(check.be_node, check.fe_node);
+    EXPECT_NE(check.peer_node, check.fe_node);
+  }
 }
 
 TEST(FleetClos, DifferentSeedsProduceDifferentTraffic) {

@@ -100,6 +100,46 @@ TEST(PcapTest, CapturesFabricTraffic) {
   std::remove(path.c_str());
 }
 
+// Regression: the trace tap used to sit on the point-to-point delivery
+// path only, so cross-leaf packets taking the Clos fast path never reached
+// the pcap callback. Every delivered packet — whatever path it took — must
+// pass the single delivery tap exactly once.
+TEST(PcapTest, CapturesClosFabricTraffic) {
+  const std::string path = ::testing::TempDir() + "/nezha_clos.pcap";
+  auto writer = PcapWriter::open(path);
+  ASSERT_TRUE(writer.ok());
+
+  // 2 hosts per leaf: vSwitch 0 and vSwitch 2 sit under different leaves,
+  // so their traffic crosses the contended spine fabric.
+  core::TestbedConfig cfg = core::make_clos_testbed_config(8, 2, 2);
+  core::Testbed bed(cfg);
+  vswitch::VnicConfig a, b;
+  a.id = 1;
+  a.addr = {7, Ipv4Addr(10, 0, 0, 1)};
+  b.id = 2;
+  b.addr = {7, Ipv4Addr(10, 0, 0, 2)};
+  bed.add_vnic(0, a);
+  bed.add_vnic(2, b);
+  std::uint64_t traced = 0;
+  bed.network().set_trace([&](common::TimePoint t, const Packet& p,
+                              sim::NodeId, sim::NodeId) {
+    ++traced;
+    writer.value().write(p, t);
+  });
+  for (int i = 0; i < 5; ++i) {
+    FiveTuple ft{Ipv4Addr(10, 0, 0, 1), Ipv4Addr(10, 0, 0, 2),
+                 static_cast<std::uint16_t>(2000 + i), 80, IpProto::kTcp};
+    bed.vswitch(0).from_vm(1, make_tcp_packet(ft, TcpFlags{.syn = true}, 40,
+                                              7));
+  }
+  bed.run_for(common::milliseconds(20));
+  writer.value().flush();
+  EXPECT_EQ(bed.network().delivered(), 5u);
+  EXPECT_EQ(traced, bed.network().delivered());
+  EXPECT_EQ(writer.value().packets_written(), 5u);
+  std::remove(path.c_str());
+}
+
 TEST(PcapTest, OpenFailsOnBadPath) {
   EXPECT_FALSE(PcapWriter::open("/nonexistent-dir/x/y.pcap").ok());
 }

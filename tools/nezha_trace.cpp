@@ -1,0 +1,185 @@
+// nezha_trace: query tool for flight-recorder dumps.
+//
+// Answers the three questions the telemetry plane is built for:
+//   timeline — every event touching one connection (or one packet), in
+//              global record order, across all nodes of the fleet;
+//   slowest  — the top-K slowest first-packet setups (table miss → first
+//              VM delivery), the connections that paid the BE→FE detour
+//              or a controller transition hardest;
+//   audit    — the vNIC offload state machine as observed on one vSwitch,
+//              flagging transitions that break the legal
+//              local → dual-running → offloaded → dual-running → local
+//              cycle (exit code 1 when any illegal step is found);
+//   path     — checks that one connection's trace contains the complete
+//              BE → FE → peer forwarding detour (exit code 1 when not);
+//   dump     — every event in record order (debugging aid).
+//
+// Dumps are written by telemetry::Hub::dump_trace / FlightRecorder::dump;
+// both byte orders of identity fields are as recorded (host order — the
+// dump is an offline artifact of the same build that produced it).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/telemetry/trace_query.h"
+
+namespace {
+
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage:\n"
+               "  nezha_trace timeline <dump> (--flow <hex> | --packet <id>)\n"
+               "  nezha_trace slowest  <dump> [--k <n>]\n"
+               "  nezha_trace audit    <dump> --node <id>\n"
+               "  nezha_trace path     <dump> --flow <hex>\n"
+               "  nezha_trace dump     <dump>\n"
+               "\n"
+               "  --flow takes the canonical-5-tuple hash printed in event\n"
+               "  lines (flow=...., hex); --packet the decimal packet id.\n");
+}
+
+bool parse_u64(const char* s, int base, std::uint64_t* out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, base);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+/// Looks up `--name value` in argv; returns nullptr when absent.
+const char* flag_value(int argc, char** argv, const char* name) {
+  for (int i = 3; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+int cmd_timeline(const std::vector<nezha::telemetry::TraceEvent>& events,
+                 int argc, char** argv) {
+  const char* flow_arg = flag_value(argc, argv, "--flow");
+  const char* pkt_arg = flag_value(argc, argv, "--packet");
+  std::vector<nezha::telemetry::TraceEvent> selected;
+  if (flow_arg != nullptr) {
+    std::uint64_t flow = 0;
+    if (!parse_u64(flow_arg, 16, &flow)) {
+      std::fprintf(stderr, "nezha_trace: bad --flow '%s'\n", flow_arg);
+      return 2;
+    }
+    selected = nezha::telemetry::filter_flow(events, flow);
+  } else if (pkt_arg != nullptr) {
+    std::uint64_t id = 0;
+    if (!parse_u64(pkt_arg, 10, &id)) {
+      std::fprintf(stderr, "nezha_trace: bad --packet '%s'\n", pkt_arg);
+      return 2;
+    }
+    selected = nezha::telemetry::filter_packet(events, id);
+  } else {
+    usage(stderr);
+    return 2;
+  }
+  nezha::telemetry::print_timeline(std::cout, selected);
+  std::printf("%zu events\n", selected.size());
+  return 0;
+}
+
+int cmd_slowest(const std::vector<nezha::telemetry::TraceEvent>& events,
+                int argc, char** argv) {
+  std::uint64_t k = 10;
+  if (const char* k_arg = flag_value(argc, argv, "--k")) {
+    if (!parse_u64(k_arg, 10, &k) || k == 0) {
+      std::fprintf(stderr, "nezha_trace: bad --k '%s'\n", k_arg);
+      return 2;
+    }
+  }
+  const auto slow = nezha::telemetry::slowest_setups(
+      events, static_cast<std::size_t>(k));
+  std::printf("%-18s %16s %16s %12s\n", "flow", "miss_at", "deliver_at",
+              "setup");
+  for (const auto& s : slow) {
+    std::printf("%016llx %16lld %16lld %12s\n",
+                static_cast<unsigned long long>(s.flow),
+                static_cast<long long>(s.miss_at),
+                static_cast<long long>(s.deliver_at),
+                nezha::common::format_duration(s.latency()).c_str());
+  }
+  std::printf("%zu setups\n", slow.size());
+  return 0;
+}
+
+int cmd_audit(const std::vector<nezha::telemetry::TraceEvent>& events,
+              int argc, char** argv) {
+  const char* node_arg = flag_value(argc, argv, "--node");
+  std::uint64_t node = 0;
+  if (node_arg == nullptr || !parse_u64(node_arg, 10, &node)) {
+    usage(stderr);
+    return 2;
+  }
+  const auto steps = nezha::telemetry::audit_vswitch(
+      events, static_cast<std::uint32_t>(node));
+  std::size_t illegal = 0;
+  for (const auto& t : steps) {
+    if (!t.legal) ++illegal;
+    std::printf("%16lld vnic=%llu %u -> %u %s\n",
+                static_cast<long long>(t.at),
+                static_cast<unsigned long long>(t.vnic),
+                static_cast<unsigned>(t.from), static_cast<unsigned>(t.to),
+                t.legal ? "ok" : "ILLEGAL");
+  }
+  std::printf("%zu transitions, %zu illegal\n", steps.size(), illegal);
+  return illegal == 0 ? 0 : 1;
+}
+
+int cmd_path(const std::vector<nezha::telemetry::TraceEvent>& events,
+             int argc, char** argv) {
+  const char* flow_arg = flag_value(argc, argv, "--flow");
+  std::uint64_t flow = 0;
+  if (flow_arg == nullptr || !parse_u64(flow_arg, 16, &flow)) {
+    usage(stderr);
+    return 2;
+  }
+  const auto check = nezha::telemetry::check_be_fe_peer_path(events, flow);
+  nezha::telemetry::print_timeline(std::cout, check.timeline);
+  std::printf("be_tx=%d redirect=%d fe_hop=%d peer_deliver=%d "
+              "(be=%u fe=%u peer=%u)\n",
+              check.have_be_tx ? 1 : 0, check.have_redirect ? 1 : 0,
+              check.have_fe_hop ? 1 : 0, check.have_peer_deliver ? 1 : 0,
+              check.be_node, check.fe_node, check.peer_node);
+  std::printf(check.complete() ? "path: complete BE->FE->peer\n"
+                               : "path: INCOMPLETE\n");
+  return check.complete() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    usage(argc >= 2 && std::strcmp(argv[1], "--help") == 0 ? stdout : stderr);
+    return argc >= 2 && std::strcmp(argv[1], "--help") == 0 ? 0 : 2;
+  }
+  const std::string cmd = argv[1];
+  auto loaded = nezha::telemetry::load_trace_file(argv[2]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "nezha_trace: %s: %s\n", argv[2],
+                 loaded.error().message.c_str());
+    return 1;
+  }
+  const std::vector<nezha::telemetry::TraceEvent> events =
+      std::move(loaded).take();
+
+  if (cmd == "timeline") return cmd_timeline(events, argc, argv);
+  if (cmd == "slowest") return cmd_slowest(events, argc, argv);
+  if (cmd == "audit") return cmd_audit(events, argc, argv);
+  if (cmd == "path") return cmd_path(events, argc, argv);
+  if (cmd == "dump") {
+    nezha::telemetry::print_timeline(std::cout, events);
+    std::printf("%zu events\n", events.size());
+    return 0;
+  }
+  usage(stderr);
+  return 2;
+}
