@@ -7,8 +7,9 @@
 // packets-per-wall-clock-second run on the standard testbed topology.
 //
 // Output: human-readable tables on stdout AND a machine-readable
-// BENCH_engine.json (schema v2, documented in README.md) so future PRs have
-// a recorded baseline to beat. Reference implementations of the pre-overhaul
+// BENCH_engine.json (schema v3, documented in README.md) so future PRs have
+// a recorded baseline to beat (tools/nezha_report diffs a fresh run against
+// the checked-in copy). Reference implementations of the pre-overhaul
 // structures (linear ACL scan, all-33-lengths LPM probe) are kept inline
 // here both as the speedup denominator and as a differential sanity check:
 // the bench aborts if the indexed structures ever disagree with them.
@@ -19,8 +20,9 @@
 // the dense underlay at fleet scale.
 //
 // `--smoke` runs only the determinism + allocation gates (Release CI job):
-// exits non-zero if the e2e fingerprint drifts or steady-state allocations
-// are non-zero; does not rewrite BENCH_engine.json.
+// exits non-zero if the e2e fingerprint drifts, a steady-state packet
+// allocates, or the setup phase exceeds its per-connection allocation
+// budget; does not rewrite BENCH_engine.json.
 #include <algorithm>
 #include <array>
 #include <chrono>
@@ -44,22 +46,43 @@ using namespace nezha;
 
 namespace {
 
-// Pre-change baseline: the post-PR-1 hot-path-overhaul number recorded in
-// BENCH_engine.json before the zero-allocation datapath work (Release, this
-// container). Update when re-baselining on new hardware (see README.md).
-constexpr double kPreChangeE2ePktsPerSec = 871065;
+// Pre-change baseline: the pre-burst-mode binary running this same e2e
+// scenario, measured interleaved with the post-change binary on the same
+// machine in the same session (wall-clock on this shared container drifts
+// ±15-20% between sessions, so only interleaved A/B ratios are trustworthy
+// — see the README re-baselining note).
+constexpr double kPreChangeE2ePktsPerSec = 879000;
 constexpr double kPreChangeAclLookupsPerSec = 813636;
-// Steady-state datapath baseline: the pre-change binary running this same
-// offloaded BE↔FE pump, measured interleaved with the post-change binary on
-// the same machine in the same session (wall-clock on this shared container
-// drifts ±15-20% between sessions, so only interleaved A/B ratios are
-// trustworthy — see the README re-baselining note).
+// Steady-state datapath baseline: the pre-zero-allocation binary on the
+// offloaded BE↔FE pump, same interleaved-A/B method.
 constexpr double kPreChangeSteadyPktsPerSec = 2.48e6;
-// Determinism fingerprint of the e2e run, unchanged since the seed engine:
-// any drift means a simulation behavior change, which this perf work must
-// not introduce.
-constexpr std::uint64_t kGoldenE2ePackets = 4585995;
-constexpr std::uint64_t kGoldenE2eConnections = 1146438;
+// Burst configuration for the e2e run (DESIGN.md §11): the largest windows
+// whose event-interleaving distortion stays within 0.02% of the exact-timing
+// run. (wnet=256µs cost −0.5% packets, wcpu=128µs −4% — quantization delay
+// compounds through the closed-loop handshake RTT, so the windows below are
+// the knee, not the maximum.) Aging at the closed-TTL cadence keeps the
+// dead-entry population ~10x smaller under ~570K conns/s churn; it is
+// fingerprint-neutral (aging is wall-clock-only bookkeeping).
+constexpr int kE2eNetBurstUs = 192;
+constexpr int kE2eCpuBurstUs = 64;
+constexpr int kE2eTimerWindowUs = 64;
+constexpr int kE2eAgingPeriodMs = 100;
+// Determinism fingerprint of the e2e run under the burst configuration
+// above. Re-baselined (from 4585995/1146438, the exact-timing fingerprint
+// the seed engine produced) when burst windows were turned on for this
+// scenario: window quantization legitimately shifts event interleaving by
+// −0.017% packets / −0.013% connections. Exact timing (all windows 0)
+// still reproduces the old fingerprint and stays the unit-test default;
+// tests/burst_determinism_test.cpp pins both.
+constexpr std::uint64_t kGoldenE2ePackets = 4585200;
+constexpr std::uint64_t kGoldenE2eConnections = 1146286;
+// Setup-phase allocation budget: once slabs, indexes and timer rings are
+// warm (first simulated second), opening a connection must be amortized
+// allocation-free. What remains under the budget is session-slab growth —
+// established entries age on an 8s TTL, so the table is still ramping
+// toward equilibrium through the whole 4s run (measured ~0.012/conn; the
+// per-closure spill this gate was built to catch costs ~0.5/conn).
+constexpr double kSetupAllocsPerConnBudget = 0.02;
 
 double wall_seconds(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -356,8 +379,15 @@ double bench_event_loop(int n_events) {
 // event. Reported as simulated packets delivered per wall-clock second.
 struct E2eResult {
   double pkts_per_wall_sec = 0;
+  double conns_per_wall_sec = 0;
   std::uint64_t delivered = 0;
   std::uint64_t completed_conns = 0;
+  /// Setup-phase allocation audit: heap allocations per NEW connection over
+  /// the post-warmup window (the connection-setup analogue of the
+  /// steady-state allocs-per-packet gate).
+  double setup_allocs_per_conn = 0;
+  std::uint64_t setup_window_conns = 0;
+  std::uint64_t setup_window_allocs = 0;
 };
 
 E2eResult bench_e2e() {
@@ -366,6 +396,9 @@ E2eResult bench_e2e() {
   cfg.vswitch.cost = tables::CostModel::production();
   cfg.controller.auto_offload = false;
   cfg.controller.auto_scale = false;
+  cfg.network.rx_burst_window = common::microseconds(kE2eNetBurstUs);
+  cfg.vswitch.cpu_burst_window = common::microseconds(kE2eCpuBurstUs);
+  cfg.vswitch.aging_period = common::milliseconds(kE2eAgingPeriodMs);
   core::Testbed bed(cfg);
 
   constexpr std::uint32_t kVpc = 7;
@@ -401,6 +434,7 @@ E2eResult bench_e2e() {
     workload::CpsWorkloadConfig w;
     w.concurrency = 128;  // closed loop: ride at capacity
     w.seed = 300 + static_cast<std::uint64_t>(c);
+    w.timer_window = common::microseconds(kE2eTimerWindowUs);
     clients.push_back(std::make_unique<workload::CpsWorkload>(
         bed, client_switch, client.id, 0, kServer, w));
   }
@@ -408,7 +442,16 @@ E2eResult bench_e2e() {
 
   for (auto& c : clients) c->start();
   const auto t0 = std::chrono::steady_clock::now();
-  bed.run_for(common::seconds(4));
+  // Warmup second: slabs, probe indexes and timer rings reach their
+  // steady sizes (splitting run_for never changes event order). Everything
+  // after it is the setup-phase allocation window: the scenario opens
+  // ~290K fresh connections per simulated second, so per-connection
+  // allocation creep shows up here at full magnification.
+  bed.run_for(common::seconds(1));
+  const std::uint64_t warm_allocs = support::alloc_counts().news;
+  std::uint64_t warm_conns = 0;
+  for (auto& c : clients) warm_conns += c->completed();
+  bed.run_for(common::seconds(3));
   const double elapsed = wall_seconds(t0);
   for (auto& c : clients) c->stop();
 
@@ -416,6 +459,14 @@ E2eResult bench_e2e() {
   out.delivered = bed.network().delivered();
   for (auto& c : clients) out.completed_conns += c->completed();
   out.pkts_per_wall_sec = static_cast<double>(out.delivered) / elapsed;
+  out.conns_per_wall_sec = static_cast<double>(out.completed_conns) / elapsed;
+  out.setup_window_allocs = support::alloc_counts().news - warm_allocs;
+  out.setup_window_conns = out.completed_conns - warm_conns;
+  out.setup_allocs_per_conn =
+      out.setup_window_conns > 0
+          ? static_cast<double>(out.setup_window_allocs) /
+                static_cast<double>(out.setup_window_conns)
+          : -1.0;
   return out;
 }
 
@@ -522,6 +573,11 @@ ClosResult bench_clos(std::size_t num_vswitches) {
   cfg.vswitch.cost = tables::CostModel::production();
   cfg.controller.auto_offload = false;
   cfg.controller.auto_scale = false;
+  // Same burst configuration as the e2e run: the macro row should measure
+  // the fleet on the production fast path, not the exact-timing debug path.
+  cfg.network.rx_burst_window = common::microseconds(kE2eNetBurstUs);
+  cfg.vswitch.cpu_burst_window = common::microseconds(kE2eCpuBurstUs);
+  cfg.vswitch.aging_period = common::milliseconds(kE2eAgingPeriodMs);
   core::Testbed bed(cfg);
 
   constexpr std::uint32_t kVpc = 11;
@@ -548,8 +604,13 @@ ClosResult bench_clos(std::size_t num_vswitches) {
       std::abort();
     }
     workload::CpsWorkloadConfig w;
-    w.concurrency = 32;
+    // Sized to cover the burst-quantized cross-spine RTT (every fabric hop
+    // rounds up to the RX window, so a Clos traversal is ~1ms round-trip):
+    // a closed loop needs enough in-flight connections to pipeline that
+    // latency away, or the row measures window skew instead of capacity.
+    w.concurrency = 256;
     w.seed = 900 + static_cast<std::uint64_t>(p);
+    w.timer_window = common::microseconds(kE2eTimerWindowUs);
     clients.push_back(std::make_unique<workload::CpsWorkload>(
         bed, client_switch, client.id, server_switch, server.id, w));
   }
@@ -582,15 +643,21 @@ int main(int argc, char** argv) {
             : "slab event loop, flat session table, indexed ACL/LPM, "
               "zero-allocation datapath, 1024-vswitch Clos underlay");
 
-  // The two CI gates, run in both modes.
+  // The three CI gates, run in both modes.
   const E2eResult e2e = bench_e2e();
   const AllocResult alloc = bench_steady_alloc(/*timed=*/!smoke);
 
-  std::printf("\n  End-to-end testbed run: %llu simulated packets, "
-              "%s pkts/sec wall-clock (%llu connections)\n",
+  std::printf("\n  Setup-phase e2e run: %llu simulated packets, "
+              "%s pkts/sec / %s conns/sec wall-clock (%llu connections)\n",
               static_cast<unsigned long long>(e2e.delivered),
               benchutil::fmt_si(e2e.pkts_per_wall_sec).c_str(),
+              benchutil::fmt_si(e2e.conns_per_wall_sec).c_str(),
               static_cast<unsigned long long>(e2e.completed_conns));
+  std::printf("  Setup-phase allocations: %llu over %llu new connections "
+              "(%.5f/connection)\n",
+              static_cast<unsigned long long>(e2e.setup_window_allocs),
+              static_cast<unsigned long long>(e2e.setup_window_conns),
+              e2e.setup_allocs_per_conn);
   std::printf("  Steady-state allocations: %llu over %llu packets "
               "(%.4f/packet)\n",
               static_cast<unsigned long long>(alloc.window_allocs),
@@ -600,10 +667,16 @@ int main(int argc, char** argv) {
   const bool fingerprint_ok = e2e.delivered == kGoldenE2ePackets &&
                               e2e.completed_conns == kGoldenE2eConnections;
   const bool allocs_ok = alloc.window_packets > 0 && alloc.window_allocs == 0;
+  const bool setup_allocs_ok =
+      e2e.setup_window_conns > 0 &&
+      e2e.setup_allocs_per_conn <= kSetupAllocsPerConnBudget;
   benchutil::verdict(fingerprint_ok,
-                     "determinism fingerprint 4585995/1146438 unchanged");
+                     "determinism fingerprint 4585200/1146286 unchanged");
   benchutil::verdict(allocs_ok, "0 heap allocations per steady-state packet");
-  if (smoke) return fingerprint_ok && allocs_ok ? 0 : 1;
+  benchutil::verdict(setup_allocs_ok,
+                     "setup phase <= 0.02 heap allocations per connection");
+  const bool gates_ok = fingerprint_ok && allocs_ok && setup_allocs_ok;
+  if (smoke) return gates_ok ? 0 : 1;
 
   const AclResult acl = bench_acl(/*n_rules=*/1000, /*n_lookups=*/100000);
   const LpmResult lpm = bench_lpm(/*n_prefixes=*/20000, /*n_lookups=*/500000);
@@ -634,12 +707,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(clos.delivered),
               benchutil::fmt_si(clos.pkts_per_wall_sec).c_str(),
               static_cast<unsigned long long>(clos.completed_conns));
-  std::printf("\n  Steady-state datapath: %s pkts/sec "
+  std::printf("\n  Steady-phase datapath: %s pkts/sec "
               "(pre-change %s → %.2fx)\n",
               benchutil::fmt_si(alloc.steady_pkts_per_sec).c_str(),
               benchutil::fmt_si(kPreChangeSteadyPktsPerSec).c_str(),
               alloc.steady_pkts_per_sec / kPreChangeSteadyPktsPerSec);
-  std::printf("  End-to-end vs pre-change baseline: %s pkts/sec → %.2fx\n",
+  std::printf("  Setup-phase e2e vs pre-burst baseline: %s pkts/sec "
+              "→ %.2fx\n",
               benchutil::fmt_si(kPreChangeE2ePktsPerSec).c_str(),
               e2e.pkts_per_wall_sec / kPreChangeE2ePktsPerSec);
   benchutil::verdict(
@@ -647,10 +721,12 @@ int main(int argc, char** argv) {
       "steady-state datapath >= 1.5x pre-change (2.5M pkts/s) baseline");
   benchutil::verdict(
       e2e.pkts_per_wall_sec >= 1.5 * kPreChangeE2ePktsPerSec,
-      "end-to-end throughput >= 1.5x pre-change (871K pkts/s) baseline");
+      "end-to-end throughput >= 1.5x the pre-burst (879K pkts/s) baseline");
   std::printf("  note: the end-to-end scenario is connection-setup bound "
-              "(4 pkts/conn);\n"
-              "  datapath gains concentrate in the steady-state number "
+              "(4 pkts/conn), so this\n"
+              "  row tracks the setup fast path (burst windows, timer rings, "
+              "setup cache);\n"
+              "  per-packet datapath gains land in the steady-phase number "
               "(README: re-baselining).\n");
   benchutil::verdict(lpm_speedup >= 1.0,
                      "LPM probe list >= the naive 33-length reference");
@@ -664,7 +740,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(json,
                "{\n"
-               "  \"schema\": \"nezha-bench-engine-v2\",\n"
+               "  \"schema\": \"nezha-bench-engine-v3\",\n"
                "  \"structures\": {\n"
                "    \"acl_lookup\": {\"ops_per_sec\": %.0f, "
                "\"reference_ops_per_sec\": %.0f, \"speedup\": %.3f},\n"
@@ -683,11 +759,24 @@ int main(int argc, char** argv) {
                "    \"steady_speedup_vs_baseline\": %.3f\n"
                "  },\n"
                "  \"end_to_end\": {\n"
-               "    \"pkts_per_sec_wallclock\": %.0f,\n"
-               "    \"simulated_packets\": %llu,\n"
-               "    \"completed_connections\": %llu,\n"
-               "    \"pre_change_baseline_pkts_per_sec\": %.0f,\n"
-               "    \"speedup_vs_baseline\": %.3f\n"
+               "    \"burst_config\": {\"rx_burst_window_us\": %d, "
+               "\"cpu_burst_window_us\": %d, \"workload_timer_window_us\": "
+               "%d, \"aging_period_ms\": %d},\n"
+               "    \"setup_phase\": {\n"
+               "      \"pkts_per_sec_wallclock\": %.0f,\n"
+               "      \"conns_per_sec_wallclock\": %.0f,\n"
+               "      \"simulated_packets\": %llu,\n"
+               "      \"completed_connections\": %llu,\n"
+               "      \"allocs_per_new_connection\": %.5f,\n"
+               "      \"setup_window_connections\": %llu,\n"
+               "      \"setup_window_allocs\": %llu,\n"
+               "      \"pre_change_baseline_pkts_per_sec\": %.0f,\n"
+               "      \"speedup_vs_baseline\": %.3f\n"
+               "    },\n"
+               "    \"steady_phase\": {\n"
+               "      \"pkts_per_sec_wallclock\": %.0f,\n"
+               "      \"allocs_per_packet\": %.4f\n"
+               "    }\n"
                "  },\n"
                "  \"clos_macro\": {\n"
                "    \"num_vswitches\": %zu,\n"
@@ -704,16 +793,22 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(alloc.window_allocs),
                alloc.steady_pkts_per_sec, kPreChangeSteadyPktsPerSec,
                alloc.steady_pkts_per_sec / kPreChangeSteadyPktsPerSec,
-               e2e.pkts_per_wall_sec,
+               kE2eNetBurstUs, kE2eCpuBurstUs, kE2eTimerWindowUs,
+               kE2eAgingPeriodMs, e2e.pkts_per_wall_sec,
+               e2e.conns_per_wall_sec,
                static_cast<unsigned long long>(e2e.delivered),
                static_cast<unsigned long long>(e2e.completed_conns),
+               e2e.setup_allocs_per_conn,
+               static_cast<unsigned long long>(e2e.setup_window_conns),
+               static_cast<unsigned long long>(e2e.setup_window_allocs),
                kPreChangeE2ePktsPerSec,
                e2e.pkts_per_wall_sec / kPreChangeE2ePktsPerSec,
+               alloc.steady_pkts_per_sec, alloc.allocs_per_packet,
                clos.num_vswitches, clos.pkts_per_wall_sec,
                static_cast<unsigned long long>(clos.delivered),
                static_cast<unsigned long long>(clos.completed_conns));
   std::fclose(json);
   std::printf("\n  Wrote BENCH_engine.json\n");
   (void)kPreChangeAclLookupsPerSec;
-  return fingerprint_ok && allocs_ok ? 0 : 1;
+  return gates_ok ? 0 : 1;
 }

@@ -48,6 +48,14 @@ SessionTable::SessionTable(SessionTableConfig config)
   }
   if (min_ttl_ < 1) min_ttl_ = 1;
   wheel_width_ = min_ttl_;
+  // Ring sized to span the longest TTL plus sweep slack; anything wider
+  // (pathological TTL ratios, long sweep gaps) degrades to early visits of
+  // colliding buckets, not to missed evictions.
+  const std::int64_t span = config_.established_ttl / wheel_width_ + 4;
+  std::size_t ring = 8;
+  while (ring < static_cast<std::size_t>(span) && ring < 4096) ring *= 2;
+  wheel_ring_.resize(ring);
+  wheel_mask_ = ring - 1;
   index_.assign(kInitialIndexSize, Cell{});
   index_mask_ = kInitialIndexSize - 1;
 }
@@ -63,18 +71,30 @@ std::uint32_t SessionTable::find_slot(const SessionKey& key,
   for (std::size_t i = h & index_mask_;; i = (i + 1) & index_mask_) {
     const Cell& cell = index_[i];
     if (cell.slot == kEmpty) return kEmpty;
-    if (cell.slot == kTombstone) continue;
-    if (cell.hash_tag == tag && node_at(cell.slot).key == key) {
+    if (cell.hash_tag == tag && key_at(cell.slot) == key) {
       return cell.slot;
     }
+  }
+}
+
+std::uint64_t SessionTable::prefetch_index(const SessionKey& key) const {
+  const std::uint64_t h = hash_of(key);
+  __builtin_prefetch(&index_[h & index_mask_]);
+  return h;
+}
+
+void SessionTable::prefetch_entry(std::uint64_t h) const {
+  const Cell& cell = index_[h & index_mask_];
+  if (cell.slot != kEmpty && cell.slot / kChunkSize < chunks_.size()) {
+    __builtin_prefetch(&key_at(cell.slot));
+    __builtin_prefetch(&node_at(cell.slot).entry);
   }
 }
 
 void SessionTable::index_insert(std::uint64_t h, std::uint32_t slot) {
   for (std::size_t i = h & index_mask_;; i = (i + 1) & index_mask_) {
     Cell& cell = index_[i];
-    if (cell.slot == kEmpty || cell.slot == kTombstone) {
-      if (cell.slot == kTombstone) --tombstones_;
+    if (cell.slot == kEmpty) {
       cell = Cell{static_cast<std::uint32_t>(h), slot};
       return;
     }
@@ -83,22 +103,31 @@ void SessionTable::index_insert(std::uint64_t h, std::uint32_t slot) {
 
 void SessionTable::index_erase(const SessionKey& key, std::uint64_t h) {
   const auto tag = static_cast<std::uint32_t>(h);
-  for (std::size_t i = h & index_mask_;; i = (i + 1) & index_mask_) {
-    Cell& cell = index_[i];
+  std::size_t i = h & index_mask_;
+  for (;; i = (i + 1) & index_mask_) {
+    const Cell& cell = index_[i];
     if (cell.slot == kEmpty) return;  // not present
-    if (cell.slot != kTombstone && cell.hash_tag == tag &&
-        node_at(cell.slot).key == key) {
-      cell.slot = kTombstone;
-      ++tombstones_;
-      return;
+    if (cell.hash_tag == tag && key_at(cell.slot) == key) break;
+  }
+  // Backward-shift deletion: walk the cluster after the hole and pull back
+  // every cell whose home position lies at or before the hole. Leaves no
+  // tombstones, so churn never degrades probes or forces a rebuild. The
+  // home slot needs the full hash, which lives in the (still-live) node.
+  for (std::size_t j = (i + 1) & index_mask_;; j = (j + 1) & index_mask_) {
+    const Cell& cell = index_[j];
+    if (cell.slot == kEmpty) break;
+    const std::size_t home = node_at(cell.slot).hash & index_mask_;
+    if (((j - home) & index_mask_) >= ((j - i) & index_mask_)) {
+      index_[i] = cell;
+      i = j;
     }
   }
+  index_[i] = Cell{};
 }
 
 void SessionTable::rebuild_index(std::size_t new_size) {
   index_.assign(new_size, Cell{});
   index_mask_ = new_size - 1;
-  tombstones_ = 0;
   for (const auto& chunk : chunks_) {
     for (const Node& node : *chunk) {
       if (node.live) {
@@ -113,7 +142,10 @@ void SessionTable::wheel_enqueue(std::uint32_t slot, std::int64_t bucket) {
   Node& node = node_at(slot);
   node.wheel_bucket = bucket;
   ++node.wheel_seq;
-  wheel_[bucket].push_back(Ref{slot, node.gen, node.wheel_seq});
+  // A shrink below the drain cursor (touch() after FIN/RST) re-opens that
+  // bucket; lowering the floor keeps the next sweep exact.
+  if (bucket < wheel_floor_) wheel_floor_ = bucket;
+  wheel_cell(bucket).push_back(Ref{slot, node.gen, node.wheel_seq});
 }
 
 void SessionTable::free_node(std::uint32_t slot) {
@@ -137,6 +169,13 @@ const SessionEntry* SessionTable::find(const SessionKey& key) const {
 
 SessionEntry* SessionTable::find_or_create(const SessionKey& key,
                                            common::TimePoint now) {
+  return find_or_create_gated(key, now, nullptr, nullptr);
+}
+
+SessionEntry* SessionTable::find_or_create_gated(const SessionKey& key,
+                                                 common::TimePoint now,
+                                                 bool (*gate)(void*),
+                                                 void* gate_ctx) {
   const std::uint64_t h = hash_of(key);
   if (const std::uint32_t slot = find_slot(key, h); slot != kEmpty) {
     return &node_at(slot).entry;
@@ -145,14 +184,12 @@ SessionEntry* SessionTable::find_or_create(const SessionKey& key,
     ++insert_failures_;
     return nullptr;
   }
-  // Keep (live + tombstone) load below 3/4 so probe chains stay short.
-  // Double only when live entries demand it; churn-driven rebuilds (the
-  // common case — tombstones from aged-out sessions) stay at the same size
-  // so the index tracks the concurrent-session working set instead of the
-  // cumulative churn, keeping probes cache-resident.
-  if ((size_ + tombstones_ + 1) * 4 > index_.size() * 3) {
-    rebuild_index((size_ + 1) * 2 > index_.size() ? index_.size() * 2
-                                                  : index_.size());
+  if (gate != nullptr && !gate(gate_ctx)) return nullptr;
+  // Keep live load below 3/4 so probe chains stay short. Backward-shift
+  // erases leave no tombstones, so rebuilds happen only on genuine growth
+  // of the concurrent working set — churn never triggers one.
+  if ((size_ + 1) * 4 > index_.size() * 3) {
+    rebuild_index(index_.size() * 2);
   }
 
   std::uint32_t slot;
@@ -163,13 +200,16 @@ SessionEntry* SessionTable::find_or_create(const SessionKey& key,
     if (chunks_.empty() || chunks_.back()->size() == kChunkSize) {
       chunks_.push_back(std::make_unique<Chunk>());
       chunks_.back()->reserve(kChunkSize);
+      key_chunks_.push_back(std::make_unique<KeyChunk>());
+      key_chunks_.back()->reserve(kChunkSize);
     }
     chunks_.back()->emplace_back();
+    key_chunks_.back()->emplace_back();
     slot = static_cast<std::uint32_t>((chunks_.size() - 1) * kChunkSize +
                                       chunks_.back()->size() - 1);
   }
   Node& node = node_at(slot);
-  node.key = key;
+  key_at(slot) = key;
   node.hash = h;
   node.live = true;
   node.entry.created_at = now;
@@ -195,12 +235,13 @@ bool SessionTable::erase(const SessionKey& key) {
 
 void SessionTable::clear() {
   chunks_.clear();
+  key_chunks_.clear();
   free_.clear();
-  wheel_.clear();
+  for (auto& cell : wheel_ring_) cell.clear();
+  wheel_floor_ = 0;
   index_.assign(kInitialIndexSize, Cell{});
   index_mask_ = kInitialIndexSize - 1;
   size_ = 0;
-  tombstones_ = 0;
 }
 
 void SessionTable::invalidate_pre_actions() {
@@ -236,34 +277,61 @@ void SessionTable::touch(const SessionEntry* entry) {
   if (b < node.wheel_bucket) wheel_enqueue(slot, b);
 }
 
+std::size_t SessionTable::drain_cell(
+    std::vector<Ref>& cell, common::TimePoint now, const EvictFn& on_evict,
+    std::vector<std::pair<std::int64_t, std::uint32_t>>& requeue) {
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i < cell.size(); ++i) {
+    // Slide a prefetch ahead of the walk: each ref hits a random slab node,
+    // and the visit logic below is long enough to hide most of the miss.
+    if (i + 8 < cell.size() &&
+        cell[i + 8].slot / kChunkSize < chunks_.size()) {
+      __builtin_prefetch(&node_at(cell[i + 8].slot));
+    }
+    const Ref& ref = cell[i];
+    if (ref.slot / kChunkSize >= chunks_.size()) continue;
+    Node& node = node_at(ref.slot);
+    if (!node.live || node.gen != ref.gen || node.wheel_seq != ref.seq) {
+      continue;  // erased, recycled, or superseded by a later enqueue
+    }
+    const common::TimePoint deadline = deadline_of(node);
+    if (deadline <= now) {
+      const SessionKey& key = key_at(ref.slot);
+      if (on_evict) on_evict(key, node.entry);
+      index_erase(key, node.hash);
+      free_node(ref.slot);
+      ++removed;
+    } else {
+      // Survivor (or a ring collision from a future bucket): defer the
+      // re-queue so the drain loop never mutates the cell it iterates; a
+      // deadline still in a drained bucket is revisited by the next sweep.
+      requeue.emplace_back(bucket_of(deadline), ref.slot);
+    }
+  }
+  cell.clear();  // retains capacity — steady-state sweeps allocate nothing
+  return removed;
+}
+
 std::size_t SessionTable::age_out(common::TimePoint now,
                                   const EvictFn& on_evict) {
-  std::size_t removed = 0;
   const std::int64_t now_bucket = bucket_of(now);
+  if (now_bucket < wheel_floor_) return 0;  // nothing can be due yet
+  std::size_t removed = 0;
   std::vector<std::pair<std::int64_t, std::uint32_t>> requeue;
-  auto it = wheel_.begin();
-  while (it != wheel_.end() && it->first <= now_bucket) {
-    for (const Ref& ref : it->second) {
-      if (ref.slot / kChunkSize >= chunks_.size()) continue;
-      Node& node = node_at(ref.slot);
-      if (!node.live || node.gen != ref.gen || node.wheel_seq != ref.seq) {
-        continue;  // erased, recycled, or superseded by a later enqueue
-      }
-      const common::TimePoint deadline = deadline_of(node);
-      if (deadline <= now) {
-        if (on_evict) on_evict(node.key, node.entry);
-        index_erase(node.key, node.hash);
-        free_node(ref.slot);
-        ++removed;
-      } else {
-        // Survivor: defer the re-queue so this drain loop's iterator stays
-        // valid; a same-bucket deadline (> now) lands back where it was and
-        // is simply revisited by the next sweep.
-        requeue.emplace_back(bucket_of(deadline), ref.slot);
-      }
+  const std::size_t span =
+      static_cast<std::size_t>(now_bucket - wheel_floor_) + 1;
+  if (span >= wheel_ring_.size()) {
+    // Sweep gap exceeded the ring: every cell is potentially due. A single
+    // full pass visits each ref once (future ones just re-queue).
+    for (auto& cell : wheel_ring_) {
+      removed += drain_cell(cell, now, on_evict, requeue);
     }
-    it = wheel_.erase(it);
+  } else {
+    for (std::int64_t b = wheel_floor_; b <= now_bucket; ++b) {
+      removed += drain_cell(wheel_cell(b), now, on_evict, requeue);
+    }
   }
+  wheel_floor_ = now_bucket + 1;
   for (const auto& [bucket, slot] : requeue) wheel_enqueue(slot, bucket);
   return removed;
 }

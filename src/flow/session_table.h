@@ -28,7 +28,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -90,6 +89,15 @@ class SessionTable {
   /// Finds or creates an entry; returns nullptr when the table is full.
   SessionEntry* find_or_create(const SessionKey& key, common::TimePoint now);
 
+  /// Single-probe fusion of find() + find_or_create(): on a miss, `gate`
+  /// (if set) decides whether creation may proceed — e.g. a memory-pool
+  /// reservation — and nullptr is returned when it refuses or the table is
+  /// full. The separate find-then-create idiom probes the index twice per
+  /// new session; this probes once either way.
+  SessionEntry* find_or_create_gated(const SessionKey& key,
+                                     common::TimePoint now,
+                                     bool (*gate)(void*), void* gate_ctx);
+
   bool erase(const SessionKey& key);
   void clear();
 
@@ -115,13 +123,23 @@ class SessionTable {
 
   const SessionTableConfig& config() const { return config_; }
 
+  /// Burst-processing software prefetch (wall-clock only, no behavioral
+  /// effect): step 1 computes the probe hash and prefetches the index cell;
+  /// step 2 — issued after the other packets' step 1s, so the cell loads
+  /// have landed — prefetches the key and entry the cell points at. A burst
+  /// receiver runs step 1 across the whole burst, then step 2, then the
+  /// actual per-packet find()s hit warm lines.
+  std::uint64_t prefetch_index(const SessionKey& key) const;
+  void prefetch_entry(std::uint64_t h) const;
+
   /// Iteration support for censuses (e.g. the Fig 15 state-size census).
   /// Order is slab order (deterministic for a given operation sequence).
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& chunk : chunks_) {
-      for (const Node& node : *chunk) {
-        if (node.live) fn(node.key, node.entry);
+    for (std::size_t ci = 0; ci < chunks_.size(); ++ci) {
+      const Chunk& chunk = *chunks_[ci];
+      for (std::size_t ni = 0; ni < chunk.size(); ++ni) {
+        if (chunk[ni].live) fn((*key_chunks_[ci])[ni], chunk[ni].entry);
       }
     }
   }
@@ -129,10 +147,13 @@ class SessionTable {
  private:
   static constexpr std::size_t kChunkSize = 512;
   static constexpr std::uint32_t kEmpty = 0xffffffffu;
-  static constexpr std::uint32_t kTombstone = 0xfffffffeu;
 
+  /// SoA hot-field split: keys live in a dense parallel slab (key_chunks_)
+  /// so the probe loop's compares touch ~20B-stride lines instead of
+  /// pulling whole Nodes; the fat Node (entry/state/aging bookkeeping) is
+  /// only touched once a probe confirms the hit — which real processing
+  /// pays anyway.
   struct Node {
-    SessionKey key;
     std::uint64_t hash = 0;
     SessionEntry entry;
     std::uint32_t gen = 1;       // bumped on free; stale wheel refs skip
@@ -141,11 +162,14 @@ class SessionTable {
     bool live = false;
   };
   using Chunk = std::vector<Node>;
+  using KeyChunk = std::vector<SessionKey>;
 
   /// Probe cell: cached hash tag for cheap rejection + slab slot (or
   /// sentinel). The tag is the low 32 bits of the flow hash — placement
   /// still uses the full hash; a tag collision merely falls through to the
-  /// key compare. 8 bytes/cell keeps the index cache-resident.
+  /// key compare. 8 bytes/cell keeps the index cache-resident. Erases use
+  /// backward-shift deletion (no tombstones), so session churn never forces
+  /// an index rebuild and probe chains stay as short as the live load.
   struct Cell {
     std::uint32_t hash_tag = 0;
     std::uint32_t slot = kEmpty;
@@ -165,6 +189,12 @@ class SessionTable {
   const Node& node_at(std::uint32_t slot) const {
     return (*chunks_[slot / kChunkSize])[slot % kChunkSize];
   }
+  SessionKey& key_at(std::uint32_t slot) {
+    return (*key_chunks_[slot / kChunkSize])[slot % kChunkSize];
+  }
+  const SessionKey& key_at(std::uint32_t slot) const {
+    return (*key_chunks_[slot / kChunkSize])[slot % kChunkSize];
+  }
 
   std::uint32_t find_slot(const SessionKey& key, std::uint64_t h) const;
   void index_insert(std::uint64_t h, std::uint32_t slot);
@@ -174,6 +204,13 @@ class SessionTable {
   std::int64_t bucket_of(common::TimePoint deadline) const {
     return deadline / wheel_width_;
   }
+  std::vector<Ref>& wheel_cell(std::int64_t bucket) {
+    return wheel_ring_[static_cast<std::size_t>(bucket) & wheel_mask_];
+  }
+  std::size_t drain_cell(std::vector<Ref>& cell, common::TimePoint now,
+                         const EvictFn& on_evict,
+                         std::vector<std::pair<std::int64_t, std::uint32_t>>&
+                             requeue);
   common::TimePoint deadline_of(const Node& node) const {
     return node.entry.state.last_active + ttl_of(node.entry);
   }
@@ -187,12 +224,20 @@ class SessionTable {
   common::Duration wheel_width_;
 
   std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::vector<std::unique_ptr<KeyChunk>> key_chunks_;  // parallel to chunks_
   std::vector<std::uint32_t> free_;
   std::vector<Cell> index_;
   std::size_t index_mask_ = 0;
   std::size_t size_ = 0;
-  std::size_t tombstones_ = 0;
-  std::map<std::int64_t, std::vector<Ref>> wheel_;
+  /// TTL wheel as a flat ring of bucket cells (power-of-two size covering
+  /// the longest TTL plus slack). A cell may transiently hold refs for a
+  /// bucket `ring_size` ahead of the drain cursor — an early visit merely
+  /// recomputes the deadline and re-queues, so collisions cost work, never
+  /// correctness. `wheel_floor_` is the lowest bucket that may still hold
+  /// refs; touch() shrinking a deadline below it lowers it back.
+  std::vector<std::vector<Ref>> wheel_ring_;
+  std::size_t wheel_mask_ = 0;
+  std::int64_t wheel_floor_ = 0;
   std::uint64_t insert_failures_ = 0;
 };
 

@@ -115,7 +115,8 @@ std::uint32_t Network::alloc_slot() {
   return slot;
 }
 
-void Network::complete(std::uint32_t slot) {
+bool Network::finish_hop(std::uint32_t slot, net::Packet* pkt_out,
+                         NodeId* from_out, std::uint32_t* bytes_out) {
   InFlight& rec = slab_[slot];
   net::Packet pkt = std::move(rec.pkt);
   const NodeId from = rec.from;
@@ -144,26 +145,115 @@ void Network::complete(std::uint32_t slot) {
     record_drop(pkt, to, from,
                 static_cast<std::uint8_t>(telemetry::DropReason::kFabric),
                 bytes);
-    return;
+    return false;
   }
   if (crashed(to)) {
     ++dropped_crashed_;
     record_drop(pkt, to, from,
                 static_cast<std::uint8_t>(telemetry::DropReason::kCrashed),
                 bytes);
-    return;
+    return false;
   }
-  Node* node = find_by_id(to);
-  if (node == nullptr) {
+  if (find_by_id(to) == nullptr) {
     ++dropped_no_route_;
     record_drop(pkt, to, from,
                 static_cast<std::uint8_t>(telemetry::DropReason::kNoRoute),
                 bytes);
-    return;
+    return false;
   }
+  *pkt_out = std::move(pkt);
+  *from_out = from;
+  *bytes_out = bytes;
+  return true;
+}
+
+void Network::complete(std::uint32_t slot) {
+  const NodeId to = slab_[slot].to;
+  net::Packet pkt;
+  NodeId from = 0;
+  std::uint32_t bytes = 0;
+  if (!finish_hop(slot, &pkt, &from, &bytes)) return;
+  Node* node = find_by_id(to);
   ++delivered_;
   deliver_tap(pkt, from, to, bytes);
   node->receive(std::move(pkt));
+}
+
+void Network::schedule_delivery(common::TimePoint arrival,
+                                std::uint32_t slot) {
+  const common::Duration w = config_.rx_burst_window;
+  if (w == 0) {
+    loop_.schedule_raw_at(arrival, &Network::complete_thunk, this, slot);
+    return;
+  }
+  // Quantize up: the hop completes at the first window boundary at or after
+  // its true arrival. `arrival` is strictly in the future (serialization
+  // time is positive), so a bucket opened here never lands at `now` — a
+  // drain in progress cannot have its bucket mutated underneath it.
+  const common::TimePoint at = (arrival + w - 1) / w * w;
+  const NodeId to = slab_[slot].to;
+  if (to >= rx_active_.size()) rx_active_.resize(to + 1);
+  for (const std::uint32_t bid : rx_active_[to]) {
+    if (rx_buckets_[bid].at == at) {
+      rx_buckets_[bid].slots.push_back(slot);
+      return;
+    }
+  }
+  std::uint32_t bid;
+  if (rx_free_.empty()) {
+    bid = static_cast<std::uint32_t>(rx_buckets_.size());
+    rx_buckets_.emplace_back();
+  } else {
+    bid = rx_free_.back();
+    rx_free_.pop_back();
+  }
+  RxBucket& b = rx_buckets_[bid];
+  b.at = at;
+  b.node = to;
+  b.drained = 0;
+  b.slots.push_back(slot);
+  rx_active_[to].push_back(bid);
+  loop_.schedule_raw_at(at, &Network::rx_drain_thunk, this, bid);
+}
+
+void Network::rx_drain(std::uint32_t bucket) {
+  std::uint32_t chunk[kRxBurst];
+  std::size_t n = 0;
+  {
+    RxBucket& b = rx_buckets_[bucket];
+    while (n < kRxBurst && b.drained < b.slots.size()) {
+      chunk[n++] = b.slots[b.drained++];
+    }
+    if (b.drained < b.slots.size()) {
+      // Over a burst's worth in this window: the remainder drains in
+      // follow-up events at the same timestamp, preserving arrival order.
+      loop_.schedule_raw_at(b.at, &Network::rx_drain_thunk, this, bucket);
+    } else {
+      auto& active = rx_active_[b.node];
+      active.erase(std::find(active.begin(), active.end(), bucket));
+      b.slots.clear();  // keeps capacity for the pooled reuse
+      rx_free_.push_back(bucket);
+    }
+  }
+  // Phase 1: completion accounting per hop; survivors form the burst. Every
+  // packet in a bucket shares the destination node.
+  net::Packet pkts[kRxBurst];
+  NodeId froms[kRxBurst];
+  std::uint32_t bytes[kRxBurst];
+  NodeId to = 0;
+  std::size_t m = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    to = slab_[chunk[i]].to;
+    if (finish_hop(chunk[i], &pkts[m], &froms[m], &bytes[m])) ++m;
+  }
+  if (m == 0) return;
+  // Phase 2: taps + counters, then one burst handoff to the node.
+  Node* node = find_by_id(to);
+  for (std::size_t i = 0; i < m; ++i) {
+    ++delivered_;
+    deliver_tap(pkts[i], froms[i], to, bytes[i]);
+  }
+  node->receive_burst(pkts, m);
 }
 
 void Network::deliver_tap(const net::Packet& pkt, NodeId from, NodeId to,
@@ -279,7 +369,7 @@ void Network::send(NodeId from, net::Ipv4Addr to_ip, net::Packet pkt) {
   rec.up_link = -1;
   rec.down_link = -1;
   rec.kind = HopKind::kDeliver;
-  loop_.schedule_raw_at(arrival, &Network::complete_thunk, this, slot);
+  schedule_delivery(arrival, slot);
 }
 
 void Network::send_clos(NodeId from, NodeId to, std::size_t bytes,
@@ -323,7 +413,7 @@ void Network::send_clos(NodeId from, NodeId to, std::size_t bytes,
   }
   if (up.queued_bytes + bytes > config_.fabric_queue_bytes) {
     rec.kind = HopKind::kFabricDrop;
-    loop_.schedule_raw_at(at_leaf, &Network::complete_thunk, this, slot);
+    schedule_delivery(at_leaf, slot);
     return;
   }
   up.busy_until += fabric_ser;
@@ -339,7 +429,7 @@ void Network::send_clos(NodeId from, NodeId to, std::size_t bytes,
   }
   if (down.queued_bytes + bytes > config_.fabric_queue_bytes) {
     rec.kind = HopKind::kFabricDrop;
-    loop_.schedule_raw_at(at_spine, &Network::complete_thunk, this, slot);
+    schedule_delivery(at_spine, slot);
     return;
   }
   down.busy_until += fabric_ser;
@@ -351,7 +441,7 @@ void Network::send_clos(NodeId from, NodeId to, std::size_t bytes,
   const common::TimePoint arrival =
       down_done + clos.leaf_spine_latency + clos.host_leaf_latency;
   rec.kind = HopKind::kDeliver;
-  loop_.schedule_raw_at(arrival, &Network::complete_thunk, this, slot);
+  schedule_delivery(arrival, slot);
 }
 
 void Network::crash(NodeId id) {

@@ -50,10 +50,22 @@ struct NetworkConfig {
   /// Clos only: seed mixed into ECMP spine selection so benches can explore
   /// different (deterministic) path placements.
   std::uint64_t ecmp_seed = 0x636c6f73;  // "clos"
+  /// Burst delivery (DESIGN.md §11): when > 0, per-node deliveries are
+  /// quantized up to the next multiple of this window and drained in one
+  /// event per (node, window) — arrival order, at most kRxBurst packets per
+  /// event — instead of one event per packet. Changes packet timing (each
+  /// hop completes at the window boundary at or after its true arrival), so
+  /// default 0 keeps unit-test timing exact; throughput benches opt in.
+  common::Duration rx_burst_window = 0;
 };
 
 class Network {
  public:
+  /// Max packets handed to a node per burst-drain event; a window holding
+  /// more drains in several same-timestamp events that preserve arrival
+  /// order (mirrors a NIC RX-burst cap).
+  static constexpr std::size_t kRxBurst = 32;
+
   Network(EventLoop& loop, Topology topology, NetworkConfig config = {});
 
   EventLoop& loop() { return loop_; }
@@ -163,8 +175,31 @@ class Network {
   void send_clos(NodeId from, NodeId to, std::size_t bytes,
                  common::TimePoint tx_done, net::Packet pkt);
 
+  /// One per-node batch of deliveries sharing a quantized window timestamp.
+  /// Buckets are pooled (slots vectors keep their capacity across reuse) so
+  /// steady-state burst delivery allocates nothing.
+  struct RxBucket {
+    common::TimePoint at = 0;
+    NodeId node = 0;
+    std::uint32_t drained = 0;  // next index in `slots` to deliver
+    std::vector<std::uint32_t> slots;
+  };
+
   std::uint32_t alloc_slot();
   void complete(std::uint32_t slot);
+  /// Schedules the completion for `slot` at `arrival`: a per-packet event
+  /// (exact mode) or membership in the destination's window bucket (burst
+  /// mode, rx_burst_window > 0).
+  void schedule_delivery(common::TimePoint arrival, std::uint32_t slot);
+  /// Completion accounting shared by both modes: frees the slot, drains
+  /// queue-byte accounting, and classifies the hop. Returns true when the
+  /// packet survives to delivery (moved into *pkt_out).
+  bool finish_hop(std::uint32_t slot, net::Packet* pkt_out, NodeId* from_out,
+                  std::uint32_t* bytes_out);
+  void rx_drain(std::uint32_t bucket);
+  static void rx_drain_thunk(void* self, std::uint64_t bucket) {
+    static_cast<Network*>(self)->rx_drain(static_cast<std::uint32_t>(bucket));
+  }
   /// The single delivery tap: every completed hop — point-to-point and Clos
   /// fast path alike — funnels through here before the destination's
   /// receive(), so pcap capture and telemetry see identical traffic.
@@ -219,6 +254,13 @@ class Network {
   // so completion-side push_back never reallocates).
   std::vector<InFlight> slab_;
   std::vector<std::uint32_t> free_slots_;
+
+  // Burst-mode delivery buckets: a pooled bucket slab, its free list, and
+  // per-node lists of active bucket ids (at most a handful per node — one
+  // per distinct pending window).
+  std::vector<RxBucket> rx_buckets_;
+  std::vector<std::uint32_t> rx_free_;
+  std::vector<std::vector<std::uint32_t>> rx_active_;
 
   TraceFn trace_;
   telemetry::Hub* telemetry_ = nullptr;

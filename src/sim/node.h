@@ -2,8 +2,10 @@
 // a server's SmartNIC vSwitch, a VM host stub, the gateway, the monitor.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 
 #include "src/net/addr.h"
 #include "src/net/packet.h"
@@ -31,6 +33,15 @@ class Node {
 
   /// Delivers a packet that arrived on this node's NIC port.
   virtual void receive(net::Packet pkt) = 0;
+
+  /// Delivers a burst of packets that arrived within one RX window (burst
+  /// delivery mode, Network::rx_burst_window). The packets are in arrival
+  /// order; the default processes them one by one, so results match
+  /// per-packet delivery exactly. Overrides may software-prefetch lookup
+  /// structures across the burst before processing.
+  virtual void receive_burst(net::Packet* pkts, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) receive(std::move(pkts[i]));
+  }
 
  private:
   NodeId id_;

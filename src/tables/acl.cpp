@@ -8,12 +8,14 @@ namespace nezha::tables {
 void AclTable::add_rule(AclRule rule) {
   rules_.push_back(std::move(rule));
   dirty_ = true;
+  ++mutations_;
 }
 
 void AclTable::clear() {
   rules_.clear();
   for (auto& c : classes_) c.clear();
   dirty_ = false;
+  ++mutations_;
 }
 
 std::size_t AclTable::proto_bin(net::IpProto proto) {
@@ -69,6 +71,29 @@ flow::Verdict AclTable::lookup(const net::FiveTuple& ft,
     if ((src & c.src_mask) != c.src_net) continue;
     if ((dst & c.dst_mask) != c.dst_net) continue;
     if (ft.src_port < c.sp_lo || ft.src_port > c.sp_hi) continue;
+    if (ft.dst_port < c.dp_lo || ft.dst_port > c.dp_hi) continue;
+    return c.verdict;
+  }
+  return default_verdict_;
+}
+
+flow::Verdict AclTable::lookup_probed(const net::FiveTuple& ft,
+                                      flow::Direction dir,
+                                      AclLookupProbe& probe) const {
+  if (dirty_) rebuild();
+  const std::vector<Compiled>& cands = classes_[class_of(ft.proto, dir)];
+  const std::uint32_t src = ft.src_ip.value();
+  const std::uint32_t dst = ft.dst_ip.value();
+  // Same scan as lookup(), with consulted-port tracking: a port field is
+  // consulted only when its test is reached AND the range is non-universal.
+  // Tests run in a fixed order (src net, dst net, src ports, dst ports), so
+  // any tuple agreeing on the consulted fields takes the identical path.
+  for (const Compiled& c : cands) {
+    if ((src & c.src_mask) != c.src_net) continue;
+    if ((dst & c.dst_mask) != c.dst_net) continue;
+    if (c.sp_lo != 0 || c.sp_hi != 65535) probe.src_port = true;
+    if (ft.src_port < c.sp_lo || ft.src_port > c.sp_hi) continue;
+    if (c.dp_lo != 0 || c.dp_hi != 65535) probe.dst_port = true;
     if (ft.dst_port < c.dp_lo || ft.dst_port > c.dp_hi) continue;
     return c.verdict;
   }

@@ -38,6 +38,18 @@ struct AclRule {
   flow::Verdict verdict = flow::Verdict::kAccept;
 };
 
+/// Which tuple fields a lookup actually consulted before its outcome was
+/// decided (ports only — IPs, proto and direction are always considered
+/// consulted). The setup cache uses this to derive the narrowest sound
+/// cache key for a flow, OVS-megaflow style: a port test that was never
+/// reached (an earlier prefix test already rejected the rule) or that is
+/// universal ({0, 65535}) cannot influence the verdict of any tuple that
+/// agrees on the consulted fields.
+struct AclLookupProbe {
+  bool src_port = false;
+  bool dst_port = false;
+};
+
 class AclTable {
  public:
   /// Default verdict when no rule matches.
@@ -51,8 +63,20 @@ class AclTable {
   /// Highest-priority matching verdict for a packet in `dir`.
   flow::Verdict lookup(const net::FiveTuple& ft, flow::Direction dir) const;
 
+  /// Same verdict as lookup(), additionally accumulating into `probe` which
+  /// port fields the scan consulted (see AclLookupProbe).
+  flow::Verdict lookup_probed(const net::FiveTuple& ft, flow::Direction dir,
+                              AclLookupProbe& probe) const;
+
   flow::Verdict default_verdict() const { return default_verdict_; }
-  void set_default_verdict(flow::Verdict v) { default_verdict_ = v; }
+  void set_default_verdict(flow::Verdict v) {
+    default_verdict_ = v;
+    ++mutations_;
+  }
+
+  /// Monotone count of mutating calls; any change invalidates derived
+  /// caches (RuleTableSet's flow-setup cache) even without commit_update().
+  std::uint64_t mutations() const { return mutations_; }
 
   /// Per-rule memory footprint (prefixes, ranges, metadata), for the
   /// slow-path memory model (#vNICs bottleneck, §2.2.2).
@@ -80,6 +104,7 @@ class AclTable {
 
   std::vector<AclRule> rules_;  // insertion order; index built lazily
   flow::Verdict default_verdict_;
+  std::uint64_t mutations_ = 0;
   mutable std::array<std::vector<Compiled>, kNumClasses> classes_;
   mutable bool dirty_ = false;
 };

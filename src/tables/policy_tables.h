@@ -16,9 +16,19 @@ namespace nezha::tables {
 /// QoS / metering policy: committed rate per destination prefix.
 class QosTable {
  public:
-  void set_default_rate_kbps(std::uint32_t kbps) { default_kbps_ = kbps; }
-  void add_rate(Prefix dst, std::uint32_t kbps) { rates_.insert(dst, kbps); }
-  void clear() { rates_.clear(); }
+  void set_default_rate_kbps(std::uint32_t kbps) {
+    default_kbps_ = kbps;
+    ++mutations_;
+  }
+  void add_rate(Prefix dst, std::uint32_t kbps) {
+    rates_.insert(dst, kbps);
+    ++mutations_;
+  }
+  void clear() {
+    rates_.clear();
+    ++mutations_;
+  }
+  std::uint64_t mutations() const { return mutations_; }
 
   std::uint32_t lookup(net::Ipv4Addr dst) const {
     const std::uint32_t* v = rates_.lookup(dst);
@@ -31,6 +41,7 @@ class QosTable {
  private:
   LpmTable<std::uint32_t> rates_;
   std::uint32_t default_kbps_ = 0;  // 0 = unlimited
+  std::uint64_t mutations_ = 0;
 };
 
 /// NAT policy: flows to a matching destination prefix get source-NATed to a
@@ -44,8 +55,15 @@ class NatTable {
     std::uint16_t ports_per_ip = 60000;
   };
 
-  void add_pool(Prefix dst, Pool pool) { pools_.insert(dst, pool); }
-  void clear() { pools_.clear(); }
+  void add_pool(Prefix dst, Pool pool) {
+    pools_.insert(dst, pool);
+    ++mutations_;
+  }
+  void clear() {
+    pools_.clear();
+    ++mutations_;
+  }
+  std::uint64_t mutations() const { return mutations_; }
 
   struct NatResult {
     net::Ipv4Addr ip;
@@ -61,6 +79,7 @@ class NatTable {
 
  private:
   LpmTable<Pool> pools_;
+  std::uint64_t mutations_ = 0;
 };
 
 /// Flow-statistics policy (what to count per flow). This is the canonical
@@ -68,7 +87,10 @@ class NatTable {
 /// session state, via notify packets on the TX path.
 class StatsPolicyTable {
  public:
-  void set_default_mode(flow::StatsMode mode) { default_mode_ = mode; }
+  void set_default_mode(flow::StatsMode mode) {
+    default_mode_ = mode;
+    ++version_;
+  }
   void add_policy(Prefix dst, flow::StatsMode mode) {
     policies_.insert(dst, mode);
     ++version_;
@@ -102,8 +124,13 @@ class MirrorTable {
  public:
   void add_mirror(Prefix dst, flow::NextHop collector) {
     collectors_.insert(dst, collector);
+    ++mutations_;
   }
-  void clear() { collectors_.clear(); }
+  void clear() {
+    collectors_.clear();
+    ++mutations_;
+  }
+  std::uint64_t mutations() const { return mutations_; }
 
   std::optional<flow::NextHop> lookup(net::Ipv4Addr dst) const {
     const flow::NextHop* v = collectors_.lookup(dst);
@@ -115,13 +142,21 @@ class MirrorTable {
 
  private:
   LpmTable<flow::NextHop> collectors_;
+  std::uint64_t mutations_ = 0;
 };
 
 /// Policy-based routing: destination-prefix overrides of the next hop.
 class PolicyRouteTable {
  public:
-  void add_override(Prefix dst, flow::NextHop hop) { hops_.insert(dst, hop); }
-  void clear() { hops_.clear(); }
+  void add_override(Prefix dst, flow::NextHop hop) {
+    hops_.insert(dst, hop);
+    ++mutations_;
+  }
+  void clear() {
+    hops_.clear();
+    ++mutations_;
+  }
+  std::uint64_t mutations() const { return mutations_; }
 
   std::optional<flow::NextHop> lookup(net::Ipv4Addr dst) const {
     const flow::NextHop* v = hops_.lookup(dst);
@@ -133,6 +168,7 @@ class PolicyRouteTable {
 
  private:
   LpmTable<flow::NextHop> hops_;
+  std::uint64_t mutations_ = 0;
 };
 
 }  // namespace nezha::tables

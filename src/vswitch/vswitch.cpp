@@ -326,6 +326,64 @@ void VSwitch::consume_cpu_noop(double cycles, telemetry::Stage stage) {
   loop_.schedule_raw_at(out.done, [](void*, std::uint64_t) {}, nullptr);
 }
 
+void VSwitch::opq_push(std::uint32_t slot) {
+  if (opq_count_ == op_queue_.size()) {
+    // Grow and linearize (head back to index 0); capacity stays a power of
+    // two so the index math below is a mask.
+    std::vector<std::uint32_t> bigger(op_queue_.empty() ? 64
+                                                        : op_queue_.size() * 2);
+    for (std::size_t i = 0; i < opq_count_; ++i) {
+      bigger[i] = op_queue_[(opq_head_ + i) & (op_queue_.size() - 1)];
+    }
+    op_queue_ = std::move(bigger);
+    opq_head_ = 0;
+  }
+  op_queue_[(opq_head_ + opq_count_) & (op_queue_.size() - 1)] = slot;
+  ++opq_count_;
+}
+
+void VSwitch::schedule_op(std::uint32_t slot, common::TimePoint done) {
+  const common::Duration w = config_.cpu_burst_window;
+  if (w == 0) {
+    loop_.schedule_raw_at(done, &VSwitch::run_op_thunk, this, slot);
+    return;
+  }
+  op_slab_[slot].done = done;
+  opq_push(slot);
+  if (!opq_drain_scheduled_) {
+    opq_drain_scheduled_ = true;
+    loop_.schedule_raw_at((done + w - 1) / w * w, &VSwitch::op_drain_thunk,
+                          this, 0);
+  }
+}
+
+void VSwitch::op_drain() {
+  // opq_drain_scheduled_ stays true throughout: ops queued by re-entrant
+  // datapath work (run_op → VM delivery → from_vm) join this queue and are
+  // covered either by this loop or by the reschedule below, so exactly one
+  // drain event is outstanding whenever the queue is non-empty.
+  const common::TimePoint now = loop_.now();
+  std::size_t budget = kCpuBurst;
+  while (opq_count_ > 0 && budget > 0 && op_slab_[opq_front()].done <= now) {
+    const std::uint32_t slot = opq_front();
+    opq_head_ = (opq_head_ + 1) & (op_queue_.size() - 1);
+    --opq_count_;
+    --budget;
+    run_op(slot);
+  }
+  if (opq_count_ == 0) {
+    opq_drain_scheduled_ = false;
+    return;
+  }
+  const common::Duration w = config_.cpu_burst_window;
+  const common::TimePoint front_done = op_slab_[opq_front()].done;
+  // Budget exhausted at this timestamp → continue now (later event seq);
+  // otherwise sleep until the front op's window boundary.
+  const common::TimePoint next =
+      front_done <= now ? now : (front_done + w - 1) / w * w;
+  loop_.schedule_raw_at(next, &VSwitch::op_drain_thunk, this, 0);
+}
+
 std::uint32_t VSwitch::alloc_op_slot() {
   if (op_free_.empty()) {
     op_slab_.emplace_back();
@@ -397,7 +455,7 @@ void VSwitch::consume_cpu_send(double cycles, net::Packet pkt,
   rec.dst = dst;
   rec.kind = OpKind::kSend;
   rec.stage = static_cast<std::uint8_t>(stage);
-  loop_.schedule_raw_at(out.done, &VSwitch::run_op_thunk, this, slot);
+  schedule_op(slot, out.done);
 }
 
 void VSwitch::consume_cpu_deliver(double cycles, net::Packet pkt,
@@ -419,27 +477,43 @@ void VSwitch::consume_cpu_deliver(double cycles, net::Packet pkt,
   rec.vid = vid;
   rec.kind = OpKind::kDeliver;
   rec.stage = static_cast<std::uint8_t>(stage);
-  loop_.schedule_raw_at(out.done, &VSwitch::run_op_thunk, this, slot);
+  schedule_op(slot, out.done);
 }
 
 flow::SessionEntry* VSwitch::get_or_create_session(
     const flow::SessionKey& key) {
-  if (auto* e = sessions_.find(key)) return e;
-  if (!session_pool_.reserve(state_entry_bytes(config_))) {
-    inc(Ctr::kDropSessionFull);
-    return nullptr;
-  }
-  return sessions_.find_or_create(key, loop_.now());
+  // Single index probe: the pool reservation runs as the creation gate
+  // instead of between a separate find and a re-probing create.
+  return sessions_.find_or_create_gated(
+      key, loop_.now(),
+      [](void* ctx) {
+        auto* self = static_cast<VSwitch*>(ctx);
+        if (!self->session_pool_.reserve(state_entry_bytes(self->config_))) {
+          self->inc(Ctr::kDropSessionFull);
+          return false;
+        }
+        return true;
+      },
+      this);
 }
 
 flow::SessionEntry* VSwitch::get_or_create_cache_entry(
     FrontendInstance& fe, const flow::SessionKey& key) {
-  if (auto* e = fe.flow_cache.find(key)) return e;
-  if (!session_pool_.reserve(kFeCacheEntryBytes)) {
-    inc(Ctr::kDropFeCacheFull);
-    return nullptr;
-  }
-  return fe.flow_cache.find_or_create(key, loop_.now());
+  struct Ctx {
+    VSwitch* self;
+    FrontendInstance* fe;
+  } ctx{this, &fe};
+  return fe.flow_cache.find_or_create_gated(
+      key, loop_.now(),
+      [](void* c) {
+        auto* self = static_cast<Ctx*>(c)->self;
+        if (!self->session_pool_.reserve(kFeCacheEntryBytes)) {
+          self->inc(Ctr::kDropFeCacheFull);
+          return false;
+        }
+        return true;
+      },
+      &ctx);
 }
 
 const flow::PreActions& VSwitch::ensure_pre_actions(
@@ -464,7 +538,11 @@ const flow::PreActions& VSwitch::ensure_pre_actions(
   }
   *cycles += rules.lookup_cycles(config_.cost) +
              config_.cost.session_insert_cycles;
-  fallback = rules.lookup(tx_ft);
+  // Flow-setup cache: identical PreActions to lookup(), one masked-key
+  // probe in wall-clock terms. The full chain's simulated cycles are still
+  // charged above — the cache models no hardware, it just makes the
+  // simulator's connection-setup path cheap to execute.
+  fallback = rules.lookup_cached(tx_ft);
   const bool had_cache = entry.pre_actions.has_value();
   if (had_cache || session_pool_.reserve(kPreActionCacheBytes)) {
     entry.pre_actions = fallback;
@@ -556,11 +634,14 @@ void VSwitch::from_vm(tables::VnicId vnic_id, net::Packet pkt) {
 }
 
 void VSwitch::local_tx(Vnic& v, net::Packet pkt) {
+  // Key first: the index-cell prefetch overlaps the cost-model arithmetic
+  // below (the TX-side analogue of the RX burst's two-step prefetch).
+  const flow::SessionKey key =
+      flow::SessionKey::from_packet(pkt.vpc_id, pkt.inner.ft);
+  sessions_.prefetch_index(key);
   double cycles = config_.cost.parse_cycles +
                   config_.cost.per_byte_cycles *
                       static_cast<double>(pkt.inner.wire_size());
-  const flow::SessionKey key =
-      flow::SessionKey::from_packet(pkt.vpc_id, pkt.inner.ft);
   flow::SessionEntry* entry = get_or_create_session(key);
   if (entry == nullptr) return;
 
@@ -750,6 +831,23 @@ void VSwitch::receive(net::Packet pkt) {
   inc(Ctr::kDropNoVnic);
 }
 
+void VSwitch::receive_burst(net::Packet* pkts, std::size_t n) {
+  // Two-step software prefetch of the session-table probe path across the
+  // burst: index cells first, then the keyed slots each cell points at,
+  // then process. Wall-clock only — every packet still goes through the
+  // same receive() in arrival order, so results are identical to per-packet
+  // delivery. (FE-destined packets probe a per-frontend flow cache instead;
+  // warming the unified store for them is merely a wasted prefetch.)
+  std::uint64_t hashes[sim::Network::kRxBurst];
+  const std::size_t m = n < sim::Network::kRxBurst ? n : sim::Network::kRxBurst;
+  for (std::size_t i = 0; i < m; ++i) {
+    hashes[i] = sessions_.prefetch_index(
+        flow::SessionKey::from_packet(pkts[i].vpc_id, pkts[i].inner.ft));
+  }
+  for (std::size_t i = 0; i < m; ++i) sessions_.prefetch_entry(hashes[i]);
+  for (std::size_t i = 0; i < n; ++i) receive(std::move(pkts[i]));
+}
+
 void VSwitch::local_rx(Vnic& v, net::Packet pkt) {
   double cycles = config_.cost.parse_cycles + config_.cost.decap_cycles +
                   config_.cost.per_byte_cycles *
@@ -885,7 +983,7 @@ void VSwitch::fe_tx(FrontendInstance& fe, net::Packet pkt) {
   const flow::PreActions& pre =
       (entry != nullptr)
           ? ensure_pre_actions(*entry, fe.rules, pkt.inner.ft, &cycles, scratch)
-          : (scratch = fe.rules.lookup(pkt.inner.ft),
+          : (scratch = fe.rules.lookup_cached(pkt.inner.ft),
              cycles += fe.rules.lookup_cycles(config_.cost), scratch);
   const bool chain_ran = slow_lookups_ != lookups_before || entry == nullptr;
   if (!chain_ran) cycles *= config_.cost.fe_cache_hit_accel_factor;
@@ -980,7 +1078,7 @@ void VSwitch::fe_rx(FrontendInstance& fe, net::Packet pkt) {
       (entry != nullptr)
           ? ensure_pre_actions(*entry, fe.rules, pkt.inner.ft.reversed(),
                                &cycles, scratch)
-          : (scratch = fe.rules.lookup(pkt.inner.ft.reversed()),
+          : (scratch = fe.rules.lookup_cached(pkt.inner.ft.reversed()),
              cycles += fe.rules.lookup_cycles(config_.cost), scratch);
   const bool chain_ran = slow_lookups_ != lookups_before || entry == nullptr;
   if (!chain_ran) cycles *= config_.cost.fe_cache_hit_accel_factor;

@@ -84,6 +84,13 @@ struct VSwitchConfig {
   /// #concurrent-flows capacity by up to 64B/8B = 8x.
   bool variable_length_states = false;
   std::size_t variable_state_avg_bytes = 8;
+  /// CPU completion coalescing (DESIGN.md §11): when > 0, per-packet CPU
+  /// completions are queued and drained in batches at multiples of this
+  /// window (up to kCpuBurst per drain event) instead of one event each.
+  /// Changes op timing (completions land at the boundary at or after their
+  /// exact done time), so default 0 keeps unit-test timing exact;
+  /// throughput benches opt in.
+  common::Duration cpu_burst_window = 0;
 };
 
 /// A frontend instance: one offloaded vNIC's stateless tables hosted on a
@@ -128,6 +135,10 @@ class VSwitch : public sim::Node {
 
   // ---------- network side ----------
   void receive(net::Packet pkt) override;
+  /// Burst delivery: software-prefetches the session-table probe path for
+  /// every packet in the burst, then processes them in arrival order —
+  /// results identical to per-packet receive().
+  void receive_burst(net::Packet* pkts, std::size_t n) override;
 
   // ---------- Nezha configuration (driven by core::Controller) ----------
   /// Installs an FE instance for a remote vNIC, cloning the given rule
@@ -359,12 +370,35 @@ class VSwitch : public sim::Node {
     net::Packet pkt;
     tables::Location dst;
     std::uint64_t* adapter_count = nullptr;
+    common::TimePoint done = 0;  // CPU completion time (burst mode)
     tables::VnicId vid = 0;
     OpKind kind = OpKind::kSend;
     std::uint8_t stage = 0;  // telemetry::Stage of the charging site
   };
   std::vector<PendingOp> op_slab_;
   std::vector<std::uint32_t> op_free_;
+
+  /// Max CPU completions retired per drain event in burst mode.
+  static constexpr std::size_t kCpuBurst = 32;
+
+  /// Schedules run_op(slot) at `done`: its own event (exact mode) or via
+  /// the completion queue (burst mode). The CPU model is a FIFO queue
+  /// server, so done times are monotone and the queue drains in completion
+  /// order.
+  void schedule_op(std::uint32_t slot, common::TimePoint done);
+  void op_drain();
+  static void op_drain_thunk(void* self, std::uint64_t) {
+    static_cast<VSwitch*>(self)->op_drain();
+  }
+  void opq_push(std::uint32_t slot);
+  std::uint32_t opq_front() const { return op_queue_[opq_head_]; }
+
+  /// Burst-mode completion queue: a circular FIFO of PendingOp slots
+  /// (power-of-two capacity), plus whether a drain event is outstanding.
+  std::vector<std::uint32_t> op_queue_;
+  std::size_t opq_head_ = 0;
+  std::size_t opq_count_ = 0;
+  bool opq_drain_scheduled_ = false;
 
   VmDeliveryFn vm_delivery_;
   common::Counter counters_;

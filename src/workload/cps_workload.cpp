@@ -1,6 +1,80 @@
 #include "src/workload/cps_workload.h"
 
+#include <algorithm>
+
 namespace nezha::workload {
+
+namespace {
+constexpr std::size_t kInitialConnSlots = 256;  // power of two
+
+std::size_t conn_hash(std::uint32_t ports) {
+  return static_cast<std::size_t>(
+      net::flow_hash_mix64(static_cast<std::uint64_t>(ports)));
+}
+}  // namespace
+
+CpsWorkload::Conn* CpsWorkload::conn_find(std::uint32_t ports) {
+  if (conns_.empty()) return nullptr;
+  const std::size_t mask = conns_.size() - 1;
+  for (std::size_t i = conn_hash(ports) & mask;; i = (i + 1) & mask) {
+    Conn& c = conns_[i];
+    if (c.ports == kConnEmpty) return nullptr;
+    if (c.ports == ports) return &c;
+  }
+}
+
+void CpsWorkload::conn_rehash(std::size_t new_size) {
+  std::vector<Conn> old;
+  old.swap(conns_);
+  conns_.assign(new_size, Conn{});
+  const std::size_t mask = conns_.size() - 1;
+  for (const Conn& c : old) {
+    if (c.ports == kConnEmpty) continue;
+    std::size_t i = conn_hash(c.ports) & mask;
+    while (conns_[i].ports != kConnEmpty) i = (i + 1) & mask;
+    conns_[i] = c;
+  }
+}
+
+CpsWorkload::Conn* CpsWorkload::conn_insert(std::uint32_t ports) {
+  if (conns_.empty()) {
+    conns_.assign(kInitialConnSlots, Conn{});
+  } else if ((conn_count_ + 1) * 4 > conns_.size() * 3) {
+    // Backward-shift erases leave no tombstones, so a rehash only ever
+    // means the concurrent working set genuinely grew.
+    conn_rehash(conns_.size() * 2);
+  }
+  const std::size_t mask = conns_.size() - 1;
+  std::size_t i = conn_hash(ports) & mask;
+  for (;; i = (i + 1) & mask) {
+    Conn& c = conns_[i];
+    if (c.ports == ports) return &c;  // reuse (port-space wrap)
+    if (c.ports == kConnEmpty) break;
+  }
+  Conn* slot = &conns_[i];
+  *slot = Conn{};
+  slot->ports = ports;
+  ++conn_count_;
+  return slot;
+}
+
+void CpsWorkload::conn_erase(Conn* c) {
+  // Backward-shift deletion: pull every cluster member whose home position
+  // is at or before the hole back over it, leaving no tombstone.
+  const std::size_t mask = conns_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(c - conns_.data());
+  for (std::size_t j = (i + 1) & mask;; j = (j + 1) & mask) {
+    Conn& n = conns_[j];
+    if (n.ports == kConnEmpty) break;
+    const std::size_t home = conn_hash(n.ports) & mask;
+    if (((j - home) & mask) >= ((j - i) & mask)) {
+      conns_[i] = n;
+      i = j;
+    }
+  }
+  conns_[i] = Conn{};
+  --conn_count_;
+}
 
 CpsWorkload::CpsWorkload(core::Testbed& bed, std::size_t client_switch,
                          tables::VnicId client_vnic,
@@ -71,46 +145,190 @@ void CpsWorkload::attempt() {
   if (!admit.accepted) {
     if (config_.concurrency > 0) {
       // Closed loop: don't lose the slot; retry when the kernel drains.
-      bed_.loop().schedule_after(common::milliseconds(5),
-                                 [this]() { attempt(); });
+      if (config_.timer_window > 0) {
+        timer_push(kTimerReattempt,
+                   bed_.loop().now() + common::milliseconds(5), 0);
+      } else {
+        bed_.loop().schedule_after(common::milliseconds(5),
+                                   [this]() { attempt(); });
+      }
     }
     return;
   }
   const net::FiveTuple ft = next_tuple();
-  conns_[ft] = Conn{bed_.loop().now(), false, 0};
   const std::uint32_t ports = ports_key(ft);
-  bed_.loop().schedule_at(
-      admit.done, [this, ports]() { send_syn(client_tuple(ports), 0); });
+  Conn* c = conn_insert(ports);
+  c->syn_sent = bed_.loop().now();
+  c->established = 0;
+  c->retries = 0;
+  if (config_.timer_window > 0) {
+    timer_push(kTimerSendSyn, admit.done, ports);
+  } else {
+    bed_.loop().schedule_at(
+        admit.done, [this, ports]() { send_syn(client_tuple(ports), 0); });
+  }
+}
+
+void CpsWorkload::release_slot() {
+  // Batched closed-loop admission: freed slots accumulate and one round
+  // event (at this same timestamp) admits them all, so N completions
+  // delivered in one burst share a single scheduling round.
+  ++pending_slots_;
+  if (round_scheduled_) return;
+  round_scheduled_ = true;
+  bed_.loop().schedule_at(bed_.loop().now(),
+                          [this]() { admission_round(); });
+}
+
+void CpsWorkload::admission_round() {
+  round_scheduled_ = false;
+  const int n = pending_slots_;
+  pending_slots_ = 0;
+  for (int i = 0; i < n; ++i) attempt();
+}
+
+void CpsWorkload::timer_push(std::uint8_t kind, common::TimePoint at,
+                             std::uint32_t ports, std::uint8_t attempt) {
+  if (timer_qs_.empty()) {
+    const int rto_levels =
+        config_.max_syn_retries > 0 ? config_.max_syn_retries : 0;
+    timer_qs_.resize(4 + static_cast<std::size_t>(rto_levels));
+  }
+  TimerQ& q =
+      timer_qs_[kind == kTimerRto ? 4 + static_cast<std::size_t>(attempt)
+                                  : kind];
+  if (q.count == q.buf.size()) {
+    std::vector<Timer> bigger(q.buf.empty() ? 64 : q.buf.size() * 2);
+    for (std::size_t i = 0; i < q.count; ++i) {
+      bigger[i] = q.buf[(q.head + i) & (q.buf.size() - 1)];
+    }
+    q.buf = std::move(bigger);
+    q.head = 0;
+  }
+  const std::size_t mask = q.buf.size() - 1;
+  // Monotone by construction; clamp defensively so a violation degrades to
+  // a slightly later fire, never to ring reordering.
+  if (q.count > 0) {
+    const common::TimePoint prev = q.buf[(q.head + q.count - 1) & mask].at;
+    if (at < prev) at = prev;
+  }
+  q.buf[(q.head + q.count) & mask] = Timer{at, ++timer_seq_, ports, kind,
+                                           attempt};
+  ++q.count;
+  if (timer_draining_) return;  // drain re-arms once, after its loop
+  const common::Duration w = config_.timer_window;
+  const common::TimePoint fire = (at + w - 1) / w * w;
+  if (timer_event_at_ < 0 || fire < timer_event_at_) {
+    if (timer_event_at_ >= 0) bed_.loop().cancel(timer_event_);
+    timer_event_ = bed_.loop().schedule_raw_at(
+        fire, &CpsWorkload::timer_drain_thunk, this, 0);
+    timer_event_at_ = fire;
+  }
+}
+
+void CpsWorkload::timer_fire(const Timer& t) {
+  switch (t.kind) {
+    case kTimerSendSyn:
+      send_syn(client_tuple(t.ports), 0);
+      break;
+    case kTimerSynAck:
+      send_synack(client_tuple(t.ports).reversed());
+      break;
+    case kTimerRto: {
+      Conn* rc = conn_find(t.ports);
+      if (rc == nullptr || rc->established != 0) return;
+      ++rc->retries;
+      send_syn(client_tuple(t.ports), t.attempt + 1);
+      break;
+    }
+    case kTimerGiveUp: {
+      Conn* rc = conn_find(t.ports);
+      if (rc != nullptr && rc->established == 0) {
+        conn_erase(rc);
+        if (config_.concurrency > 0) release_slot();
+      }
+      break;
+    }
+    case kTimerReattempt:
+      attempt();
+      break;
+  }
+}
+
+void CpsWorkload::timer_drain() {
+  timer_draining_ = true;
+  timer_event_at_ = -1;
+  const common::TimePoint now = bed_.loop().now();
+  // K-way merge of the ring fronts: fire everything due at `now` in
+  // (at, seq) order. Timers pushed by fired handlers (e.g. a SYN's RTO, or
+  // a SYN-ACK admission from a synchronous delivery) join their ring
+  // mid-loop; if due at `now` they drain in this same pass, in order.
+  for (;;) {
+    TimerQ* best = nullptr;
+    for (TimerQ& q : timer_qs_) {
+      if (q.count == 0 || q.front().at > now) continue;
+      if (best == nullptr || timer_later(best->front(), q.front())) {
+        best = &q;
+      }
+    }
+    if (best == nullptr) break;
+    const Timer t = best->front();
+    best->pop();
+    timer_fire(t);
+  }
+  timer_draining_ = false;
+  common::TimePoint next = -1;
+  for (const TimerQ& q : timer_qs_) {
+    if (q.count > 0 && (next < 0 || q.front().at < next)) {
+      next = q.front().at;
+    }
+  }
+  if (next >= 0) {
+    const common::Duration w = config_.timer_window;
+    const common::TimePoint fire = (next + w - 1) / w * w;
+    timer_event_ = bed_.loop().schedule_raw_at(
+        fire, &CpsWorkload::timer_drain_thunk, this, 0);
+    timer_event_at_ = fire;
+  }
 }
 
 void CpsWorkload::send_syn(const net::FiveTuple& ft, int attempt) {
-  auto it = conns_.find(ft);
-  if (it == conns_.end() || it->second.established) return;
+  const std::uint32_t ports = ports_key(ft);
+  Conn* c = conn_find(ports);
+  if (c == nullptr || c->established != 0) return;
   net::Packet syn = net::make_tcp_packet(ft, net::TcpFlags{.syn = true}, 0,
                                          vpc_);
   syn.created_at = bed_.loop().now();
   client_switch_.from_vm(client_vnic_, std::move(syn));
-  const std::uint32_t ports = ports_key(ft);
+  const common::Duration rto = config_.syn_rto << attempt;
   if (attempt >= config_.max_syn_retries) {
     // Give up after one final RTO (frees the tracking entry and, in closed
     // loop mode, the concurrency slot).
-    bed_.loop().schedule_after(config_.syn_rto << attempt, [this, ports]() {
-      auto rit = conns_.find(client_tuple(ports));
-      if (rit != conns_.end() && !rit->second.established) {
-        conns_.erase(rit);
-        if (config_.concurrency > 0) this->attempt();
-      }
-    });
+    if (config_.timer_window > 0) {
+      timer_push(kTimerGiveUp, bed_.loop().now() + rto, ports);
+    } else {
+      bed_.loop().schedule_after(rto, [this, ports]() {
+        Conn* rc = conn_find(ports);
+        if (rc != nullptr && rc->established == 0) {
+          conn_erase(rc);
+          if (config_.concurrency > 0) release_slot();
+        }
+      });
+    }
     return;
   }
   // Exponential backoff retransmission, as the guest TCP stack would do.
-  const common::Duration rto = config_.syn_rto << attempt;
-  bed_.loop().schedule_after(rto, [this, ports, attempt]() {
-    auto rit = conns_.find(client_tuple(ports));
-    if (rit == conns_.end() || rit->second.established) return;
-    ++rit->second.retries;
-    send_syn(rit->first, attempt + 1);
-  });
+  if (config_.timer_window > 0) {
+    timer_push(kTimerRto, bed_.loop().now() + rto, ports,
+               static_cast<std::uint8_t>(attempt));
+  } else {
+    bed_.loop().schedule_after(rto, [this, ports, attempt]() {
+      Conn* rc = conn_find(ports);
+      if (rc == nullptr || rc->established != 0) return;
+      ++rc->retries;
+      send_syn(client_tuple(ports), attempt + 1);
+    });
+  }
 }
 
 void CpsWorkload::on_server_delivery(const net::Packet& pkt) {
@@ -123,17 +341,45 @@ void CpsWorkload::on_server_delivery(const net::Packet& pkt) {
     if (ft.src_ip == client_ip_ && ft.dst_ip == server_ip_ &&
         ft.proto == net::IpProto::kTcp) {
       const std::uint32_t ports = ports_key(ft);
-      bed_.loop().schedule_at(admit.done, [this, ports]() {
-        send_synack(client_tuple(ports).reversed());
-      });
+      if (config_.timer_window > 0) {
+        timer_push(kTimerSynAck, admit.done, ports);
+      } else {
+        bed_.loop().schedule_at(admit.done, [this, ports]() {
+          send_synack(client_tuple(ports).reversed());
+        });
+      }
     } else {
-      // Rewritten (e.g. NAT'd) tuple: keep the exact reply address.
-      const net::FiveTuple reply = ft.reversed();
-      bed_.loop().schedule_at(admit.done,
-                              [this, reply]() { send_synack(reply); });
+      // Rewritten (e.g. NAT'd) tuple: keep the exact reply address. The
+      // port-pair key can't encode it, so this shape stays on the
+      // per-timer event path regardless of timer_window — but with the
+      // tuple parked in a pool slot instead of a heap-spilled closure.
+      schedule_foreign_synack(admit.done, ft.reversed());
     }
   }
   // Final ACK / FIN handling needs no further server action in this model.
+}
+
+void CpsWorkload::schedule_foreign_synack(common::TimePoint at,
+                                          const net::FiveTuple& reply) {
+  std::uint32_t slot;
+  if (!foreign_free_.empty()) {
+    slot = foreign_free_.back();
+    foreign_free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(foreign_synacks_.size());
+    foreign_synacks_.emplace_back();
+  }
+  foreign_synacks_[slot] = reply;
+  bed_.loop().schedule_raw_at(at, &CpsWorkload::foreign_synack_thunk, this,
+                              slot);
+}
+
+void CpsWorkload::foreign_synack_thunk(void* self, std::uint64_t slot) {
+  auto* w = static_cast<CpsWorkload*>(self);
+  const net::FiveTuple reply =
+      w->foreign_synacks_[static_cast<std::size_t>(slot)];
+  w->foreign_free_.push_back(static_cast<std::uint32_t>(slot));
+  w->send_synack(reply);
 }
 
 void CpsWorkload::send_synack(const net::FiveTuple& reply) {
@@ -147,12 +393,18 @@ void CpsWorkload::on_client_delivery(const net::Packet& pkt) {
   const net::TcpFlags flags = pkt.inner.tcp_flags;
   if (!(flags.syn && flags.ack)) return;
   const net::FiveTuple ft = pkt.inner.ft.reversed();  // client-oriented
-  auto it = conns_.find(ft);
-  if (it == conns_.end() || it->second.established) return;
-  it->second.established = true;
+  // The port pair is only a valid key for untranslated workload tuples
+  // (the full-tuple equality the old per-connection map gave for free).
+  if (ft.src_ip != client_ip_ || ft.dst_ip != server_ip_ ||
+      ft.proto != net::IpProto::kTcp) {
+    return;
+  }
+  Conn* c = conn_find(ports_key(ft));
+  if (c == nullptr || c->established != 0) return;
+  c->established = 1;
   ++completed_;
   completions_.push_back(bed_.loop().now());
-  latency_.add(common::to_micros(bed_.loop().now() - it->second.syn_sent));
+  latency_.add(common::to_micros(bed_.loop().now() - c->syn_sent));
 
   // Complete the handshake; optionally close.
   client_switch_.from_vm(
@@ -164,8 +416,9 @@ void CpsWorkload::on_client_delivery(const net::Packet& pkt) {
         net::make_tcp_packet(ft, net::TcpFlags{.ack = true, .fin = true}, 0,
                              vpc_));
   }
-  conns_.erase(it);
-  if (config_.concurrency > 0) attempt();
+  // Re-find: from_vm can recurse into deliveries that mutate the table.
+  if (Conn* again = conn_find(ports_key(ft))) conn_erase(again);
+  if (config_.concurrency > 0) release_slot();
 }
 
 double CpsWorkload::cps_over(common::TimePoint t0,

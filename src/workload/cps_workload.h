@@ -9,7 +9,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "src/common/rng.h"
 #include "src/common/stats.h"
@@ -38,6 +37,13 @@ struct CpsWorkloadConfig {
   /// to the bottleneck capacity instead of collapsing.
   int max_syn_retries = 8;
   common::Duration syn_rto = common::milliseconds(25);
+  /// When > 0, per-connection timers (kernel-admit completions, SYN RTOs,
+  /// give-ups) are kept in a workload-local heap and drained by one event
+  /// loop entry per window multiple, instead of one scheduled closure per
+  /// timer — the connection-setup analogue of the datapath burst windows
+  /// (DESIGN.md §11). Timers fire at their deadline rounded up to the
+  /// window, so 0 (default) preserves exact per-timer event timing.
+  common::Duration timer_window = 0;
   std::uint64_t seed = 42;
 };
 
@@ -75,14 +81,91 @@ class CpsWorkload {
   }
 
  private:
+  /// Tracked connection, stored inline in a flat open-addressed table keyed
+  /// by the 32-bit port pair (see ports_key). `ports` doubles as the slot
+  /// marker: 0 = empty (workload ports are always ≥ 1024<<16, so it never
+  /// collides with a real key); erases backward-shift the probe cluster, so
+  /// there are no tombstones and churn never forces a rehash. No node
+  /// allocation per connection — the table array is the only storage, and
+  /// it only grows when the number of simultaneously tracked connections
+  /// does. Entries move on erase, so Conn pointers are only valid until the
+  /// next table mutation.
   struct Conn {
+    std::uint32_t ports = 0;
+    std::uint8_t established = 0;
+    std::uint8_t retries = 0;
     common::TimePoint syn_sent = 0;
-    bool established = false;
-    int retries = 0;
   };
+  static constexpr std::uint32_t kConnEmpty = 0;
+
+  Conn* conn_find(std::uint32_t ports);
+  Conn* conn_insert(std::uint32_t ports);
+  void conn_erase(Conn* c);
+  void conn_rehash(std::size_t new_size);
+
+  /// Coalesced per-connection timer (timer_window > 0): a POD entry in a
+  /// workload-local store drained by one event-loop entry per window.
+  /// Every class has monotone deadlines (a fixed offset from the monotone
+  /// sim clock, or a FIFO kernel's completion times), so the store is a set
+  /// of per-class FIFO rings — O(1) push/pop at any depth, unlike a heap
+  /// that sifts past thousands of not-yet-expired RTO entries — and the
+  /// drain is a K-way merge of the ring fronts on (at, seq), reproducing
+  /// the event loop's schedule-order tie-break.
+  enum TimerKind : std::uint8_t {
+    kTimerSendSyn,    // client kernel admitted the connect; emit the SYN
+    kTimerSynAck,     // server kernel accepted; emit the SYN-ACK
+    kTimerRto,        // SYN retransmission backoff expired
+    kTimerGiveUp,     // final RTO after max retries; drop the tracking entry
+    kTimerReattempt,  // client kernel was full; retry the attempt
+  };
+  struct Timer {
+    common::TimePoint at;
+    std::uint64_t seq;
+    std::uint32_t ports;
+    std::uint8_t kind;
+    std::uint8_t attempt;
+  };
+  static bool timer_later(const Timer& a, const Timer& b) {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+  /// Power-of-two circular buffer; grows only when the in-flight timer
+  /// population of its class does.
+  struct TimerQ {
+    std::vector<Timer> buf;
+    std::size_t head = 0;
+    std::size_t count = 0;
+    const Timer& front() const { return buf[head]; }
+    void pop() {
+      head = (head + 1) & (buf.size() - 1);
+      --count;
+    }
+  };
+  void timer_push(std::uint8_t kind, common::TimePoint at,
+                  std::uint32_t ports, std::uint8_t attempt = 0);
+  void timer_fire(const Timer& t);
+  void timer_drain();
+  static void timer_drain_thunk(void* self, std::uint64_t) {
+    static_cast<CpsWorkload*>(self)->timer_drain();
+  }
+
+  /// Deferred SYN-ACK for a rewritten (e.g. NAT'd) reply tuple: the
+  /// full 5-tuple doesn't fit a 16-byte closure capture, so the tuple
+  /// parks in a free-listed pool slot and the event carries the slot id
+  /// through the raw function-pointer path — identical event timing and
+  /// ordering to the closure it replaces, zero steady-state allocations.
+  void schedule_foreign_synack(common::TimePoint at,
+                               const net::FiveTuple& reply);
+  static void foreign_synack_thunk(void* self, std::uint64_t slot);
 
   void schedule_next_attempt();
   void attempt();
+  /// Closed-loop slot release: instead of immediately attempting a new
+  /// connection per completion, freed slots join the next admission round —
+  /// one scheduled event shared by every slot freed at this timestamp
+  /// (burst deliveries free many at once).
+  void release_slot();
+  void admission_round();
   void send_syn(const net::FiveTuple& ft, int attempt);
   void on_client_delivery(const net::Packet& pkt);
   void on_server_delivery(const net::Packet& pkt);
@@ -118,7 +201,25 @@ class CpsWorkload {
   VmKernel server_kernel_;
 
   std::uint32_t conn_seq_ = 0;
-  std::unordered_map<net::FiveTuple, Conn> conns_;
+  // Flat open-addressed connection table (power-of-two size; see Conn).
+  std::vector<Conn> conns_;
+  std::size_t conn_count_ = 0;
+  // Coalesced timer state: rings indexed [kSendSyn, kSynAck, kGiveUp,
+  // kReattempt, rto level 0, rto level 1, ...]; one outstanding drain event
+  // at the quantized earliest front (re-armed earlier when an earlier timer
+  // arrives; cancel() is O(1)).
+  std::vector<TimerQ> timer_qs_;
+  std::uint64_t timer_seq_ = 0;
+  sim::EventId timer_event_ = 0;
+  common::TimePoint timer_event_at_ = -1;
+  bool timer_draining_ = false;
+  // Parked reply tuples for in-flight foreign SYN-ACKs (free-listed; grows
+  // only to the peak number simultaneously deferred).
+  std::vector<net::FiveTuple> foreign_synacks_;
+  std::vector<std::uint32_t> foreign_free_;
+  // Closed-loop admission batching state.
+  int pending_slots_ = 0;
+  bool round_scheduled_ = false;
   std::uint64_t attempted_ = 0;
   std::uint64_t completed_ = 0;
   // Bounded estimator (10us buckets over [0, 20ms]): fleet-scale scenarios

@@ -294,5 +294,192 @@ TEST_P(RuleLookupDiffTest, IndexedChainMatchesNaiveReference) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RuleLookupDiffTest,
                          ::testing::Values(0xd1ffull, 0xacdcull));
 
+// --- flow-setup cache (DESIGN.md §11) -------------------------------------
+//
+// lookup_cached() must be indistinguishable from lookup() across arbitrary
+// table churn: the cache is validated against setup_epoch(), which counts
+// every table mutation (committed or not), so a stale entry can never be
+// served. These tests drive the same randomized mutation stream as the
+// chain differential, but read through the cache — each tuple twice, so
+// both the miss-fill path and the hit path face the reference — and then
+// pin the invalidation contract per table type explicitly.
+
+class SetupCacheDiffTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SetupCacheDiffTest, CachedChainMatchesNaiveReferenceAcrossChurn) {
+  common::Rng rng(GetParam());
+  tables::RuleTableSet impl;
+  ReferenceRuleSet ref;
+
+  constexpr int kMutations = 4000;
+  constexpr std::size_t kMaxAclRules = 1500;
+
+  for (int step = 0; step < kMutations; ++step) {
+    switch (rng.uniform_u64(0, 6)) {
+      case 0:
+      case 1: {
+        const AclRule r = random_rule(rng);
+        impl.acl().add_rule(r);
+        ref.acl.add_rule(r);
+        break;
+      }
+      case 2: {
+        const Prefix p = random_prefix(rng);
+        const auto kbps =
+            static_cast<std::uint32_t>(rng.uniform_u64(0, 1000000));
+        impl.qos().add_rate(p, kbps);
+        ref.qos.insert(p, kbps);
+        break;
+      }
+      case 3: {
+        const Prefix p = random_prefix(rng);
+        NatTable::Pool pool;
+        pool.base_ip = net::Ipv4Addr(
+            192, 0, 2, static_cast<std::uint8_t>(rng.uniform_u64(0, 200)));
+        pool.base_port =
+            static_cast<std::uint16_t>(rng.uniform_u64(1024, 2048));
+        pool.ip_count = static_cast<std::uint32_t>(rng.uniform_u64(1, 8));
+        pool.ports_per_ip =
+            static_cast<std::uint16_t>(rng.uniform_u64(16, 60000));
+        impl.nat().add_pool(p, pool);
+        ref.nat.insert(p, pool);
+        break;
+      }
+      case 4: {
+        const Prefix p = random_prefix(rng);
+        const auto mode = static_cast<flow::StatsMode>(rng.uniform_u64(0, 3));
+        impl.stats_policy().add_policy(p, mode);
+        ref.stats.insert(p, mode);
+        break;
+      }
+      case 5: {
+        const Prefix p = random_prefix(rng);
+        const flow::NextHop hop{random_ip(rng), net::MacAddr{}};
+        impl.policy_routes().add_override(p, hop);
+        ref.routes.insert(p, hop);
+        break;
+      }
+      case 6: {
+        const Prefix p = random_prefix(rng);
+        const flow::NextHop hop{random_ip(rng), net::MacAddr{}};
+        impl.mirrors().add_mirror(p, hop);
+        ref.mirrors.insert(p, hop);
+        break;
+      }
+    }
+    if (impl.acl().rule_count() > kMaxAclRules) {
+      impl.acl().clear();
+      ref.acl.clear();
+    }
+    impl.commit_update();
+    ref.version = impl.version();
+
+    for (int i = 0; i < 3; ++i) {
+      const net::FiveTuple ft = random_tuple(rng);
+      const flow::PreActions want = ref.lookup(ft);
+      // First read fills (or revalidates) the cache entry, second must be
+      // served from it — both have to match the naive reference exactly.
+      const flow::PreActions miss = impl.lookup_cached(ft);
+      const flow::PreActions hit = impl.lookup_cached(ft);
+      ASSERT_EQ(miss, want) << "cached (fill) diverged at seed=" << GetParam()
+                            << " step=" << step << " tuple=" << ft.to_string();
+      ASSERT_EQ(hit, want) << "cached (hit) diverged at seed=" << GetParam()
+                           << " step=" << step << " tuple=" << ft.to_string();
+    }
+  }
+  // The loop must actually have exercised the hit path, not just misses
+  // (port-masked keys make repeat reads of the same tuple cache hits).
+  EXPECT_GT(impl.setup_cache_hits(), static_cast<std::uint64_t>(kMutations));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SetupCacheDiffTest,
+                         ::testing::Values(0xcac4eull, 0xf10full));
+
+TEST(SetupCacheInvalidationTest, EveryTableTypeInvalidatesOnMutation) {
+  tables::RuleTableSet impl;
+  impl.commit_update();
+  const net::FiveTuple ft{net::Ipv4Addr(10, 42, 0, 5),
+                          net::Ipv4Addr(10, 42, 1, 9), 7000, 80,
+                          net::IpProto::kTcp};
+
+  // Fill, then hit: baseline cache behavior on an unchanged table set.
+  const flow::PreActions before = impl.lookup_cached(ft);
+  ASSERT_EQ(impl.lookup_cached(ft), before);
+  ASSERT_EQ(impl.setup_cache_misses(), 1u);
+  ASSERT_EQ(impl.setup_cache_hits(), 1u);
+
+  // One mutation per table type; each must be observed through the cache
+  // immediately after commit — and must actually change the result for ft,
+  // otherwise this test wouldn't distinguish a stale hit from a fresh miss.
+  const auto mutate_and_check = [&](const char* table, auto&& mutate) {
+    const flow::PreActions prev = impl.lookup_cached(ft);
+    mutate();
+    impl.commit_update();
+    const flow::PreActions got = impl.lookup_cached(ft);
+    ASSERT_EQ(got, impl.lookup(ft)) << table << ": cache served stale entry";
+    // commit_update() bumps rule_version, so a stale hit can't hide behind
+    // an otherwise-unchanged result; additionally require a field change.
+    ASSERT_NE(got, prev) << table << ": mutation should have changed the "
+                         << "result for the probe tuple";
+    ASSERT_EQ(impl.lookup_cached(ft), got);  // and the new entry re-caches
+  };
+
+  mutate_and_check("acl", [&] {
+    AclRule r;
+    r.priority = 0;
+    r.src = Prefix{ft.src_ip, 32};
+    r.dst = Prefix{ft.dst_ip, 32};
+    r.verdict = flow::Verdict::kDrop;
+    impl.acl().add_rule(r);
+  });
+  mutate_and_check("qos",
+                   [&] { impl.qos().add_rate(Prefix{ft.dst_ip, 32}, 4242); });
+  mutate_and_check("nat", [&] {
+    NatTable::Pool pool;
+    pool.base_ip = net::Ipv4Addr(192, 0, 2, 1);
+    pool.base_port = 1024;
+    pool.ip_count = 4;
+    pool.ports_per_ip = 1024;
+    impl.nat().add_pool(Prefix{ft.dst_ip, 32}, pool);
+  });
+  mutate_and_check("stats", [&] {
+    impl.stats_policy().add_policy(Prefix{ft.dst_ip, 32},
+                                   flow::StatsMode::kPacketsAndBytes);
+  });
+  mutate_and_check("policy_routes", [&] {
+    impl.policy_routes().add_override(
+        Prefix{ft.dst_ip, 32},
+        flow::NextHop{net::Ipv4Addr(10, 42, 3, 3), net::MacAddr{}});
+  });
+  mutate_and_check("mirrors", [&] {
+    impl.mirrors().add_mirror(
+        Prefix{ft.dst_ip, 32},
+        flow::NextHop{net::Ipv4Addr(10, 42, 3, 4), net::MacAddr{}});
+  });
+}
+
+TEST(SetupCacheInvalidationTest, UncommittedMutationIsNotServedStale) {
+  tables::RuleTableSet impl;
+  impl.commit_update();
+  const net::FiveTuple ft{net::Ipv4Addr(10, 42, 0, 5),
+                          net::Ipv4Addr(10, 42, 1, 9), 7000, 80,
+                          net::IpProto::kTcp};
+  (void)impl.lookup_cached(ft);  // fill
+  const std::uint64_t epoch_before = impl.setup_epoch();
+
+  // Mutate WITHOUT commit_update(): the epoch counts raw table mutations,
+  // so the cache must revalidate even before the update is committed and
+  // keep serving exactly what lookup() serves in this half-applied state.
+  impl.qos().add_rate(Prefix{ft.dst_ip, 32}, 777);
+  EXPECT_NE(impl.setup_epoch(), epoch_before);
+  const std::uint64_t misses_before = impl.setup_cache_misses();
+  EXPECT_EQ(impl.lookup_cached(ft), impl.lookup(ft));
+  EXPECT_EQ(impl.setup_cache_misses(), misses_before + 1)
+      << "uncommitted mutation should have forced a cache refill";
+
+  impl.commit_update();
+  EXPECT_EQ(impl.lookup_cached(ft), impl.lookup(ft));
+}
+
 }  // namespace
 }  // namespace nezha

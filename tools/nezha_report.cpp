@@ -1,0 +1,270 @@
+// Bench regression gate: diffs fresh bench JSON against a pinned baseline
+// and exits nonzero when a metric regresses past the threshold.
+//
+//   nezha_report [--threshold 0.10] BASELINE FRESH [BASELINE2 FRESH2 ...]
+//
+// Each (baseline, fresh) pair is compared leaf by leaf: the JSON trees are
+// flattened to dotted numeric paths ("end_to_end.pkts_per_sec_wallclock"),
+// and each leaf is classified by name into higher-is-better (rates,
+// speedups, delivery fractions), lower-is-better (allocations, latency,
+// loss), or informational (counts, window sizes, config echoes — printed
+// when they move, never gated; determinism fingerprints are the bench's
+// own gate, not a relative-threshold matter). Leaves present on only one
+// side are reported as schema drift, not regressions — the schema is
+// versioned and grows.
+//
+// CI runs this after the bench binaries regenerate BENCH_engine.json /
+// BENCH_topo.json, against the checked-in copies (see README "Recording a
+// new baseline"): wall-clock rates on shared runners are noisy, which is
+// exactly why the default threshold is a coarse 10% — it catches a path
+// going off a cliff, while the bench's machine-independent [SHAPE] gates
+// catch everything subtle.
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// --- minimal JSON reader: numeric leaves only -------------------------------
+//
+// The bench writers emit a small, regular subset of JSON (objects, numbers,
+// strings). This reader walks the full grammar but records only numeric
+// leaves, keyed by their dotted path.
+
+struct Parser {
+  const std::string& s;
+  std::size_t i = 0;
+  bool failed = false;
+
+  void skip_ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  void fail() { failed = true; }
+};
+
+using FlatMetrics = std::map<std::string, double>;
+
+void parse_value(Parser& p, const std::string& path, FlatMetrics& out);
+
+void parse_object(Parser& p, const std::string& path, FlatMetrics& out) {
+  if (p.eat('}')) return;
+  while (!p.failed) {
+    p.skip_ws();
+    if (p.i >= p.s.size() || p.s[p.i] != '"') return p.fail();
+    ++p.i;
+    std::string key;
+    while (p.i < p.s.size() && p.s[p.i] != '"') key += p.s[p.i++];
+    if (p.i >= p.s.size()) return p.fail();
+    ++p.i;
+    if (!p.eat(':')) return p.fail();
+    parse_value(p, path.empty() ? key : path + "." + key, out);
+    if (p.eat(',')) continue;
+    if (p.eat('}')) return;
+    return p.fail();
+  }
+}
+
+void parse_array(Parser& p, const std::string& path, FlatMetrics& out) {
+  if (p.eat(']')) return;
+  for (int idx = 0; !p.failed; ++idx) {
+    parse_value(p, path + "[" + std::to_string(idx) + "]", out);
+    if (p.eat(',')) continue;
+    if (p.eat(']')) return;
+    return p.fail();
+  }
+}
+
+void parse_value(Parser& p, const std::string& path, FlatMetrics& out) {
+  p.skip_ws();
+  if (p.i >= p.s.size()) return p.fail();
+  const char c = p.s[p.i];
+  if (c == '{') {
+    ++p.i;
+    return parse_object(p, path, out);
+  }
+  if (c == '[') {
+    ++p.i;
+    return parse_array(p, path, out);
+  }
+  if (c == '"') {  // string leaf (schema names): skipped
+    ++p.i;
+    while (p.i < p.s.size() && p.s[p.i] != '"') {
+      if (p.s[p.i] == '\\') ++p.i;
+      ++p.i;
+    }
+    if (p.i >= p.s.size()) return p.fail();
+    ++p.i;
+    return;
+  }
+  if (std::isalpha(static_cast<unsigned char>(c))) {  // true/false/null
+    while (p.i < p.s.size() &&
+           std::isalpha(static_cast<unsigned char>(p.s[p.i])))
+      ++p.i;
+    return;
+  }
+  // number
+  const std::size_t start = p.i;
+  while (p.i < p.s.size() &&
+         (std::isdigit(static_cast<unsigned char>(p.s[p.i])) ||
+          std::strchr("+-.eE", p.s[p.i]) != nullptr))
+    ++p.i;
+  if (p.i == start) return p.fail();
+  out[path] = std::strtod(p.s.c_str() + start, nullptr);
+}
+
+bool load_metrics(const std::string& file, FlatMetrics& out) {
+  std::ifstream in(file);
+  if (!in) {
+    std::fprintf(stderr, "nezha_report: cannot open %s\n", file.c_str());
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  Parser p{text};
+  parse_value(p, "", out);
+  p.skip_ws();
+  if (p.failed || p.i != text.size()) {
+    std::fprintf(stderr, "nezha_report: %s: malformed JSON near byte %zu\n",
+                 file.c_str(), p.i);
+    return false;
+  }
+  return true;
+}
+
+// --- metric classification --------------------------------------------------
+
+enum class Direction { kHigherIsBetter, kLowerIsBetter, kInformational };
+
+bool contains_any(const std::string& s, const std::vector<const char*>& subs) {
+  for (const char* sub : subs)
+    if (s.find(sub) != std::string::npos) return true;
+  return false;
+}
+
+Direction classify(const std::string& path) {
+  // Config echoes and pinned baselines are never judged: they describe the
+  // run, they aren't results of it.
+  if (contains_any(path, {"pre_change", "burst_config", "schema",
+                          "num_vswitches", "window_", "_window"}))
+    return Direction::kInformational;
+  if (contains_any(path, {"per_sec", "_pps", "speedup", "sweeps",
+                          "throughput", "probe_delivered"}))
+    return Direction::kHigherIsBetter;
+  if (contains_any(path, {"alloc", "latency", "loss"}))
+    return Direction::kLowerIsBetter;
+  // Counts (simulated_packets, completed_connections, sent, delivered...):
+  // exact-equality properties of these are the bench binaries' own gates.
+  return Direction::kInformational;
+}
+
+struct Delta {
+  std::string path;
+  double base;
+  double fresh;
+  double rel;  // signed change relative to baseline, + = fresh larger
+  Direction dir;
+  bool regression;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.10;
+  std::vector<std::string> files;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--threshold") == 0 && a + 1 < argc) {
+      threshold = std::strtod(argv[++a], nullptr);
+    } else if (std::strncmp(argv[a], "--threshold=", 12) == 0) {
+      threshold = std::strtod(argv[a] + 12, nullptr);
+    } else if (std::strcmp(argv[a], "--help") == 0) {
+      std::printf(
+          "usage: nezha_report [--threshold FRAC] BASELINE FRESH "
+          "[BASELINE2 FRESH2 ...]\n");
+      return 0;
+    } else {
+      files.push_back(argv[a]);
+    }
+  }
+  if (files.empty() || files.size() % 2 != 0) {
+    std::fprintf(stderr,
+                 "nezha_report: need (baseline, fresh) file pairs; got %zu "
+                 "file(s)\n",
+                 files.size());
+    return 2;
+  }
+
+  int regressions = 0;
+  for (std::size_t pair = 0; pair + 1 < files.size(); pair += 2) {
+    FlatMetrics base, fresh;
+    if (!load_metrics(files[pair], base) ||
+        !load_metrics(files[pair + 1], fresh))
+      return 2;
+
+    std::printf("== %s vs %s (threshold %.0f%%)\n", files[pair].c_str(),
+                files[pair + 1].c_str(), threshold * 100.0);
+
+    std::vector<Delta> deltas;
+    for (const auto& [path, bval] : base) {
+      auto it = fresh.find(path);
+      if (it == fresh.end()) {
+        std::printf("  [SCHEMA] %-52s only in baseline\n", path.c_str());
+        continue;
+      }
+      const double fval = it->second;
+      Delta d{path, bval, fval, 0.0, classify(path), false};
+      if (bval != 0.0) {
+        d.rel = (fval - bval) / std::fabs(bval);
+      } else {
+        // Zero baseline (e.g. allocs_per_packet = 0): relative change is
+        // undefined, so judge the absolute drift against the threshold.
+        d.rel = fval;
+      }
+      if (d.dir == Direction::kHigherIsBetter)
+        d.regression = d.rel < -threshold;
+      else if (d.dir == Direction::kLowerIsBetter)
+        d.regression = d.rel > threshold;
+      deltas.push_back(d);
+    }
+    for (const auto& [path, fval] : fresh) {
+      (void)fval;
+      if (base.find(path) == base.end())
+        std::printf("  [SCHEMA] %-52s only in fresh\n", path.c_str());
+    }
+
+    for (const auto& d : deltas) {
+      const char* tag = d.regression ? "[REGRESSION]"
+                        : d.dir == Direction::kInformational
+                            ? "[INFO]"
+                            : "[OK]";
+      if (d.regression) ++regressions;
+      // Keep the report short: unchanged informational leaves are noise.
+      if (d.dir == Direction::kInformational && d.base == d.fresh) continue;
+      std::printf("  %-12s %-52s %14.4g -> %-14.4g (%+.1f%%)\n", tag,
+                  d.path.c_str(), d.base, d.fresh, d.rel * 100.0);
+    }
+  }
+
+  if (regressions > 0) {
+    std::printf("nezha_report: %d metric(s) regressed past the threshold\n",
+                regressions);
+    return 1;
+  }
+  std::printf("nezha_report: no regressions past the threshold\n");
+  return 0;
+}
