@@ -7,7 +7,7 @@
 // packets-per-wall-clock-second run on the standard testbed topology.
 //
 // Output: human-readable tables on stdout AND a machine-readable
-// BENCH_engine.json (schema v3, documented in README.md) so future PRs have
+// BENCH_engine.json (schema v4, documented in README.md) so future PRs have
 // a recorded baseline to beat (tools/nezha_report diffs a fresh run against
 // the checked-in copy). Reference implementations of the pre-overhaul
 // structures (linear ACL scan, all-33-lengths LPM probe) are kept inline
@@ -568,7 +568,8 @@ struct ClosResult {
   std::uint64_t completed_conns = 0;
 };
 
-ClosResult bench_clos(std::size_t num_vswitches) {
+ClosResult bench_clos(std::size_t num_vswitches, std::size_t shards,
+                      int threads) {
   core::TestbedConfig cfg = core::make_clos_testbed_config(num_vswitches);
   cfg.vswitch.cost = tables::CostModel::production();
   cfg.controller.auto_offload = false;
@@ -578,6 +579,11 @@ ClosResult bench_clos(std::size_t num_vswitches) {
   cfg.network.rx_burst_window = common::microseconds(kE2eNetBurstUs);
   cfg.vswitch.cpu_burst_window = common::microseconds(kE2eCpuBurstUs);
   cfg.vswitch.aging_period = common::milliseconds(kE2eAgingPeriodMs);
+  // --shards/--threads: partition the fleet onto the sharded engine and run
+  // the measured window on worker threads. Setup (offload workflows) stays
+  // single-threaded per the Testbed control-plane rule.
+  cfg.shards = shards;
+  cfg.threads = 1;
   core::Testbed bed(cfg);
 
   constexpr std::uint32_t kVpc = 11;
@@ -587,8 +593,27 @@ ClosResult bench_clos(std::size_t num_vswitches) {
     // Spread pairs across the whole fleet, client and server on different
     // racks so every flow crosses the spine layer.
     const std::size_t server_switch = p * (num_vswitches / kPairs);
-    const std::size_t client_switch =
+    std::size_t client_switch =
         server_switch + num_vswitches / (2 * kPairs);
+    if (bed.shard_count() > 1 &&
+        bed.shard_of_node(static_cast<sim::NodeId>(client_switch)) !=
+            bed.shard_of_node(static_cast<sim::NodeId>(server_switch))) {
+      // Sharded bed: CpsWorkload endpoints must share a shard. Walk forward
+      // to the first same-shard switch on a different rack (offload BE↔FE
+      // legs still cross shards — FE pools ignore shard boundaries).
+      const std::uint32_t want =
+          bed.shard_of_node(static_cast<sim::NodeId>(server_switch));
+      const auto& topo = bed.network().topology();
+      for (std::size_t off = 1; off < num_vswitches; ++off) {
+        const std::size_t cand = (server_switch + off) % num_vswitches;
+        if (bed.shard_of_node(static_cast<sim::NodeId>(cand)) != want) continue;
+        client_switch = cand;
+        if (topo.tor_of(static_cast<sim::NodeId>(cand)) !=
+            topo.tor_of(static_cast<sim::NodeId>(server_switch))) {
+          break;
+        }
+      }
+    }
     vswitch::VnicConfig server;
     server.id = static_cast<tables::VnicId>(100 + p);
     server.addr = tables::OverlayAddr{
@@ -617,7 +642,8 @@ ClosResult bench_clos(std::size_t num_vswitches) {
   bed.run_for(common::seconds(4));  // complete every offload workflow
   for (std::size_t i = 0; i < bed.size(); ++i) bed.vswitch(i).start_aging();
 
-  const std::uint64_t delivered_before = bed.network().delivered();
+  const std::uint64_t delivered_before = bed.net_totals().delivered;
+  bed.set_threads(threads);  // traffic phase only; setup ran single-threaded
   for (auto& c : clients) c->start();
   const auto t0 = std::chrono::steady_clock::now();
   bed.run_for(common::seconds(1));
@@ -626,7 +652,7 @@ ClosResult bench_clos(std::size_t num_vswitches) {
 
   ClosResult out;
   out.num_vswitches = num_vswitches;
-  out.delivered = bed.network().delivered() - delivered_before;
+  out.delivered = bed.net_totals().delivered - delivered_before;
   for (auto& c : clients) out.completed_conns += c->completed();
   out.pkts_per_wall_sec = static_cast<double>(out.delivered) / elapsed;
   return out;
@@ -635,7 +661,14 @@ ClosResult bench_clos(std::size_t num_vswitches) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const bool smoke = benchutil::has_flag(argc, argv, "--smoke");
+  // Sharded-engine knobs for the Clos macro row (README: BENCH schema v4).
+  // The e2e determinism/allocation gates always run on the classic 1-shard
+  // path — they pin the golden fingerprints, which are per shard_count.
+  const std::size_t shards = static_cast<std::size_t>(
+      std::max(1L, benchutil::int_flag(argc, argv, "--shards", 1)));
+  const int threads = static_cast<int>(
+      std::max(1L, benchutil::int_flag(argc, argv, "--threads", 1)));
 
   benchutil::banner(
       "Engine hot paths — simulator performance trajectory",
@@ -682,7 +715,7 @@ int main(int argc, char** argv) {
   const LpmResult lpm = bench_lpm(/*n_prefixes=*/20000, /*n_lookups=*/500000);
   const SessionResult sess = bench_session_table(/*n_keys=*/100000);
   const double loop_ops = bench_event_loop(/*n_events=*/500000);
-  const ClosResult clos = bench_clos(/*num_vswitches=*/1024);
+  const ClosResult clos = bench_clos(/*num_vswitches=*/1024, shards, threads);
 
   const double acl_speedup = acl.indexed_per_sec / acl.reference_per_sec;
   const double lpm_speedup = lpm.indexed_per_sec / lpm.reference_per_sec;
@@ -701,9 +734,10 @@ int main(int argc, char** argv) {
   t.add_row({"event loop", benchutil::fmt_si(loop_ops), "-", "-"});
   t.print();
 
-  std::printf("\n  Clos macro run (%zu vswitches): %llu packets, "
+  std::printf("\n  Clos macro run (%zu vswitches, %zu shard(s) x %d "
+              "thread(s)): %llu packets, "
               "%s pkts/sec wall-clock (%llu connections)\n",
-              clos.num_vswitches,
+              clos.num_vswitches, shards, threads,
               static_cast<unsigned long long>(clos.delivered),
               benchutil::fmt_si(clos.pkts_per_wall_sec).c_str(),
               static_cast<unsigned long long>(clos.completed_conns));
@@ -740,8 +774,11 @@ int main(int argc, char** argv) {
   }
   std::fprintf(json,
                "{\n"
-               "  \"schema\": \"nezha-bench-engine-v3\",\n"
-               "  \"structures\": {\n"
+               "  \"schema\": \"nezha-bench-engine-v4\",\n"
+               "  \"sharding\": {\"shards\": %zu, \"threads\": %d},\n"
+               "  \"structures\": {\n",
+               shards, threads);
+  std::fprintf(json,
                "    \"acl_lookup\": {\"ops_per_sec\": %.0f, "
                "\"reference_ops_per_sec\": %.0f, \"speedup\": %.3f},\n"
                "    \"lpm_lookup\": {\"ops_per_sec\": %.0f, "

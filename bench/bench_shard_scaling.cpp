@@ -1,0 +1,323 @@
+// Sharded-engine scaling: a 10K-vswitch Clos fleet advanced in parallel.
+//
+// The scenario is the FleetScenario heavy-hitter mix (servers strided
+// across the leaf tier, every server offloaded onto a cross-rack FE pool),
+// run once on the classic single-loop testbed as the wall-clock reference
+// and then on the sharded engine across a worker-thread sweep. Three things
+// are recorded per sweep point:
+//   * wall-clock speedup vs the unsharded reference and vs the 1-thread
+//     sharded run (the same epochs, rings and merges, minus parallelism);
+//   * determinism: every thread count must produce the same fingerprint —
+//     this is a hard exit-code gate, not a report line;
+//   * the per-shard busy-time balance, whose sum/max bounds the speedup any
+//     machine can extract from this partition (on hosts with fewer cores
+//     than shards, that bound is the honest headline — measured speedup on
+//     an oversubscribed host only measures the scheduler).
+//
+// Output: stdout tables + BENCH_shard.json (schema nezha-bench-shard-v1,
+// README.md) next to the binary's CWD, diffable with tools/nezha_report.
+//
+// `--smoke` (CI): a small fleet, threads {1, 2}; exits non-zero unless the
+// 2-thread fingerprint equals the 1-thread one, traffic actually crossed
+// shards, and the cross-shard conservation identity closed. No JSON.
+//
+// Flags: --vswitches N (10240) --shards K (8) --pairs P (64)
+//        --window-ms W (1000) --max-threads T (8)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/invariants.h"
+#include "src/core/testbed.h"
+#include "src/workload/fleet_model.h"
+
+using namespace nezha;
+
+namespace {
+
+double wall_seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct RunResult {
+  std::uint64_t fingerprint = 0;
+  core::Testbed::NetTotals totals{};
+  std::uint64_t attempted = 0;
+  std::uint64_t ctl_events = 0;  // offload+fallback+scale+failover
+  double wall_sec = 0;  // traffic window only (setup/drain excluded)
+  std::uint64_t delivered = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t exported = 0;
+  std::uint64_t imported = 0;
+  std::uint64_t pending = 0;
+  std::uint64_t late = 0;
+  std::uint64_t epochs = 0;
+  double busy_balance = 0;   // mean/max of per-shard busy time (1.0 = even)
+  double ideal_speedup = 0;  // sum/max of per-shard busy time
+  std::size_t violations = 0;
+  std::string report;
+};
+
+/// One full scenario run: deploy + offload at 1 worker (control plane),
+/// then a timed traffic window at `threads` workers, then a quiescent drain
+/// and invariant check. shards == 1 builds the engine-less reference bed.
+RunResult run_one(std::size_t vswitches, std::size_t shards, int threads,
+                  std::size_t pairs, int window_ms, std::uint64_t seed) {
+  core::TestbedConfig cfg = core::make_clos_testbed_config(vswitches);
+  cfg.controller.auto_offload = false;
+  cfg.controller.auto_scale = false;
+  cfg.shards = shards;
+  cfg.threads = 1;
+  core::Testbed bed(cfg);
+
+  workload::FleetScenarioConfig sc;
+  sc.num_pairs = pairs;
+  sc.base_attempts_per_sec = 400.0;
+  sc.seed = seed;
+  workload::FleetScenario scenario(bed, sc);
+  core::InvariantChecker checker(bed,
+                                 core::InvariantCheckerConfig{.seed = seed});
+
+  scenario.deploy();
+  scenario.offload_all();
+  bed.run_for(common::seconds(1));  // offload workflows, single-threaded
+  checker.check();
+
+  bed.set_threads(threads);
+  scenario.start_traffic();
+  const std::uint64_t delivered_before = bed.net_totals().delivered;
+  const auto t0 = std::chrono::steady_clock::now();
+  bed.run_for(common::milliseconds(window_ms));
+  const double wall = wall_seconds(t0);
+  scenario.stop_traffic();
+  bed.run_for(common::milliseconds(250));
+  checker.check();
+
+  RunResult r;
+  r.fingerprint = scenario.fingerprint();
+  r.wall_sec = wall;
+  r.delivered = bed.net_totals().delivered - delivered_before;
+  for (const auto& wl : scenario.workloads()) {
+    r.completed += wl->completed();
+    r.attempted += wl->attempted();
+  }
+  r.ctl_events = bed.controller().offload_events() +
+                 bed.controller().fallback_events() +
+                 bed.controller().scale_out_events() +
+                 bed.controller().scale_in_events() +
+                 bed.controller().failover_events() +
+                 bed.controller().fes_provisioned_total();
+  const core::Testbed::NetTotals t = bed.net_totals();
+  r.totals = t;
+  r.exported = t.exported;
+  r.imported = t.imported;
+  if (bed.engine() != nullptr) {
+    r.pending = bed.engine()->tokens_pending();
+    r.late = bed.engine()->late_tokens();
+    r.epochs = bed.engine()->epochs_run();
+    std::uint64_t sum = 0, mx = 0;
+    for (std::uint32_t s = 0; s < bed.shard_count(); ++s) {
+      const std::uint64_t b = bed.engine()->shard_busy_ns(s);
+      sum += b;
+      mx = std::max(mx, b);
+    }
+    if (mx > 0) {
+      r.busy_balance = static_cast<double>(sum) /
+                       (static_cast<double>(mx) *
+                        static_cast<double>(bed.shard_count()));
+      r.ideal_speedup = static_cast<double>(sum) / static_cast<double>(mx);
+    }
+  }
+  r.violations = checker.violations().size();
+  r.report = checker.ok() ? "" : checker.report();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = benchutil::has_flag(argc, argv, "--smoke");
+  const std::size_t vswitches = static_cast<std::size_t>(std::max(
+      64L, benchutil::int_flag(argc, argv, "--vswitches", smoke ? 128 : 10240)));
+  const std::size_t shards = static_cast<std::size_t>(
+      std::max(1L, benchutil::int_flag(argc, argv, "--shards", 8)));
+  const std::size_t pairs = static_cast<std::size_t>(std::max(
+      1L, benchutil::int_flag(argc, argv, "--pairs", smoke ? 8 : 64)));
+  const int window_ms = static_cast<int>(std::max(
+      50L, benchutil::int_flag(argc, argv, "--window-ms", smoke ? 500 : 1000)));
+  const int max_threads = static_cast<int>(
+      std::max(1L, benchutil::int_flag(argc, argv, "--max-threads", 8)));
+  constexpr std::uint64_t kSeed = 7;
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  benchutil::banner(
+      "Sharded engine scaling — parallel fleet simulation",
+      smoke ? "smoke mode: N-thread fingerprint == 1-thread + conservation"
+            : "lockstep-epoch shards turn cores into simulated-fleet "
+              "wall-clock speedup without changing a single outcome");
+  std::printf("  %zu vswitches, %zu shards, %zu pairs, %dms window, host "
+              "has %u core(s)\n",
+              vswitches, shards, pairs, window_ms, hw);
+
+  if (smoke) {
+    const RunResult t1 = run_one(vswitches, shards, 1, pairs, window_ms, kSeed);
+    const RunResult t2 = run_one(vswitches, shards, 2, pairs, window_ms, kSeed);
+    const bool deterministic = t1.fingerprint == t2.fingerprint;
+    const bool crossed = t1.exported > 0;
+    const bool conserved = t1.violations == 0 && t2.violations == 0 &&
+                           t2.exported == t2.imported + t2.pending &&
+                           t2.late == 0;
+    benchutil::verdict(deterministic,
+                       "2-thread fingerprint == 1-thread fingerprint");
+    benchutil::verdict(crossed, "offload traffic crossed shard boundaries");
+    benchutil::verdict(conserved,
+                       "cross-shard conservation + conservative lookahead");
+    if (!t1.report.empty()) std::printf("%s\n", t1.report.c_str());
+    if (!t2.report.empty()) std::printf("%s\n", t2.report.c_str());
+    return deterministic && crossed && conserved ? 0 : 1;
+  }
+
+  // Reference: the classic engine-less testbed (what every run before the
+  // sharded engine measured).
+  std::printf("\n  [unsharded reference]\n");
+  const RunResult ref = run_one(vswitches, 1, 1, pairs, window_ms, kSeed);
+  std::printf("    %.2fs wall for the %dms window, %llu packets\n",
+              ref.wall_sec, window_ms,
+              static_cast<unsigned long long>(ref.delivered));
+
+  std::vector<int> sweep;
+  for (int t = 1; t <= max_threads; t *= 2) sweep.push_back(t);
+  std::vector<RunResult> results;
+  for (const int t : sweep) {
+    std::printf("  [%d thread(s)] running...\n", t);
+    std::fflush(stdout);
+    results.push_back(run_one(vswitches, shards, t, pairs, window_ms, kSeed));
+  }
+
+  benchutil::Table tab({"threads", "wall (s)", "vs unsharded", "vs 1-thread",
+                        "pkts/wall-sec", "busy balance"});
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const RunResult& r = results[i];
+    tab.add_row({std::to_string(sweep[i]), benchutil::fmt(r.wall_sec, 2),
+                 benchutil::fmt(ref.wall_sec / r.wall_sec, 2) + "x",
+                 benchutil::fmt(results[0].wall_sec / r.wall_sec, 2) + "x",
+                 benchutil::fmt_si(static_cast<double>(r.delivered) /
+                                   r.wall_sec),
+                 benchutil::fmt_pct(r.busy_balance)});
+  }
+  tab.print();
+
+  bool deterministic = true;
+  for (const RunResult& r : results) {
+    deterministic = deterministic && r.fingerprint == results[0].fingerprint;
+  }
+  bool conserved = ref.violations == 0;
+  for (const RunResult& r : results) {
+    conserved = conserved && r.violations == 0 &&
+                r.exported == r.imported + r.pending && r.late == 0;
+  }
+  const RunResult& last = results.back();
+  const double best_speedup =
+      ref.wall_sec /
+      std::min_element(results.begin(), results.end(),
+                       [](const RunResult& a, const RunResult& b) {
+                         return a.wall_sec < b.wall_sec;
+                       })
+          ->wall_sec;
+
+  benchutil::verdict(deterministic,
+                     "every thread count produced the same fingerprint");
+  benchutil::verdict(conserved,
+                     "cross-shard conservation + 0 late tokens at every "
+                     "thread count");
+  benchutil::verdict(last.ideal_speedup >= 4.0,
+                     "shard busy-time balance supports >= 4x (sum/max of "
+                     "per-shard busy time)");
+  if (hw >= 8) {
+    benchutil::verdict(best_speedup >= 4.0,
+                       ">= 4x wall-clock vs the unsharded single thread");
+  } else {
+    std::printf("  [SKIP] wall-clock >=4x gate needs >= 8 cores; this host "
+                "has %u — measured best %.2fx, balance-bound %.2fx\n",
+                hw, best_speedup, last.ideal_speedup);
+  }
+  if (!deterministic) {
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const RunResult& r = results[i];
+      std::printf(
+          "    threads=%d fp=%016llx att=%llu comp=%llu sent=%llu del=%llu "
+          "drop=%llu infl=%llu bytes=%llu exp=%llu imp=%llu ctl=%llu\n",
+          sweep[i], static_cast<unsigned long long>(r.fingerprint),
+          static_cast<unsigned long long>(r.attempted),
+          static_cast<unsigned long long>(r.completed),
+          static_cast<unsigned long long>(r.totals.sent),
+          static_cast<unsigned long long>(r.totals.delivered),
+          static_cast<unsigned long long>(r.totals.dropped),
+          static_cast<unsigned long long>(r.totals.in_flight),
+          static_cast<unsigned long long>(r.totals.total_bytes),
+          static_cast<unsigned long long>(r.totals.exported),
+          static_cast<unsigned long long>(r.totals.imported),
+          static_cast<unsigned long long>(r.ctl_events));
+    }
+  }
+
+  std::FILE* json = std::fopen("BENCH_shard.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_shard.json\n");
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n"
+               "  \"schema\": \"nezha-bench-shard-v1\",\n"
+               "  \"config\": {\"num_vswitches\": %zu, \"shards\": %zu, "
+               "\"pairs\": %zu, \"window_ms\": %d, \"seed\": %llu, "
+               "\"hardware_concurrency\": %u},\n"
+               "  \"unsharded_reference\": {\"wall_seconds\": %.3f, "
+               "\"pkts_per_wall_sec\": %.0f, \"delivered_packets\": %llu, "
+               "\"completed_connections\": %llu},\n"
+               "  \"sweep\": [\n",
+               vswitches, shards, pairs, window_ms,
+               static_cast<unsigned long long>(kSeed), hw, ref.wall_sec,
+               static_cast<double>(ref.delivered) / ref.wall_sec,
+               static_cast<unsigned long long>(ref.delivered),
+               static_cast<unsigned long long>(ref.completed));
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const RunResult& r = results[i];
+    std::fprintf(
+        json,
+        "    {\"threads\": %d, \"wall_seconds\": %.3f, "
+        "\"speedup_vs_unsharded\": %.3f, \"speedup_vs_1thread\": %.3f, "
+        "\"pkts_per_wall_sec\": %.0f, \"busy_balance\": %.4f, "
+        "\"ideal_speedup_from_balance\": %.3f, \"exported_tokens\": %llu, "
+        "\"epochs\": %llu}%s\n",
+        sweep[i], r.wall_sec, ref.wall_sec / r.wall_sec,
+        results[0].wall_sec / r.wall_sec,
+        static_cast<double>(r.delivered) / r.wall_sec, r.busy_balance,
+        r.ideal_speedup, static_cast<unsigned long long>(r.exported),
+        static_cast<unsigned long long>(r.epochs),
+        i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(json,
+               "  ],\n"
+               "  \"determinism\": {\"fingerprints_equal_across_threads\": "
+               "%d, \"fingerprint_hex\": \"%016llx\"}\n"
+               "}\n",
+               deterministic ? 1 : 0,
+               static_cast<unsigned long long>(results[0].fingerprint));
+  std::fclose(json);
+  std::printf("\n  Wrote BENCH_shard.json\n");
+
+  // The wall-clock gate only applies on hosts with enough cores; the
+  // determinism/conservation/balance gates always do.
+  const bool gates_ok = deterministic && conserved &&
+                        last.ideal_speedup >= 4.0 &&
+                        (hw < 8 || best_speedup >= 4.0);
+  return gates_ok ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 // Output: human-readable tables on stdout AND machine-readable
 // BENCH_topo.json (schema in README.md) recorded next to the binary's CWD,
 // mirroring the BENCH_engine.json convention.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -26,12 +27,17 @@ constexpr std::uint32_t kVpc = 7;
 constexpr tables::VnicId kServer = 100;
 
 core::TestbedConfig base_config(bool clos, std::size_t num_vswitches,
-                                std::uint32_t hosts_per_leaf) {
+                                std::uint32_t hosts_per_leaf,
+                                std::size_t shards) {
   core::TestbedConfig cfg;
   if (clos) cfg = core::make_clos_testbed_config(num_vswitches, hosts_per_leaf);
   cfg.num_vswitches = num_vswitches;
   cfg.controller.auto_offload = false;
   cfg.controller.auto_scale = false;
+  // --shards only applies to the Clos runs: sharding partitions racks, and
+  // the single-rack fabric has exactly one. Setup always runs 1 worker.
+  cfg.shards = clos ? shards : 1;
+  cfg.threads = 1;
   return cfg;
 }
 
@@ -47,8 +53,13 @@ struct LatencyResult {
 /// Offloaded server under steady cross-switch UDP load; a 1%-rate probe
 /// flow measures delivery latency. Condensed from bench_fig12 (one load
 /// point, offload always on) so the fabric is the only variable.
-LatencyResult run_latency(bool clos) {
-  core::Testbed bed(base_config(clos, 16, /*hosts_per_leaf=*/4));
+LatencyResult run_latency(bool clos, std::size_t shards, int threads) {
+  core::Testbed bed(base_config(clos, 16, /*hosts_per_leaf=*/4, shards));
+  // On a sharded bed the endpoints may land in different shards, so every
+  // client-side event schedules on the client's shard loop and latency is
+  // read off the server's (deliveries fire on the server's shard thread).
+  sim::EventLoop& client_loop = bed.loop_of(12);
+  sim::EventLoop& server_loop = bed.loop_of(10);
   vswitch::VnicConfig server;
   server.id = kServer;
   server.addr = tables::OverlayAddr{kVpc, net::Ipv4Addr(10, 0, 0, 100)};
@@ -72,12 +83,13 @@ LatencyResult run_latency(bool clos) {
         ++delivered;
         if (p.inner.ft == probe_ft) {
           ++probe_delivered;
-          latency.add(common::to_micros(bed.loop().now() - p.created_at));
+          latency.add(common::to_micros(server_loop.now() - p.created_at));
         }
       });
 
   (void)bed.controller().trigger_offload(kServer, 4);
   bed.run_for(common::seconds(4));
+  bed.set_threads(threads);  // offload workflow done; traffic may thread
 
   // Warm all flows onto the fast path.
   for (int f = 0; f < kFlows; ++f) {
@@ -94,7 +106,7 @@ LatencyResult run_latency(bool clos) {
   delivered = 0;
 
   // 32 flows x 2K pps + probe at 500 pps for 400ms.
-  const common::TimePoint t0 = bed.loop().now();
+  const common::TimePoint t0 = client_loop.now();
   const common::Duration window = common::milliseconds(400);
   std::uint64_t probe_sent = 0;
   for (int f = 0; f < kFlows; ++f) {
@@ -104,16 +116,16 @@ LatencyResult run_latency(bool clos) {
                       net::IpProto::kUdp};
     for (common::TimePoint t = t0 + static_cast<common::Duration>(f * 97);
          t < t0 + window; t += common::microseconds(500)) {
-      bed.loop().schedule_at(t, [&bed, ft]() {
+      client_loop.schedule_at(t, [&bed, ft]() {
         bed.vswitch(12).from_vm(1, net::make_udp_packet(ft, 200, kVpc));
       });
     }
   }
   for (common::TimePoint t = t0; t < t0 + window;
        t += common::milliseconds(2)) {
-    bed.loop().schedule_at(t, [&bed, probe_ft]() {
+    client_loop.schedule_at(t, [&bed, &client_loop, probe_ft]() {
       net::Packet pkt = net::make_udp_packet(probe_ft, 200, kVpc);
-      pkt.created_at = bed.loop().now();
+      pkt.created_at = client_loop.now();
       bed.vswitch(12).from_vm(1, std::move(pkt));
     });
     ++probe_sent;
@@ -144,8 +156,11 @@ struct FailoverResult {
 /// Steady traffic toward an offloaded server, one FE crash, monitor-driven
 /// failover; loss rate sampled in 250ms windows. Condensed from
 /// bench_fig14 with identical detection parameters on both fabrics.
-FailoverResult run_failover(bool clos) {
-  core::TestbedConfig cfg = base_config(clos, 16, /*hosts_per_leaf=*/4);
+/// Sharding applies, but the run always uses 1 worker thread: the
+/// monitor-driven failover workflow mutates vswitch state across shards
+/// mid-run, which the Testbed threading rules reserve for 1-thread runs.
+FailoverResult run_failover(bool clos, std::size_t shards) {
+  core::TestbedConfig cfg = base_config(clos, 16, /*hosts_per_leaf=*/4, shards);
   cfg.monitor.probe_interval = common::milliseconds(500);
   cfg.monitor.probe_timeout = common::milliseconds(300);
   cfg.monitor.miss_threshold = 3;
@@ -182,11 +197,14 @@ FailoverResult run_failover(bool clos) {
     }
   };
   send_burst();
+  // The pump injects at the client vswitch, so it lives on the client's
+  // shard loop (== bed.loop() on unsharded beds).
+  sim::EventLoop& pump_loop = bed.loop_of(12);
   auto pump_id = std::make_shared<sim::EventId>();
-  *pump_id = bed.loop().schedule_periodic(
-      common::milliseconds(10), [&bed, send_burst, pump_id]() {
-        if (bed.loop().now() > common::seconds(14)) {
-          bed.loop().cancel(*pump_id);
+  *pump_id = pump_loop.schedule_periodic(
+      common::milliseconds(10), [&pump_loop, send_burst, pump_id]() {
+        if (pump_loop.now() > common::seconds(14)) {
+          pump_loop.cancel(*pump_id);
           return;
         }
         send_burst();
@@ -200,7 +218,7 @@ FailoverResult run_failover(bool clos) {
       break;
     }
   }
-  bed.network().crash(victim);
+  bed.network_of(victim).crash(victim);
 
   FailoverResult r;
   std::uint64_t prev_sent = sent, prev_delivered = delivered;
@@ -230,16 +248,24 @@ FailoverResult run_failover(bool clos) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Sharded-engine knobs (README: BENCH schema v4). Only the Clos runs can
+  // shard (racks are the partition unit); the failover scenario additionally
+  // pins its traffic phase to 1 thread — see run_failover.
+  const std::size_t shards = static_cast<std::size_t>(
+      std::max(1L, benchutil::int_flag(argc, argv, "--shards", 1)));
+  const int threads = static_cast<int>(
+      std::max(1L, benchutil::int_flag(argc, argv, "--threads", 1)));
+
   benchutil::banner(
       "Topology matrix — single rack vs 2-tier Clos",
       "cross-rack offload adds bounded fabric latency; failover behaviour "
       "is fabric-independent");
 
-  const LatencyResult lat_rack = run_latency(false);
-  const LatencyResult lat_clos = run_latency(true);
-  const FailoverResult fo_rack = run_failover(false);
-  const FailoverResult fo_clos = run_failover(true);
+  const LatencyResult lat_rack = run_latency(false, shards, threads);
+  const LatencyResult lat_clos = run_latency(true, shards, threads);
+  const FailoverResult fo_rack = run_failover(false, shards);
+  const FailoverResult fo_clos = run_failover(true, shards);
 
   benchutil::Table lt({"fabric", "avg lat (us)", "p99 lat (us)",
                        "probe delivered", "throughput (pps)"});
@@ -279,7 +305,10 @@ int main() {
 
   FILE* f = std::fopen("BENCH_topo.json", "w");
   if (f != nullptr) {
-    std::fprintf(f, "{\n  \"schema\": 1,\n");
+    std::fprintf(f, "{\n  \"schema\": 2,\n");
+    std::fprintf(f,
+                 "  \"sharding\": {\"shards\": %zu, \"threads\": %d},\n",
+                 shards, threads);
     std::fprintf(f, "  \"fig12_latency\": {\n");
     auto lat_json = [f](const char* name, const LatencyResult& r,
                         const char* tail) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 namespace nezha::benchutil {
 
@@ -79,6 +80,24 @@ bool has_flag(int argc, char** argv, const std::string& flag) {
     if (flag == argv[i]) return true;
   }
   return false;
+}
+
+long int_flag(int argc, char** argv, const std::string& flag, long def) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == flag && i + 1 < argc) {
+      char* end = nullptr;
+      const long v = std::strtol(argv[i + 1], &end, 10);
+      return (end != nullptr && *end == '\0') ? v : def;
+    }
+    if (arg.size() > flag.size() + 1 && arg.compare(0, flag.size(), flag) == 0 &&
+        arg[flag.size()] == '=') {
+      char* end = nullptr;
+      const long v = std::strtol(arg.c_str() + flag.size() + 1, &end, 10);
+      return (end != nullptr && *end == '\0') ? v : def;
+    }
+  }
+  return def;
 }
 
 }  // namespace nezha::benchutil

@@ -39,4 +39,8 @@ void verdict(bool ok, const std::string& claim);
 /// single-rack tiered topology onto the 2-tier Clos fabric.
 bool has_flag(int argc, char** argv, const std::string& flag);
 
+/// Integer-valued flag: accepts "--threads 4" and "--threads=4"; returns
+/// `def` when the flag is absent or its value does not parse.
+long int_flag(int argc, char** argv, const std::string& flag, long def);
+
 }  // namespace nezha::benchutil

@@ -5,7 +5,10 @@
 namespace nezha::common {
 namespace {
 LogLevel g_level = LogLevel::kOff;
-LogTimeSource g_time_source{};
+// Thread-local: each sharded-engine worker installs its own shard loop as
+// the time source while running (EventLoop's LogTimeScope); single-thread
+// behavior is unchanged.
+thread_local LogTimeSource g_time_source{};
 
 const char* level_name(LogLevel level) {
   switch (level) {

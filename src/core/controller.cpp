@@ -151,22 +151,28 @@ common::Status Controller::trigger_offload(tables::VnicId id,
     fe_locations.push_back(fe->location());
     vswitch::VSwitch* fe_ptr = fe;
     // Copy the rules now (controller snapshot) and install at the config
-    // arrival time.
-    loop_.schedule_at(at, [fe_ptr, cfg = rec.config, rules, stateful =
-                           rec.stateful_decap, be = rec.home->location()]() {
+    // arrival time — on the FE's own loop, so the install is serialized
+    // with that vSwitch's packet processing on a sharded engine.
+    fe_ptr->loop().schedule_at(at, [fe_ptr, cfg = rec.config, rules, stateful =
+                                    rec.stateful_decap,
+                                    be = rec.home->location()]() {
       (void)fe_ptr->install_frontend(cfg, rules, be, stateful);
     });
     rec.fe_nodes.push_back(fe->id());
   }
   fes_provisioned_ += fes.size();
 
-  // (2) BE configuration lands after the FEs are live.
+  // (2) BE configuration lands after the FEs are live. The vSwitch
+  // mutation goes on the home's loop; the controller's own record flips on
+  // its loop at the same instant (the two touch disjoint state).
   const common::TimePoint be_ready = fe_ready + sample_config_latency();
   vswitch::VSwitch* home = rec.home;
-  loop_.schedule_at(be_ready, [this, home, id, fe_locations]() {
-    const common::TimePoint dual_until =
-        loop_.now() + config_.learning_interval + config_.rtt_allowance;
+  const common::TimePoint dual_until =
+      be_ready + config_.learning_interval + config_.rtt_allowance;
+  home->loop().schedule_at(be_ready, [home, id, fe_locations, dual_until]() {
     (void)home->begin_offload(id, fe_locations, dual_until);
+  });
+  loop_.schedule_at(be_ready, [this, id]() {
     auto rit = vnics_.find(id);
     if (rit != vnics_.end()) rit->second.offloaded = true;
   });
@@ -182,9 +188,15 @@ common::Status Controller::trigger_offload(tables::VnicId id,
   offload_completion_.add(common::to_millis(complete - t0));
 
   // Final stage: drop the retained local tables once in-flight stale
-  // packets have drained (learning interval + RTT, §4.2.1).
-  loop_.schedule_at(complete + config_.rtt_allowance, [this, home, id]() {
-    home->finalize_offload(id);
+  // packets have drained (learning interval + RTT, §4.2.1). This tail
+  // outlives any reasonable control window, so it routinely fires while
+  // the engine is multi-threaded — the table drop MUST run on the home's
+  // loop (freeing rule tables under a concurrent lookup was the one data
+  // race TSan found in the whole sharded engine).
+  const common::TimePoint drop_at = complete + config_.rtt_allowance;
+  home->loop().schedule_at(drop_at,
+                           [home, id]() { home->finalize_offload(id); });
+  loop_.schedule_at(drop_at, [this, home, id]() {
     auto rit = vnics_.find(id);
     if (rit != vnics_.end()) rit->second.transition_pending = false;
     record_ctrl(telemetry::EventKind::kCtrlOffloadDone, home->id(), id,
@@ -217,11 +229,12 @@ common::Status Controller::trigger_fallback(tables::VnicId id) {
   record_ctrl(telemetry::EventKind::kCtrlFallbackBegin, home->id(), id);
 
   // Dual-running: restore local tables, then point the gateway back at the
-  // BE; FEs keep serving stale senders until learning completes.
+  // BE; FEs keep serving stale senders until learning completes. The
+  // local-table restore mutates the home vSwitch → home's loop.
   const common::TimePoint local_ready = t0 + sample_config_latency();
-  loop_.schedule_at(local_ready, [this, home, id]() {
-    const common::TimePoint dual_until =
-        loop_.now() + config_.learning_interval + config_.rtt_allowance;
+  const common::TimePoint dual_until =
+      local_ready + config_.learning_interval + config_.rtt_allowance;
+  home->loop().schedule_at(local_ready, [home, id, dual_until]() {
     (void)home->begin_fallback(id, dual_until);
   });
   const common::TimePoint gw_done = local_ready + sample_config_latency();
@@ -232,17 +245,21 @@ common::Status Controller::trigger_fallback(tables::VnicId id) {
     publish_placement(rit->second);
   });
 
+  // Drain tail: like offload finalize, this fires long after the control
+  // window closes, so every vSwitch mutation is scheduled on its owner's
+  // loop (fleet membership is fixed after setup, so resolving the FE
+  // pointers now is equivalent to resolving them at fire time).
   const common::TimePoint complete =
       gw_done + config_.learning_interval + config_.rtt_allowance;
-  const std::vector<sim::NodeId> old_fes = rec.fe_nodes;
-  loop_.schedule_at(complete, [this, home, id, old_fes]() {
-    home->finalize_fallback(id);
-    for (sim::NodeId n : old_fes) {
-      auto fit2 = fleet_index_.find(n);
-      if (fit2 != fleet_index_.end()) {
-        fleet_[fit2->second].vs->remove_frontend(id);
-      }
-    }
+  home->loop().schedule_at(complete,
+                           [home, id]() { home->finalize_fallback(id); });
+  for (sim::NodeId n : rec.fe_nodes) {
+    auto fit2 = fleet_index_.find(n);
+    if (fit2 == fleet_index_.end()) continue;
+    vswitch::VSwitch* fe = fleet_[fit2->second].vs;
+    fe->loop().schedule_at(complete, [fe, id]() { fe->remove_frontend(id); });
+  }
+  loop_.schedule_at(complete, [this, home, id]() {
     auto rit = vnics_.find(id);
     if (rit != vnics_.end()) {
       rit->second.fe_nodes.clear();
@@ -289,9 +306,9 @@ common::Status Controller::scale_out(
   for (vswitch::VSwitch* fe : extra) {
     const common::TimePoint at = t0 + sample_config_latency();
     fe_ready = std::max(fe_ready, at);
-    loop_.schedule_at(at, [fe, cfg = rec.config, rules = *source,
-                           stateful = rec.stateful_decap,
-                           be = rec.home->location()]() {
+    fe->loop().schedule_at(at, [fe, cfg = rec.config, rules = *source,
+                                stateful = rec.stateful_decap,
+                                be = rec.home->location()]() {
       (void)fe->install_frontend(cfg, rules, be, stateful);
     });
     rec.fe_nodes.push_back(fe->id());
@@ -352,12 +369,14 @@ void Controller::scale_in_vswitch(sim::NodeId node) {
     });
     const common::TimePoint remove_at =
         apply_at + config_.learning_interval + config_.rtt_allowance;
-    loop_.schedule_at(remove_at, [this, node, vnic_id]() {
-      auto fit = fleet_index_.find(node);
-      if (fit != fleet_index_.end()) {
-        fleet_[fit->second].vs->remove_frontend(vnic_id);
-      }
-    });
+    // Long drain tail → the table drop runs on the FE's own loop.
+    auto fe_it = fleet_index_.find(node);
+    if (fe_it != fleet_index_.end()) {
+      vswitch::VSwitch* fe = fleet_[fe_it->second].vs;
+      fe->loop().schedule_at(remove_at, [fe, vnic_id]() {
+        fe->remove_frontend(vnic_id);
+      });
+    }
 
     // Scale-in may trigger scale-out elsewhere if the pool is now too small;
     // the vSwitch that just prioritized local traffic is not re-selected.
@@ -430,12 +449,12 @@ void Controller::handle_link_failure(tables::VnicId id, sim::NodeId fe_node) {
   // unreachable) host; the controller retires it like a scale-in.
   const common::TimePoint remove_at =
       loop_.now() + config_.learning_interval + config_.rtt_allowance;
-  loop_.schedule_at(remove_at, [this, fe_node, id]() {
-    auto fit = fleet_index_.find(fe_node);
-    if (fit != fleet_index_.end()) {
-      fleet_[fit->second].vs->remove_frontend(id);
-    }
-  });
+  auto fe_it = fleet_index_.find(fe_node);
+  if (fe_it != fleet_index_.end()) {
+    vswitch::VSwitch* fe = fleet_[fe_it->second].vs;
+    fe->loop().schedule_at(remove_at,
+                           [fe, id]() { fe->remove_frontend(id); });
+  }
   if (rec.fe_nodes.size() < config_.min_fes) {
     (void)scale_out(id, config_.min_fes - rec.fe_nodes.size(), {fe_node});
   }

@@ -1,5 +1,9 @@
 #include "src/core/testbed.h"
 
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
 namespace nezha::core {
 
 TestbedConfig make_clos_testbed_config(std::size_t num_vswitches,
@@ -20,23 +24,63 @@ TestbedConfig make_clos_testbed_config(std::size_t num_vswitches,
   return config;
 }
 
-Testbed::Testbed(TestbedConfig config) {
-  network_ = std::make_unique<sim::Network>(
-      loop_, sim::Topology(config.topology), config.network);
+Testbed::Testbed(TestbedConfig config) : topology_(config.topology) {
+  // The monitor occupies node id num_vswitches + 1; shard the whole id
+  // range so every node (including it) has a home shard.
+  shard_map_ = sim::ShardMap::make(
+      topology_.rack_count(config.num_vswitches + 2),
+      static_cast<std::uint32_t>(config.shards));
+  num_shards_ = shard_map_.shards;
+  threads_ = config.threads < 1 ? 1 : config.threads;
+
+  // Shard 0 reuses loop_/network_: a shards=1 testbed is object-for-object
+  // the classic single-loop one (bit-identical runs, same code path).
+  network_ = std::make_unique<sim::Network>(loop_, topology_, config.network);
+  for (std::uint32_t s = 1; s < num_shards_; ++s) {
+    extra_loops_.push_back(std::make_unique<sim::EventLoop>());
+    extra_networks_.push_back(std::make_unique<sim::Network>(
+        *extra_loops_.back(), topology_, config.network));
+  }
+  if (num_shards_ > 1) {
+    std::vector<sim::ShardedEngine::Shard> shards;
+    for (std::uint32_t s = 0; s < num_shards_; ++s) {
+      shards.push_back(
+          sim::ShardedEngine::Shard{&loop_of_shard(s), &network_of_shard(s)});
+    }
+    sim::ShardedEngineConfig ecfg;
+    ecfg.epoch = topology_.min_cross_rack_latency();
+    ecfg.ring_capacity = config.shard_ring_capacity;
+    engine_ = std::make_unique<sim::ShardedEngine>(std::move(shards), ecfg);
+    for (std::uint32_t s = 0; s < num_shards_; ++s) {
+      network_of_shard(s).set_shard_router(engine_.get(), s);
+    }
+  }
+
   for (std::size_t i = 0; i < config.num_vswitches; ++i) {
+    const std::uint32_t s = shard_of_node(static_cast<sim::NodeId>(i));
     auto vs = std::make_unique<vswitch::VSwitch>(
         static_cast<sim::NodeId>(i), "vswitch-" + std::to_string(i),
-        underlay_ip(i), loop_, *network_, gateway_, config.vswitch);
-    network_->attach(*vs);
+        underlay_ip(i), loop_of_shard(s), network_of_shard(s), gateway_,
+        config.vswitch);
+    network_of_shard(s).attach(*vs);
+    if (engine_ != nullptr) engine_->map_ip(underlay_ip(i), s, vs->id());
     switches_.push_back(std::move(vs));
   }
+  // Control plane lives on shard 0 (see header: cross-shard control
+  // workflows run at threads == 1 or while the bed is quiescent).
   controller_ = std::make_unique<Controller>(loop_, *network_, gateway_,
                                              config.controller);
   for (auto& vs : switches_) controller_->add_vswitch(vs.get());
+  const sim::NodeId monitor_id =
+      static_cast<sim::NodeId>(config.num_vswitches + 1);
+  const std::uint32_t monitor_shard = shard_of_node(monitor_id);
   monitor_ = std::make_unique<HealthMonitor>(
-      static_cast<sim::NodeId>(config.num_vswitches + 1),
-      net::Ipv4Addr(10, 255, 0, 1), loop_, *network_, config.monitor);
-  network_->attach(*monitor_);
+      monitor_id, net::Ipv4Addr(10, 255, 0, 1), loop_of_shard(monitor_shard),
+      network_of_shard(monitor_shard), config.monitor);
+  network_of_shard(monitor_shard).attach(*monitor_);
+  if (engine_ != nullptr) {
+    engine_->map_ip(net::Ipv4Addr(10, 255, 0, 1), monitor_shard, monitor_id);
+  }
   monitor_->set_crash_callback(
       [this](sim::NodeId node) { controller_->handle_fe_crash(node); });
   link_prober_ = std::make_unique<LinkProber>(loop_, *network_);
@@ -49,25 +93,43 @@ Testbed::Testbed(TestbedConfig config) {
 
 void Testbed::wire_telemetry(const telemetry::TelemetryConfig& cfg) {
   // Node-id space: vSwitches occupy [0, N), the monitor N+1; anything else
-  // lands in the hub's spillover ring.
+  // lands in the hub's spillover ring. Sharded beds get one hub per shard
+  // (disjoint packet-id streams, own sampler on the shard's loop) so the
+  // datapath never records across threads.
   telemetry_ = std::make_unique<telemetry::Hub>(switches_.size() + 2, cfg);
-  telemetry::Hub* hub = telemetry_.get();
-  network_->set_telemetry(hub);
-  for (auto& vs : switches_) vs->set_telemetry(hub);
-  controller_->set_telemetry(hub);
-  monitor_->set_telemetry(hub);
+  for (std::uint32_t s = 1; s < num_shards_; ++s) {
+    extra_hubs_.push_back(
+        std::make_unique<telemetry::Hub>(switches_.size() + 2, cfg));
+  }
+  if (num_shards_ > 1) {
+    for (std::uint32_t s = 0; s < num_shards_; ++s) {
+      telemetry_of_shard(s)->set_packet_id_stream(s);
+    }
+  }
+  controller_->set_telemetry(telemetry_.get());
+  monitor_->set_telemetry(telemetry_of_shard(
+      shard_of_node(static_cast<sim::NodeId>(switches_.size() + 1))));
+  for (std::uint32_t s = 0; s < num_shards_; ++s) {
+    wire_shard_telemetry(s, telemetry_of_shard(s));
+  }
+}
+
+void Testbed::wire_shard_telemetry(std::uint32_t shard, telemetry::Hub* hub) {
+  sim::Network* net = &network_of_shard(shard);
+  sim::EventLoop* loop = &loop_of_shard(shard);
+  net->set_telemetry(hub);
 
   telemetry::MetricsRegistry& m = hub->metrics();
-  sim::Network* net = network_.get();
   m.gauge("net.delivered",
           [net] { return static_cast<double>(net->delivered()); });
   m.gauge("net.dropped",
           [net] { return static_cast<double>(net->dropped_total()); });
   m.gauge("net.in_flight",
           [net] { return static_cast<double>(net->in_flight()); });
-  sim::EventLoop* loop = &loop_;
   for (std::size_t i = 0; i < switches_.size(); ++i) {
+    if (shard_of_node(static_cast<sim::NodeId>(i)) != shard) continue;
     vswitch::VSwitch* vs = switches_[i].get();
+    vs->set_telemetry(hub);
     const std::string p = "vs" + std::to_string(i);
     // The sampler's checkpoint lives in telemetry (shared_ptr in the
     // closure), so reading the gauge never mutates simulation state.
@@ -88,7 +150,35 @@ void Testbed::wire_telemetry(const telemetry::TelemetryConfig& cfg) {
       return static_cast<double>(net->fabric_queued_bytes(i));
     });
   }
-  telemetry_->start_sampler(loop_);
+  hub->start_sampler(*loop);
+}
+
+Testbed::NetTotals Testbed::net_totals() const {
+  NetTotals t;
+  const sim::Network* nets[1] = {network_.get()};
+  auto add = [&t](const sim::Network& n) {
+    t.sent += n.sent();
+    t.delivered += n.delivered();
+    t.dropped += n.dropped_total();
+    t.in_flight += n.in_flight();
+    t.exported += n.exported();
+    t.imported += n.imported();
+    t.total_bytes += n.total_bytes_sent();
+    const auto& sb = n.spine_bytes();
+    if (t.spine_bytes.size() < sb.size()) t.spine_bytes.resize(sb.size());
+    for (std::size_t i = 0; i < sb.size(); ++i) t.spine_bytes[i] += sb[i];
+  };
+  add(*nets[0]);
+  for (const auto& n : extra_networks_) add(*n);
+  return t;
+}
+
+void Testbed::dump_merged_trace(std::ostream& os) const {
+  if (telemetry_ == nullptr) return;
+  std::vector<const telemetry::FlightRecorder*> recs;
+  recs.push_back(&telemetry_->recorder());
+  for (const auto& h : extra_hubs_) recs.push_back(&h->recorder());
+  telemetry::dump_merged(os, recs);
 }
 
 void Testbed::watch_fe_links(tables::VnicId id) {

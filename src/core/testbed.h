@@ -3,9 +3,31 @@
 // ready-to-drive cluster — the programmatic equivalent of the paper's
 // small-scale testbed (§6.1). Used by integration tests, benches and the
 // examples.
+//
+// Sharded mode (DESIGN.md §13): with config.shards > 1 the fleet is
+// partitioned per rack into shards, each owning its own EventLoop and
+// Network; run_for() drives them in lockstep epochs through a
+// sim::ShardedEngine, optionally on config.threads worker threads.
+// shards = 1 (the default) is exactly the classic single-loop testbed —
+// same objects, same code path, bit-identical behavior.
+//
+// Thread-affinity rules for sharded runs (enforced where cheap, documented
+// here otherwise):
+//  * Control-plane workflows (controller offload/scale/failover pushes,
+//    monitor crash callbacks) mutate vSwitches across shards directly, so
+//    they must run with threads == 1 (still sharded, still deterministic)
+//    or while the bed is quiescent. Benches do setup at threads = 1 and
+//    raise set_threads() for the steady-state measurement window.
+//  * Workload callbacks (CpsWorkload) execute on the shard threads of
+//    their endpoint vSwitches; CpsWorkload therefore requires both of its
+//    endpoints in the same shard (checked in its constructor).
+//  * Pure packet traffic — including BE→FE offload detours — may cross
+//    shards freely at any thread count; that is what the token rings are
+//    for.
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -14,6 +36,7 @@
 #include "src/core/monitor.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/network.h"
+#include "src/sim/shard.h"
 #include "src/sim/topology.h"
 #include "src/tables/vnic_server_map.h"
 #include "src/telemetry/hub.h"
@@ -35,7 +58,18 @@ struct TestbedConfig {
   /// depth; per-fabric-link queue depth; network delivery counters) and
   /// starts the periodic sampler. NOTE: a running sampler re-arms forever,
   /// so drive a telemetry-enabled testbed with run_for(), not loop().run().
+  /// Sharded beds get one hub per shard (disjoint packet-id streams);
+  /// dump_merged_trace() produces the deterministic combined dump.
   telemetry::TelemetryConfig telemetry;
+  /// Sharded engine: number of rack-aligned shard domains (clamped to the
+  /// rack count). 1 = classic single-loop testbed, bit-identical to the
+  /// pre-shard code path.
+  std::size_t shards = 1;
+  /// Worker threads run_for() uses to drive the shards (clamped to
+  /// [1, shards]). The simulation result is identical for every value.
+  int threads = 1;
+  /// Capacity of each (src, dst) cross-shard token ring.
+  std::size_t shard_ring_capacity = 1024;
 };
 
 /// TestbedConfig preset for the fleet-scale 2-tier Clos testbed: enough
@@ -58,8 +92,55 @@ class Testbed {
   Controller& controller() { return *controller_; }
   HealthMonitor& monitor() { return *monitor_; }
   LinkProber& link_prober() { return *link_prober_; }
-  /// Null when config.telemetry.enabled was false.
+  /// Null when config.telemetry.enabled was false; shard 0's hub otherwise.
   telemetry::Hub* telemetry() { return telemetry_.get(); }
+
+  // --- sharding ---
+  std::size_t shard_count() const { return num_shards_; }
+  /// Null unless shard_count() > 1.
+  sim::ShardedEngine* engine() { return engine_.get(); }
+  std::uint32_t shard_of_node(sim::NodeId id) const {
+    return shard_map_.shard_of_rack(topology_.tor_of(id));
+  }
+  sim::EventLoop& loop_of_shard(std::uint32_t s) {
+    return s == 0 ? loop_ : *extra_loops_[s - 1];
+  }
+  sim::Network& network_of_shard(std::uint32_t s) {
+    return s == 0 ? *network_ : *extra_networks_[s - 1];
+  }
+  /// The loop/network that own vSwitch i (== loop()/network() at shards=1).
+  sim::EventLoop& loop_of(std::size_t i) {
+    return loop_of_shard(shard_of_node(static_cast<sim::NodeId>(i)));
+  }
+  sim::Network& network_of(std::size_t i) {
+    return network_of_shard(shard_of_node(static_cast<sim::NodeId>(i)));
+  }
+  telemetry::Hub* telemetry_of_shard(std::uint32_t s) {
+    if (telemetry_ == nullptr) return nullptr;
+    return s == 0 ? telemetry_.get() : extra_hubs_[s - 1].get();
+  }
+  /// Worker threads used by run_for (sharded beds only; result-invariant).
+  int threads() const { return threads_; }
+  void set_threads(int threads) { threads_ = threads < 1 ? 1 : threads; }
+
+  /// Fleet-wide network counter sums (single network's counters at
+  /// shards = 1). Quiescent reads only on threaded runs.
+  struct NetTotals {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t in_flight = 0;
+    std::uint64_t exported = 0;
+    std::uint64_t imported = 0;
+    std::uint64_t total_bytes = 0;
+    std::vector<std::uint64_t> spine_bytes;
+  };
+  NetTotals net_totals() const;
+
+  /// Deterministic combined flight-recorder dump across all shard hubs
+  /// (== telemetry()->dump_trace() ordering at shards = 1). No-op without
+  /// telemetry.
+  void dump_merged_trace(std::ostream& os) const;
 
   /// Starts §C.1 mutual probing on every (BE, FE) path of an offloaded
   /// vNIC; link failures route to Controller::handle_link_failure.
@@ -82,19 +163,36 @@ class Testbed {
   /// Convenience: watch every vSwitch that currently hosts FEs.
   void watch_fe_hosts();
 
-  void run_for(common::Duration d) { loop_.run_until(loop_.now() + d); }
+  void run_for(common::Duration d) {
+    if (engine_ != nullptr) {
+      engine_->run_until(loop_.now() + d, threads_);
+    } else {
+      loop_.run_until(loop_.now() + d);
+    }
+  }
 
  private:
   void wire_telemetry(const telemetry::TelemetryConfig& cfg);
+  void wire_shard_telemetry(std::uint32_t shard, telemetry::Hub* hub);
 
   sim::EventLoop loop_;
   tables::VnicServerMap gateway_;
+  sim::Topology topology_;
+  sim::ShardMap shard_map_;
+  std::size_t num_shards_ = 1;
+  int threads_ = 1;
   std::unique_ptr<sim::Network> network_;
+  // Shards 1..K-1 (shard 0 reuses loop_/network_ so the single-shard
+  // testbed is object-for-object the pre-shard one).
+  std::vector<std::unique_ptr<sim::EventLoop>> extra_loops_;
+  std::vector<std::unique_ptr<sim::Network>> extra_networks_;
+  std::unique_ptr<sim::ShardedEngine> engine_;
   std::vector<std::unique_ptr<vswitch::VSwitch>> switches_;
   std::unique_ptr<Controller> controller_;
   std::unique_ptr<HealthMonitor> monitor_;
   std::unique_ptr<LinkProber> link_prober_;
   std::unique_ptr<telemetry::Hub> telemetry_;
+  std::vector<std::unique_ptr<telemetry::Hub>> extra_hubs_;
 };
 
 }  // namespace nezha::core

@@ -129,8 +129,11 @@ bool Network::finish_hop(std::uint32_t slot, net::Packet* pkt_out,
   free_slots_.push_back(slot);
   --in_flight_;
 
+  const bool imported = rec.imported != 0;
   // Drain the queue accounting as the bytes leave the port / fabric links.
-  if (from < ports_.size() && ports_[from].queued_bytes >= bytes) {
+  // Imported packets' sender ports belong to another shard — the source
+  // shard drained them at the handoff time.
+  if (!imported && from < ports_.size() && ports_[from].queued_bytes >= bytes) {
     ports_[from].queued_bytes -= bytes;
   }
   if (up >= 0 && fabric_links_[up].queued_bytes >= bytes) {
@@ -300,6 +303,13 @@ void Network::send(NodeId from, net::Ipv4Addr to_ip, net::Packet pkt) {
   }
   Node* dst = find_by_ip(to_ip);
   if (dst == nullptr) {
+    if (router_ != nullptr) {
+      const ShardRouter::Remote* rem = router_->lookup_remote(to_ip);
+      if (rem != nullptr && rem->shard != shard_id_) {
+        send_remote(from, *rem, std::move(pkt));
+        return;
+      }
+    }
     ++dropped_no_route_;
     record_drop(pkt, from, to_ip.value(),
                 static_cast<std::uint8_t>(telemetry::DropReason::kNoRoute),
@@ -316,7 +326,10 @@ void Network::send(NodeId from, net::Ipv4Addr to_ip, net::Packet pkt) {
   const std::size_t bytes = pkt.wire_size();
 
   // Sender-port serialization: the port transmits packets back to back at
-  // link_bps. busy_until tracks when the port frees up.
+  // link_bps. busy_until tracks when the port frees up. Off-shard control
+  // senders (e.g. the link prober speaking for a remote BE) may carry ids
+  // beyond the locally attached range; grow the port table for them.
+  if (from >= ports_.size()) ports_.resize(from + 1);
   Port& port = ports_[from];
   const common::TimePoint now = loop_.now();
   if (port.busy_until < now) {
@@ -369,6 +382,165 @@ void Network::send(NodeId from, net::Ipv4Addr to_ip, net::Packet pkt) {
   rec.up_link = -1;
   rec.down_link = -1;
   rec.kind = HopKind::kDeliver;
+  rec.imported = 0;
+  schedule_delivery(arrival, slot);
+}
+
+void Network::send_remote(NodeId from, const ShardRouter::Remote& rem,
+                          net::Packet pkt) {
+  const NodeId to = rem.node;
+  if (partitioned(from, to)) {
+    ++dropped_partitioned_;
+    record_drop(pkt, from, to,
+                static_cast<std::uint8_t>(telemetry::DropReason::kPartitioned),
+                static_cast<std::uint32_t>(pkt.wire_size()));
+    return;
+  }
+  const std::size_t bytes = pkt.wire_size();
+  if (from >= ports_.size()) ports_.resize(from + 1);
+  Port& port = ports_[from];
+  const common::TimePoint now = loop_.now();
+  if (port.busy_until < now) {
+    port.busy_until = now;
+    port.queued_bytes = 0;
+  }
+  if (port.queued_bytes + bytes > config_.egress_queue_bytes) {
+    ++dropped_queue_full_;
+    record_drop(pkt, from, to,
+                static_cast<std::uint8_t>(telemetry::DropReason::kQueueFull),
+                static_cast<std::uint32_t>(bytes));
+    return;
+  }
+  const auto serialization = static_cast<common::Duration>(
+      static_cast<double>(bytes) * 8.0 / config_.link_bps *
+      static_cast<double>(common::kSecond));
+  port.busy_until += serialization;
+  port.queued_bytes += bytes;
+  const common::TimePoint tx_done = port.busy_until;
+  total_bytes_ += bytes;
+
+  if (telemetry_ != nullptr) {
+    telemetry::TraceEvent e;
+    e.at = loop_.now();
+    e.packet_id = pkt.id;
+    e.flow = trace_flow(pkt);
+    e.a = to;
+    e.b = static_cast<std::uint32_t>(bytes);
+    e.node = from;
+    e.kind = telemetry::EventKind::kPktEnqueue;
+    telemetry_->record(e);
+  }
+
+  ShardToken tok;
+  tok.from = from;
+  tok.to = to;
+  tok.bytes = static_cast<std::uint32_t>(bytes);
+  if (topology_.is_clos() && !topology_.same_leaf(from, to)) {
+    // Cross-leaf Clos: this shard owns the source leaf's uplinks (shards
+    // are rack-aligned, so no other shard touches them). Model the uplink
+    // leg locally; hand off at the spine.
+    const ClosConfig& clos = topology_.config().clos;
+    const std::uint64_t entropy =
+        net::flow_hash(pkt.inner.ft.canonical(), config_.ecmp_seed);
+    const std::uint32_t spine = topology_.ecmp_spine(from, to, entropy);
+    const std::uint32_t up_idx =
+        fabric_index(false, topology_.leaf_of(from), spine);
+    if (up_idx >= fabric_links_.size()) fabric_links_.resize(up_idx + 1);
+    const auto fabric_ser = static_cast<common::Duration>(
+        static_cast<double>(bytes) * 8.0 / fabric_link_bps_ *
+        static_cast<double>(common::kSecond));
+    const common::TimePoint at_leaf = tx_done + clos.host_leaf_latency;
+    Port& up = fabric_links_[up_idx];
+    if (up.busy_until < at_leaf) {
+      up.busy_until = at_leaf;
+      up.queued_bytes = 0;
+    }
+    if (up.queued_bytes + bytes > config_.fabric_queue_bytes) {
+      // Tail-dropped on our own uplink: stays shard-local (mirrors
+      // send_clos — an in-flight record carried to the drop time).
+      ++in_flight_;
+      const std::uint32_t slot = alloc_slot();
+      InFlight& rec = slab_[slot];
+      rec.pkt = std::move(pkt);
+      rec.from = from;
+      rec.to = to;
+      rec.bytes = static_cast<std::uint32_t>(bytes);
+      rec.up_link = -1;
+      rec.down_link = -1;
+      rec.kind = HopKind::kFabricDrop;
+      rec.imported = 0;
+      schedule_delivery(at_leaf, slot);
+      return;
+    }
+    up.busy_until += fabric_ser;
+    up.queued_bytes += bytes;
+    const common::TimePoint at_spine = up.busy_until + clos.leaf_spine_latency;
+    // The bytes leave this shard's domain at the spine; the destination
+    // shard cannot reach back to drain our queues, so drain the sender
+    // port and uplink accounting here.
+    loop_.schedule_raw_at(at_spine, &Network::drain_port_thunk, this,
+                          pack_drain(bytes, from));
+    loop_.schedule_raw_at(at_spine, &Network::drain_fabric_thunk, this,
+                          pack_drain(bytes, up_idx));
+    tok.pkt = std::move(pkt);
+    tok.at = at_spine;
+    tok.spine = spine;
+    tok.kind = TokenKind::kAtSpine;
+  } else {
+    const common::TimePoint arrival = tx_done + topology_.latency(from, to);
+    loop_.schedule_raw_at(arrival, &Network::drain_port_thunk, this,
+                          pack_drain(bytes, from));
+    tok.pkt = std::move(pkt);
+    tok.at = arrival;
+    tok.kind = TokenKind::kArrival;
+  }
+  ++exported_;
+  router_->export_token(shard_id_, rem.shard, std::move(tok));
+}
+
+void Network::inject_token(ShardToken tok) {
+  ++imported_;
+  ++in_flight_;
+  const std::uint32_t slot = alloc_slot();
+  InFlight& rec = slab_[slot];
+  rec.pkt = std::move(tok.pkt);
+  rec.from = tok.from;
+  rec.to = tok.to;
+  rec.bytes = tok.bytes;
+  rec.up_link = -1;
+  rec.down_link = -1;
+  rec.imported = 1;
+  if (tok.kind == TokenKind::kArrival) {
+    rec.kind = HopKind::kDeliver;
+    schedule_delivery(tok.at, slot);
+    return;
+  }
+  // kAtSpine: finish the Clos path on the spine→leaf downlink, which this
+  // shard owns (the destination leaf is one of its racks).
+  const ClosConfig& clos = topology_.config().clos;
+  const std::uint32_t down_idx =
+      fabric_index(true, topology_.leaf_of(tok.to), tok.spine);
+  if (down_idx >= fabric_links_.size()) fabric_links_.resize(down_idx + 1);
+  const auto fabric_ser = static_cast<common::Duration>(
+      static_cast<double>(tok.bytes) * 8.0 / fabric_link_bps_ *
+      static_cast<double>(common::kSecond));
+  Port& down = fabric_links_[down_idx];
+  if (down.busy_until < tok.at) {
+    down.busy_until = tok.at;
+    down.queued_bytes = 0;
+  }
+  if (down.queued_bytes + tok.bytes > config_.fabric_queue_bytes) {
+    rec.kind = HopKind::kFabricDrop;
+    schedule_delivery(tok.at, slot);
+    return;
+  }
+  down.busy_until += fabric_ser;
+  down.queued_bytes += tok.bytes;
+  rec.down_link = static_cast<std::int32_t>(down_idx);
+  spine_bytes_[tok.spine] += tok.bytes;
+  rec.kind = HopKind::kDeliver;
+  const common::TimePoint arrival =
+      down.busy_until + clos.leaf_spine_latency + clos.host_leaf_latency;
   schedule_delivery(arrival, slot);
 }
 
@@ -403,6 +575,7 @@ void Network::send_clos(NodeId from, NodeId to, std::size_t bytes,
   rec.bytes = static_cast<std::uint32_t>(bytes);
   rec.up_link = -1;
   rec.down_link = -1;
+  rec.imported = 0;
 
   // Leaf→spine uplink: queue + serialize at the contended fabric rate.
   const common::TimePoint at_leaf = tx_done + clos.host_leaf_latency;

@@ -27,6 +27,7 @@
 #include "src/common/time.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/node.h"
+#include "src/sim/shard.h"
 #include "src/sim/topology.h"
 
 namespace nezha::telemetry {
@@ -87,6 +88,23 @@ class Network {
   /// crashed, or a queue overflows.
   void send(NodeId from, net::Ipv4Addr to_ip, net::Packet pkt);
 
+  /// Sharded-engine hookup (DESIGN.md §13). With a router set, a send()
+  /// whose destination IP is not attached locally is resolved fleet-wide:
+  /// the source shard models sender-port serialization (and, on Clos, the
+  /// leaf→spine uplink it owns), then exports a ShardToken to the owning
+  /// shard instead of scheduling a local delivery.
+  void set_shard_router(ShardRouter* router, std::uint32_t shard_id) {
+    router_ = router;
+    shard_id_ = shard_id;
+  }
+  std::uint32_t shard_id() const { return shard_id_; }
+
+  /// Injects a token exported by another shard (engine-only; called at
+  /// epoch boundaries with every worker quiescent). Completes the fabric
+  /// path: schedules delivery at tok.at (kArrival) or queues the
+  /// spine→leaf downlink first (kAtSpine).
+  void inject_token(ShardToken tok);
+
   /// Fault injection: a crashed node neither sends nor receives.
   void crash(NodeId id);
   void heal(NodeId id);
@@ -105,9 +123,16 @@ class Network {
 
   // --- observability ---
   /// Total send() attempts; the conservation identity
-  ///   sent() == delivered() + dropped_total() + in_flight()
-  /// holds after every event (checked by core::InvariantChecker).
+  ///   sent() + imported() ==
+  ///       delivered() + dropped_total() + in_flight() + exported()
+  /// holds after every event (checked by core::InvariantChecker). Without
+  /// a shard router exported/imported stay 0 and this reduces to the
+  /// classic sent == delivered + dropped + in_flight.
   std::uint64_t sent() const { return sent_; }
+  /// Packets handed off to another shard as tokens (cross-shard sends).
+  std::uint64_t exported() const { return exported_; }
+  /// Tokens received from other shards and scheduled locally.
+  std::uint64_t imported() const { return imported_; }
   /// Packets scheduled into the fabric and not yet delivered or dropped.
   std::uint64_t in_flight() const { return in_flight_; }
   std::uint64_t delivered() const { return delivered_; }
@@ -168,12 +193,47 @@ class Network {
     std::int32_t up_link = -1;
     std::int32_t down_link = -1;
     HopKind kind = HopKind::kDeliver;
+    /// Injected from another shard: `from` is a remote node, so completion
+    /// must not drain this shard's port accounting for it (the source
+    /// shard drains its own port at the handoff time).
+    std::uint8_t imported = 0;
   };
 
   /// Cross-leaf Clos path: queue through the ECMP-selected uplink/downlink
   /// pair after sender-port serialization completes at tx_done.
   void send_clos(NodeId from, NodeId to, std::size_t bytes,
                  common::TimePoint tx_done, net::Packet pkt);
+
+  /// Cross-shard path: serialize on the sender port (and the local Clos
+  /// uplink), then export a token to the destination's shard.
+  void send_remote(NodeId from, const ShardRouter::Remote& rem,
+                   net::Packet pkt);
+
+  /// Deferred queue-byte drains for exported packets (the completion that
+  /// would normally drain them runs on another shard). arg packs
+  /// (bytes << 32 | index).
+  static std::uint64_t pack_drain(std::size_t bytes, std::uint32_t idx) {
+    return (static_cast<std::uint64_t>(bytes) << 32) | idx;
+  }
+  void drain_port(std::uint64_t bytes, std::uint32_t node) {
+    if (node < ports_.size() && ports_[node].queued_bytes >= bytes) {
+      ports_[node].queued_bytes -= static_cast<std::size_t>(bytes);
+    }
+  }
+  void drain_fabric(std::uint64_t bytes, std::uint32_t link) {
+    if (link < fabric_links_.size() &&
+        fabric_links_[link].queued_bytes >= bytes) {
+      fabric_links_[link].queued_bytes -= static_cast<std::size_t>(bytes);
+    }
+  }
+  static void drain_port_thunk(void* self, std::uint64_t arg) {
+    static_cast<Network*>(self)->drain_port(arg >> 32,
+                                            static_cast<std::uint32_t>(arg));
+  }
+  static void drain_fabric_thunk(void* self, std::uint64_t arg) {
+    static_cast<Network*>(self)->drain_fabric(
+        arg >> 32, static_cast<std::uint32_t>(arg));
+  }
 
   /// One per-node batch of deliveries sharing a quantized window timestamp.
   /// Buckets are pooled (slots vectors keep their capacity across reuse) so
@@ -264,8 +324,12 @@ class Network {
 
   TraceFn trace_;
   telemetry::Hub* telemetry_ = nullptr;
+  ShardRouter* router_ = nullptr;
+  std::uint32_t shard_id_ = 0;
 
   std::uint64_t sent_ = 0;
+  std::uint64_t exported_ = 0;
+  std::uint64_t imported_ = 0;
   std::uint64_t in_flight_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_no_route_ = 0;

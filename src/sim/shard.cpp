@@ -1,0 +1,203 @@
+#include "src/sim/shard.h"
+
+#include <barrier>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "src/common/rng.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/network.h"
+
+namespace nezha::sim {
+
+namespace {
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+}  // namespace
+
+SpscTokenRing::SpscTokenRing(std::size_t capacity) {
+  const std::size_t cap = round_up_pow2(capacity == 0 ? 1 : capacity);
+  buf_.resize(cap);
+  mask_ = cap - 1;
+}
+
+void SpscTokenRing::push(ShardToken tok) {
+  tok.seq = next_seq_++;
+  const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+  if (t - head_.load(std::memory_order_acquire) > mask_) {
+    // Ring momentarily full: spill. The consumer takes the batch wholesale
+    // at the next quiescent barrier and restores order by seq.
+    overflow_.push_back(std::move(tok));
+    return;
+  }
+  buf_[t & mask_] = std::move(tok);
+  tail_.store(t + 1, std::memory_order_release);
+}
+
+ShardToken SpscTokenRing::pop() {
+  const std::uint64_t h = head_.load(std::memory_order_relaxed);
+  ShardToken tok = std::move(buf_[h & mask_]);
+  head_.store(h + 1, std::memory_order_release);
+  return tok;
+}
+
+ShardedEngine::ShardedEngine(std::vector<Shard> shards,
+                             ShardedEngineConfig config)
+    : shards_(std::move(shards)), config_(config) {
+  const std::size_t k = shards_.size();
+  rings_.reserve(k * k);
+  for (std::size_t i = 0; i < k * k; ++i) {
+    rings_.emplace_back(config_.ring_capacity);
+  }
+  snap_.assign(k * k, 0);
+  staged_.resize(k * k);
+  late_.assign(k, 0);
+  busy_ns_.assign(k, 0);
+  // The fixed injection order of source shards: a seeded permutation drawn
+  // once, so the merge schedule is part of (config, seed) — not an artifact
+  // of construction order — and identical for every thread count.
+  merge_order_.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    merge_order_[i] = static_cast<std::uint32_t>(i);
+  }
+  common::Rng rng(config_.seed ^ 0x5eedfab1ccafeULL);
+  rng.shuffle(merge_order_);
+}
+
+void ShardedEngine::map_ip(net::Ipv4Addr ip, std::uint32_t shard,
+                           NodeId node) {
+  ip_map_[ip.value()] = Remote{shard, node};
+}
+
+const ShardRouter::Remote* ShardedEngine::lookup_remote(
+    net::Ipv4Addr ip) const {
+  const auto it = ip_map_.find(ip.value());
+  return it == ip_map_.end() ? nullptr : &it->second;
+}
+
+void ShardedEngine::export_token(std::uint32_t src_shard,
+                                 std::uint32_t dst_shard, ShardToken tok) {
+  ring(src_shard, dst_shard).push(std::move(tok));
+}
+
+void ShardedEngine::snapshot_inbound(std::uint32_t s) {
+  const std::size_t k = shards_.size();
+  for (std::uint32_t src = 0; src < k; ++src) {
+    if (src == s) continue;
+    const std::size_t idx = src * k + s;
+    snap_[idx] = rings_[idx].pending();
+    if (rings_[idx].overflow_size() != 0) {
+      staged_[idx] = rings_[idx].take_overflow();
+    }
+  }
+}
+
+void ShardedEngine::advance_shard(std::uint32_t s, common::TimePoint end) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t k = shards_.size();
+  EventLoop* loop = shards_[s].loop;
+  Network* net = shards_[s].net;
+  const common::TimePoint epoch_start = loop->now();
+  // Inject last epoch's inbound prefix: sources in the seeded merge order,
+  // each source's tokens in production (seq) order — a 2-way merge of the
+  // ring prefix and the overflow batch, both individually seq-ascending.
+  for (const std::uint32_t src : merge_order_) {
+    if (src == s) continue;
+    const std::size_t idx = src * k + s;
+    SpscTokenRing& r = rings_[idx];
+    std::size_t n = snap_[idx];
+    std::vector<ShardToken>& ov = staged_[idx];
+    std::size_t oi = 0;
+    while (n != 0 || oi < ov.size()) {
+      bool from_ring;
+      if (n == 0) {
+        from_ring = false;
+      } else if (oi >= ov.size()) {
+        from_ring = true;
+      } else {
+        from_ring = r.front().seq < ov[oi].seq;
+      }
+      ShardToken tok = from_ring ? r.pop() : std::move(ov[oi]);
+      if (from_ring) {
+        --n;
+      } else {
+        ++oi;
+      }
+      if (tok.at < epoch_start) ++late_[s];
+      net->inject_token(std::move(tok));
+    }
+    ov.clear();
+  }
+  loop->run_until(end);
+  busy_ns_[s] += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+void ShardedEngine::run_until(common::TimePoint t, int threads) {
+  const std::size_t k = shards_.size();
+  if (k == 0) return;
+  const common::TimePoint start = shards_[0].loop->now();
+  if (t <= start) return;
+  const common::Duration epoch = config_.epoch < 1 ? 1 : config_.epoch;
+  int w_count = threads < 1 ? 1 : threads;
+  if (w_count > static_cast<int>(k)) w_count = static_cast<int>(k);
+
+  if (w_count == 1) {
+    // Same phase structure as the parallel path, minus the barriers: all
+    // snapshots (quiescent), then all advances, per epoch — so results are
+    // identical for every thread count by construction.
+    for (common::TimePoint e = start; e < t;) {
+      const common::TimePoint end = e + epoch < t ? e + epoch : t;
+      for (std::uint32_t s = 0; s < k; ++s) snapshot_inbound(s);
+      for (std::uint32_t s = 0; s < k; ++s) advance_shard(s, end);
+      ++epochs_run_;
+      e = end;
+    }
+    return;
+  }
+
+  std::barrier<> bar(w_count);
+  auto work = [&](std::uint32_t w) {
+    // Fixed shard→thread mapping: shard s is always driven by worker
+    // s % w_count, epoch after epoch.
+    for (common::TimePoint e = start; e < t;) {
+      const common::TimePoint end = e + epoch < t ? e + epoch : t;
+      for (std::uint32_t s = w; s < k; s += w_count) snapshot_inbound(s);
+      bar.arrive_and_wait();
+      for (std::uint32_t s = w; s < k; s += w_count) advance_shard(s, end);
+      bar.arrive_and_wait();
+      e = end;
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(w_count) - 1);
+  for (int w = 1; w < w_count; ++w) {
+    pool.emplace_back(work, static_cast<std::uint32_t>(w));
+  }
+  work(0);
+  for (std::thread& th : pool) th.join();
+  epochs_run_ += static_cast<std::uint64_t>((t - start + epoch - 1) / epoch);
+}
+
+std::uint64_t ShardedEngine::tokens_pending() const {
+  std::uint64_t n = 0;
+  for (const SpscTokenRing& r : rings_) {
+    n += r.pending() + r.overflow_size();
+  }
+  for (const auto& batch : staged_) n += batch.size();
+  return n;
+}
+
+std::uint64_t ShardedEngine::late_tokens() const {
+  std::uint64_t n = 0;
+  for (const std::uint64_t v : late_) n += v;
+  return n;
+}
+
+}  // namespace nezha::sim

@@ -1,0 +1,236 @@
+// Sharded simulation engine (DESIGN.md §13): conservative parallel
+// discrete-event execution in the style of FireSim's switch model.
+//
+// The fleet is partitioned per rack into shards; each shard owns an
+// EventLoop, a Network and the vSwitches of its racks. Shards advance in
+// lockstep epochs no longer than the minimum cross-rack fabric latency, so
+// a packet handed off to another shard during epoch E can never be due
+// before epoch E+1 begins — cross-shard influence always arrives with at
+// least one full epoch of lookahead (the "conservative" condition of
+// Chandy-Misra-style parallel simulation).
+//
+// Cross-shard packets travel as ShardTokens through preallocated SPSC
+// rings, one per (src, dst) shard pair. Producers push during their epoch;
+// consumers snapshot ring occupancy while every worker is quiescent at the
+// epoch barrier and inject exactly that prefix at the start of the next
+// epoch, merging sources in a fixed seeded order and each source's tokens
+// in production order (seq). Shard s is always driven by worker thread
+// s % num_threads, and threads interact only through the rings at
+// barriers, so the schedule — and therefore every counter and fingerprint
+// — is a pure function of (config, seed, shard_count), independent of the
+// thread count and of wall-clock interleaving.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/net/packet.h"
+#include "src/sim/node.h"
+
+namespace nezha::sim {
+
+class EventLoop;
+class Network;
+
+/// How far along the fabric path a token's packet already is when it is
+/// handed to the destination shard.
+enum class TokenKind : std::uint8_t {
+  /// `at` is the final arrival time at the destination host; the source
+  /// shard already modeled the whole path (tiered fabrics, same-leaf).
+  kArrival = 0,
+  /// Clos cross-leaf: the source shard modeled sender-port serialization
+  /// and the leaf→spine uplink; `at` is the time the packet reaches the
+  /// spine. The destination shard owns the spine→leaf downlink (only its
+  /// own racks' downlinks), so it queues the downlink leg and delivers.
+  kAtSpine = 1,
+};
+
+/// One cross-shard packet handoff. POD-movable; the Packet rides by value.
+struct ShardToken {
+  net::Packet pkt;
+  common::TimePoint at = 0;  // kind-dependent; always >= next epoch start
+  std::uint64_t seq = 0;     // producer order within one (src, dst) ring
+  NodeId from = 0;
+  NodeId to = 0;
+  std::uint32_t bytes = 0;
+  std::uint32_t spine = 0;   // kAtSpine: ECMP spine already selected
+  TokenKind kind = TokenKind::kArrival;
+};
+
+/// Single-producer/single-consumer token ring with a producer-side
+/// overflow vector. The ring is preallocated; when it is momentarily full
+/// (the consumer only frees slots while draining the previous epoch's
+/// prefix) the producer spills to `overflow_`, which the consumer takes
+/// wholesale at the quiescent epoch barrier. Tokens carry a producer
+/// sequence number, so the consumer restores exact production order by
+/// merging the ring prefix and the overflow batch on seq.
+class SpscTokenRing {
+ public:
+  explicit SpscTokenRing(std::size_t capacity = 1024);
+
+  /// Setup-time only (vector growth); never used while threads run.
+  SpscTokenRing(SpscTokenRing&& o) noexcept
+      : buf_(std::move(o.buf_)),
+        mask_(o.mask_),
+        next_seq_(o.next_seq_),
+        overflow_(std::move(o.overflow_)) {
+    head_.store(o.head_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    tail_.store(o.tail_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+  }
+
+  // --- producer side (owned by the source shard's worker) ---
+  void push(ShardToken tok);
+
+  // --- consumer side (owned by the destination shard's worker) ---
+  /// Tokens currently visible to the consumer. Also safe mid-epoch (it is
+  /// an atomic snapshot); the engine calls it at quiescent barriers.
+  std::size_t pending() const {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_relaxed));
+  }
+  const ShardToken& front() const { return buf_[head_raw() & mask_]; }
+  ShardToken pop();
+
+  /// Quiescent-only: producer-side spill batch, moved out (ascending seq).
+  std::vector<ShardToken> take_overflow() { return std::move(overflow_); }
+  std::size_t overflow_size() const { return overflow_.size(); }
+
+  std::size_t capacity() const { return mask_ + 1; }
+  std::uint64_t produced() const { return next_seq_; }
+
+ private:
+  std::uint64_t head_raw() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  std::vector<ShardToken> buf_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer cursor
+  // Producer-only fields (same cache line as tail_ is fine: SPSC).
+  std::uint64_t next_seq_ = 0;
+  std::vector<ShardToken> overflow_;
+};
+
+/// The Network's view of the engine: resolve an underlay IP that is not
+/// local to this shard, and hand off a token to the owning shard.
+class ShardRouter {
+ public:
+  virtual ~ShardRouter() = default;
+
+  struct Remote {
+    std::uint32_t shard = 0;
+    NodeId node = 0;
+  };
+
+  /// Null when the IP is unknown fleet-wide (genuine no-route).
+  virtual const Remote* lookup_remote(net::Ipv4Addr ip) const = 0;
+  virtual void export_token(std::uint32_t src_shard, std::uint32_t dst_shard,
+                            ShardToken tok) = 0;
+};
+
+/// Maps racks (ToR/leaf index) onto contiguous shard blocks. Rack-aligned
+/// blocks guarantee same-rack traffic is always intra-shard, which is what
+/// lets the epoch length be the *cross-rack* minimum latency.
+struct ShardMap {
+  std::uint32_t shards = 1;
+  std::uint32_t racks = 1;
+
+  static ShardMap make(std::uint32_t racks, std::uint32_t shards) {
+    ShardMap m;
+    m.racks = racks == 0 ? 1 : racks;
+    m.shards = shards == 0 ? 1 : (shards > m.racks ? m.racks : shards);
+    return m;
+  }
+  std::uint32_t shard_of_rack(std::uint32_t rack) const {
+    if (rack >= racks) return shards - 1;
+    return static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(rack) * shards) / racks);
+  }
+};
+
+struct ShardedEngineConfig {
+  /// Lockstep epoch length; must be <= the minimum latency of any
+  /// cross-shard path (Topology::min_cross_rack_latency()).
+  common::Duration epoch = common::microseconds(8);
+  /// Seeds the fixed source-shard merge permutation used at injection.
+  std::uint64_t seed = 0;
+  /// Per-(src,dst) ring capacity (rounded up to a power of two).
+  std::size_t ring_capacity = 1024;
+};
+
+class ShardedEngine final : public ShardRouter {
+ public:
+  struct Shard {
+    EventLoop* loop = nullptr;
+    Network* net = nullptr;
+  };
+
+  ShardedEngine(std::vector<Shard> shards, ShardedEngineConfig config);
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Registers a node's underlay IP so other shards can route to it.
+  void map_ip(net::Ipv4Addr ip, std::uint32_t shard, NodeId node);
+
+  /// Advances every shard loop to `t` in lockstep epochs using `threads`
+  /// workers (clamped to [1, shard_count]). Worker threads only exist for
+  /// the duration of the call; on return all loops are quiescent at `t`.
+  /// The result is identical for every thread count.
+  void run_until(common::TimePoint t, int threads);
+
+  // --- ShardRouter ---
+  const Remote* lookup_remote(net::Ipv4Addr ip) const override;
+  void export_token(std::uint32_t src_shard, std::uint32_t dst_shard,
+                    ShardToken tok) override;
+
+  // --- observability (quiescent reads) ---
+  std::uint64_t epochs_run() const { return epochs_run_; }
+  /// Tokens produced but not yet injected (sitting in rings/overflow).
+  /// Together with the networks' exported()/imported() counters this
+  /// closes the cross-shard conservation identity:
+  ///   sum(exported) - sum(imported) == tokens_pending().
+  std::uint64_t tokens_pending() const;
+  /// Conservative-lookahead violations: tokens whose due time had already
+  /// passed when injected (must stay 0; a nonzero count means the epoch
+  /// length exceeded the true minimum cross-shard latency).
+  std::uint64_t late_tokens() const;
+  /// Per-shard busy wall-clock accumulated inside advance phases; the
+  /// balance across shards bounds the achievable parallel speedup.
+  std::uint64_t shard_busy_ns(std::uint32_t shard) const {
+    return busy_ns_.at(shard);
+  }
+  const std::vector<std::uint32_t>& merge_order() const {
+    return merge_order_;
+  }
+
+ private:
+  SpscTokenRing& ring(std::uint32_t src, std::uint32_t dst) {
+    return rings_[src * shards_.size() + dst];
+  }
+
+  /// Phase 1 (all workers quiescent): record how many tokens each inbound
+  /// ring holds and take the overflow batches for shard `s`.
+  void snapshot_inbound(std::uint32_t s);
+  /// Phase 2: inject the snapshotted token prefix in (merge_order, seq)
+  /// order, then run the shard's loop to the epoch end.
+  void advance_shard(std::uint32_t s, common::TimePoint end);
+
+  std::vector<Shard> shards_;
+  ShardedEngineConfig config_;
+  std::vector<SpscTokenRing> rings_;         // [src * K + dst]
+  std::vector<std::size_t> snap_;            // per-ring snapshot counts
+  std::vector<std::vector<ShardToken>> staged_;  // per-ring overflow batches
+  std::vector<std::uint32_t> merge_order_;   // seeded source permutation
+  std::unordered_map<std::uint32_t, Remote> ip_map_;
+  std::uint64_t epochs_run_ = 0;
+  std::vector<std::uint64_t> late_;          // per-shard, summed on read
+  std::vector<std::uint64_t> busy_ns_;       // per-shard busy wall-clock
+};
+
+}  // namespace nezha::sim

@@ -81,6 +81,23 @@ class Topology {
   /// is added by sim::Network.
   common::Duration latency(NodeId a, NodeId b) const;
 
+  /// Number of racks spanned by node ids [0, num_nodes).
+  std::uint32_t rack_count(std::size_t num_nodes) const {
+    if (num_nodes == 0) return 1;
+    return tor_of(static_cast<NodeId>(num_nodes - 1)) + 1;
+  }
+
+  /// Lower bound on the remaining one-way latency of any packet after it
+  /// leaves its source rack's domain — the conservative-lookahead bound a
+  /// sharded engine's lockstep epoch must not exceed (DESIGN.md §13). For
+  /// Clos it is the leaf→spine hop (a cross-leaf packet handed off at the
+  /// uplink still has at least that long before it can reach another
+  /// rack); for the tiered fabric, the cheapest cross-ToR path.
+  common::Duration min_cross_rack_latency() const {
+    return is_clos() ? config_.clos.leaf_spine_latency
+                     : config_.same_agg_latency;
+  }
+
   /// ECMP: the spine a cross-leaf flow with the given entropy traverses.
   /// Deterministic in (a, b, entropy) so a flow stays on one path and a
   /// fixed seed reproduces the exact spine load split.

@@ -77,4 +77,18 @@ class FlightRecorder {
 /// Dump header magic: "NZTRACE\0" little-endian.
 inline constexpr std::uint64_t kTraceMagic = 0x0045434152545a4eULL;
 
+/// Deterministic post-run merge of several shards' recorders (DESIGN.md
+/// §13): events are ordered by (at, shard, per-shard seq) — each shard's
+/// `at` is nondecreasing in its own record order, so this is a total order
+/// that two same-seed runs reproduce exactly regardless of thread count —
+/// then renumbered with a fresh global seq. The originating shard index is
+/// carried in TraceEvent::reserved. With one recorder this reproduces its
+/// own record order.
+std::vector<TraceEvent> merge_recorders(
+    const std::vector<const FlightRecorder*>& recorders);
+
+/// Binary dump of merge_recorders() in the standard dump format.
+void dump_merged(std::ostream& os,
+                 const std::vector<const FlightRecorder*>& recorders);
+
 }  // namespace nezha::telemetry

@@ -49,6 +49,14 @@ class Hub {
   /// packet's id either way.
   std::uint64_t stamp(net::Packet& pkt);
 
+  /// Sharded testbeds give each shard's hub a disjoint id stream so a
+  /// packet stamped on one shard never collides with another's (stream s
+  /// hands out ids from 2^32 + s * 2^40). Call before any stamping.
+  void set_packet_id_stream(std::uint32_t stream) {
+    next_packet_id_ = (std::uint64_t{1} << 32) +
+                      (static_cast<std::uint64_t>(stream) << 40);
+  }
+
   FlightRecorder& recorder() { return recorder_; }
   const FlightRecorder& recorder() const { return recorder_; }
   MetricsRegistry& metrics() { return metrics_; }

@@ -90,7 +90,7 @@ struct TraceEvent {
   std::uint32_t node = 0;      // emitting sim::NodeId
   EventKind kind = EventKind::kPktEnqueue;
   std::uint8_t detail = 0;     // Stage / DropReason / packed mode transition
-  std::uint16_t reserved = 0;  // dump-format padding; always 0
+  std::uint16_t reserved = 0;  // 0, except merged sharded dumps: src shard
 };
 static_assert(sizeof(TraceEvent) == 56, "TraceEvent layout is dump format");
 

@@ -115,6 +115,12 @@ class VSwitch : public sim::Node {
   tables::Location location() const {
     return tables::Location{underlay_ip(), mac()};
   }
+  /// The event loop this vSwitch runs on — on a sharded engine, its owning
+  /// shard's loop. Deferred controller work that mutates vSwitch state must
+  /// be scheduled here, never on the controller's own loop: a continuation
+  /// on the wrong loop would race with the owning shard's packet processing
+  /// once the engine goes multi-threaded.
+  sim::EventLoop& loop() { return loop_; }
 
   // ---------- vNIC lifecycle ----------
   /// Adds a hosted vNIC; fails when slow-path memory cannot hold its rule

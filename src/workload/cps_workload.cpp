@@ -81,6 +81,7 @@ CpsWorkload::CpsWorkload(core::Testbed& bed, std::size_t client_switch,
                          std::size_t server_switch,
                          tables::VnicId server_vnic, CpsWorkloadConfig config)
     : bed_(bed),
+      loop_(bed.loop_of(client_switch)),
       client_switch_(bed.vswitch(client_switch)),
       server_switch_(bed.vswitch(server_switch)),
       client_vnic_(client_vnic),
@@ -89,6 +90,12 @@ CpsWorkload::CpsWorkload(core::Testbed& bed, std::size_t client_switch,
       rng_(config.seed),
       client_kernel_(config.client_kernel),
       server_kernel_(config.server_kernel) {
+  if (bed.shard_count() > 1 &&
+      bed.shard_of_node(static_cast<sim::NodeId>(client_switch)) !=
+          bed.shard_of_node(static_cast<sim::NodeId>(server_switch))) {
+    throw std::runtime_error(
+        "CpsWorkload: endpoints must share a shard on a sharded testbed");
+  }
   const vswitch::Vnic* c = client_switch_.find_vnic(client_vnic);
   const vswitch::Vnic* s = server_switch_.find_vnic(server_vnic);
   if (c == nullptr || s == nullptr) {
@@ -119,7 +126,7 @@ void CpsWorkload::start() {
 void CpsWorkload::schedule_next_attempt() {
   if (!running_) return;
   const double gap_s = rng_.exponential(1.0 / config_.attempts_per_sec);
-  bed_.loop().schedule_after(common::from_seconds(gap_s), [this]() {
+  loop_.schedule_after(common::from_seconds(gap_s), [this]() {
     attempt();
     schedule_next_attempt();
   });
@@ -141,15 +148,15 @@ void CpsWorkload::attempt() {
   if (!running_) return;
   ++attempted_;
   // The client kernel must have capacity to even issue the connect().
-  const VmKernel::Outcome admit = client_kernel_.admit(bed_.loop().now());
+  const VmKernel::Outcome admit = client_kernel_.admit(loop_.now());
   if (!admit.accepted) {
     if (config_.concurrency > 0) {
       // Closed loop: don't lose the slot; retry when the kernel drains.
       if (config_.timer_window > 0) {
         timer_push(kTimerReattempt,
-                   bed_.loop().now() + common::milliseconds(5), 0);
+                   loop_.now() + common::milliseconds(5), 0);
       } else {
-        bed_.loop().schedule_after(common::milliseconds(5),
+        loop_.schedule_after(common::milliseconds(5),
                                    [this]() { attempt(); });
       }
     }
@@ -158,13 +165,13 @@ void CpsWorkload::attempt() {
   const net::FiveTuple ft = next_tuple();
   const std::uint32_t ports = ports_key(ft);
   Conn* c = conn_insert(ports);
-  c->syn_sent = bed_.loop().now();
+  c->syn_sent = loop_.now();
   c->established = 0;
   c->retries = 0;
   if (config_.timer_window > 0) {
     timer_push(kTimerSendSyn, admit.done, ports);
   } else {
-    bed_.loop().schedule_at(
+    loop_.schedule_at(
         admit.done, [this, ports]() { send_syn(client_tuple(ports), 0); });
   }
 }
@@ -176,7 +183,7 @@ void CpsWorkload::release_slot() {
   ++pending_slots_;
   if (round_scheduled_) return;
   round_scheduled_ = true;
-  bed_.loop().schedule_at(bed_.loop().now(),
+  loop_.schedule_at(loop_.now(),
                           [this]() { admission_round(); });
 }
 
@@ -219,8 +226,8 @@ void CpsWorkload::timer_push(std::uint8_t kind, common::TimePoint at,
   const common::Duration w = config_.timer_window;
   const common::TimePoint fire = (at + w - 1) / w * w;
   if (timer_event_at_ < 0 || fire < timer_event_at_) {
-    if (timer_event_at_ >= 0) bed_.loop().cancel(timer_event_);
-    timer_event_ = bed_.loop().schedule_raw_at(
+    if (timer_event_at_ >= 0) loop_.cancel(timer_event_);
+    timer_event_ = loop_.schedule_raw_at(
         fire, &CpsWorkload::timer_drain_thunk, this, 0);
     timer_event_at_ = fire;
   }
@@ -258,7 +265,7 @@ void CpsWorkload::timer_fire(const Timer& t) {
 void CpsWorkload::timer_drain() {
   timer_draining_ = true;
   timer_event_at_ = -1;
-  const common::TimePoint now = bed_.loop().now();
+  const common::TimePoint now = loop_.now();
   // K-way merge of the ring fronts: fire everything due at `now` in
   // (at, seq) order. Timers pushed by fired handlers (e.g. a SYN's RTO, or
   // a SYN-ACK admission from a synchronous delivery) join their ring
@@ -286,7 +293,7 @@ void CpsWorkload::timer_drain() {
   if (next >= 0) {
     const common::Duration w = config_.timer_window;
     const common::TimePoint fire = (next + w - 1) / w * w;
-    timer_event_ = bed_.loop().schedule_raw_at(
+    timer_event_ = loop_.schedule_raw_at(
         fire, &CpsWorkload::timer_drain_thunk, this, 0);
     timer_event_at_ = fire;
   }
@@ -298,16 +305,16 @@ void CpsWorkload::send_syn(const net::FiveTuple& ft, int attempt) {
   if (c == nullptr || c->established != 0) return;
   net::Packet syn = net::make_tcp_packet(ft, net::TcpFlags{.syn = true}, 0,
                                          vpc_);
-  syn.created_at = bed_.loop().now();
+  syn.created_at = loop_.now();
   client_switch_.from_vm(client_vnic_, std::move(syn));
   const common::Duration rto = config_.syn_rto << attempt;
   if (attempt >= config_.max_syn_retries) {
     // Give up after one final RTO (frees the tracking entry and, in closed
     // loop mode, the concurrency slot).
     if (config_.timer_window > 0) {
-      timer_push(kTimerGiveUp, bed_.loop().now() + rto, ports);
+      timer_push(kTimerGiveUp, loop_.now() + rto, ports);
     } else {
-      bed_.loop().schedule_after(rto, [this, ports]() {
+      loop_.schedule_after(rto, [this, ports]() {
         Conn* rc = conn_find(ports);
         if (rc != nullptr && rc->established == 0) {
           conn_erase(rc);
@@ -319,10 +326,10 @@ void CpsWorkload::send_syn(const net::FiveTuple& ft, int attempt) {
   }
   // Exponential backoff retransmission, as the guest TCP stack would do.
   if (config_.timer_window > 0) {
-    timer_push(kTimerRto, bed_.loop().now() + rto, ports,
+    timer_push(kTimerRto, loop_.now() + rto, ports,
                static_cast<std::uint8_t>(attempt));
   } else {
-    bed_.loop().schedule_after(rto, [this, ports, attempt]() {
+    loop_.schedule_after(rto, [this, ports, attempt]() {
       Conn* rc = conn_find(ports);
       if (rc == nullptr || rc->established != 0) return;
       ++rc->retries;
@@ -335,7 +342,7 @@ void CpsWorkload::on_server_delivery(const net::Packet& pkt) {
   const net::TcpFlags flags = pkt.inner.tcp_flags;
   if (flags.syn && !flags.ack) {
     // Server kernel accepts and replies SYN-ACK when it gets CPU.
-    const VmKernel::Outcome admit = server_kernel_.admit(bed_.loop().now());
+    const VmKernel::Outcome admit = server_kernel_.admit(loop_.now());
     if (!admit.accepted) return;  // SYN queue overflow: client would retry
     const net::FiveTuple& ft = pkt.inner.ft;
     if (ft.src_ip == client_ip_ && ft.dst_ip == server_ip_ &&
@@ -344,7 +351,7 @@ void CpsWorkload::on_server_delivery(const net::Packet& pkt) {
       if (config_.timer_window > 0) {
         timer_push(kTimerSynAck, admit.done, ports);
       } else {
-        bed_.loop().schedule_at(admit.done, [this, ports]() {
+        loop_.schedule_at(admit.done, [this, ports]() {
           send_synack(client_tuple(ports).reversed());
         });
       }
@@ -370,7 +377,7 @@ void CpsWorkload::schedule_foreign_synack(common::TimePoint at,
     foreign_synacks_.emplace_back();
   }
   foreign_synacks_[slot] = reply;
-  bed_.loop().schedule_raw_at(at, &CpsWorkload::foreign_synack_thunk, this,
+  loop_.schedule_raw_at(at, &CpsWorkload::foreign_synack_thunk, this,
                               slot);
 }
 
@@ -403,8 +410,8 @@ void CpsWorkload::on_client_delivery(const net::Packet& pkt) {
   if (c == nullptr || c->established != 0) return;
   c->established = 1;
   ++completed_;
-  completions_.push_back(bed_.loop().now());
-  latency_.add(common::to_micros(bed_.loop().now() - c->syn_sent));
+  completions_.push_back(loop_.now());
+  latency_.add(common::to_micros(loop_.now() - c->syn_sent));
 
   // Complete the handshake; optionally close.
   client_switch_.from_vm(

@@ -177,9 +177,14 @@ void FleetScenario::deploy() {
   for (double& s : pair_load_scale_) s = 1.0 + 9.0 * s;
 
   for (std::size_t i = 0; i < config_.num_pairs; ++i) {
-    // Server i: first host of leaf (i mod #leaves). Client: a host half the
-    // fabric away, so every pair's traffic crosses the spine tier.
-    const std::size_t server_leaf = i % num_leaves;
+    // Server i: first host of leaf i*L/P — pairs stride across the whole
+    // leaf tier instead of packing the first P leaves, so a fleet-scale
+    // scenario loads every rack region (and, on a sharded bed, every
+    // shard). Client: a host half the fabric away, so every pair's traffic
+    // crosses the spine tier.
+    const std::size_t server_leaf =
+        (i * num_leaves) / std::max<std::size_t>(config_.num_pairs, 1) %
+        num_leaves;
     const std::size_t client_leaf = (server_leaf + num_leaves / 2) % num_leaves;
     std::size_t server_node = server_leaf * hosts_per_leaf;
     std::size_t client_node = client_leaf * hosts_per_leaf + 1;
@@ -187,6 +192,31 @@ void FleetScenario::deploy() {
     client_node = std::min(client_node, bed_.size() - 1);
     if (client_node == server_node) {
       client_node = (server_node + 1) % bed_.size();
+    }
+    if (bed_.shard_count() > 1 &&
+        bed_.shard_of_node(static_cast<sim::NodeId>(client_node)) !=
+            bed_.shard_of_node(static_cast<sim::NodeId>(server_node))) {
+      // Sharded bed: CpsWorkload endpoints must share a shard. Deterministic
+      // re-pick inside the server's shard, preferring another rack so the
+      // pair still exercises the fabric (offload BE↔FE traffic crosses
+      // shards regardless — FE pools ignore shard boundaries).
+      const std::uint32_t want =
+          bed_.shard_of_node(static_cast<sim::NodeId>(server_node));
+      std::size_t fallback = server_node;
+      std::size_t pick = server_node;
+      for (std::size_t off = 1; off < bed_.size() && pick == server_node;
+           ++off) {
+        const std::size_t cand = (server_node + off) % bed_.size();
+        if (bed_.shard_of_node(static_cast<sim::NodeId>(cand)) != want) {
+          continue;
+        }
+        if (fallback == server_node) fallback = cand;
+        if (topo.tor_of(static_cast<sim::NodeId>(cand)) !=
+            topo.tor_of(static_cast<sim::NodeId>(server_node))) {
+          pick = cand;
+        }
+      }
+      client_node = pick != server_node ? pick : fallback;
     }
 
     vswitch::VnicConfig server;
@@ -244,13 +274,20 @@ std::uint64_t FleetScenario::fingerprint() const {
     h = fnv1a(h, wl->attempted());
     h = fnv1a(h, wl->completed());
   }
-  const sim::Network& net = bed_.network();
-  h = fnv1a(h, net.sent());
-  h = fnv1a(h, net.delivered());
-  h = fnv1a(h, net.dropped_total());
-  h = fnv1a(h, net.in_flight());
-  h = fnv1a(h, net.total_bytes_sent());
-  for (std::uint64_t b : net.spine_bytes()) h = fnv1a(h, b);
+  // Fleet-wide sums in the same field order as the pre-shard single-network
+  // digest, so a 1-shard testbed reproduces the historical fingerprints
+  // bit-for-bit; the cross-shard counters only join on sharded beds.
+  const core::Testbed::NetTotals t = bed_.net_totals();
+  h = fnv1a(h, t.sent);
+  h = fnv1a(h, t.delivered);
+  h = fnv1a(h, t.dropped);
+  h = fnv1a(h, t.in_flight);
+  h = fnv1a(h, t.total_bytes);
+  for (std::uint64_t b : t.spine_bytes) h = fnv1a(h, b);
+  if (bed_.shard_count() > 1) {
+    h = fnv1a(h, t.exported);
+    h = fnv1a(h, t.imported);
+  }
   const core::Controller& ctl = bed_.controller();
   h = fnv1a(h, ctl.offload_events());
   h = fnv1a(h, ctl.fallback_events());

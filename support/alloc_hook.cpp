@@ -4,25 +4,29 @@
 // alloc_hook.h for the flag semantics this provides).
 #include "support/alloc_hook.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <new>
 
 namespace nezha::support {
 namespace {
 
-std::uint64_t g_news = 0;
-std::uint64_t g_deletes = 0;
-std::uint64_t g_bytes = 0;
+// Relaxed atomics: the sharded engine's worker threads allocate
+// concurrently, and the counters must stay exact (and race-free under
+// TSan) without ordering any other memory.
+std::atomic<std::uint64_t> g_news{0};
+std::atomic<std::uint64_t> g_deletes{0};
+std::atomic<std::uint64_t> g_bytes{0};
 
 void* counted_alloc(std::size_t size) {
-  ++g_news;
-  g_bytes += size;
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
   return std::malloc(size == 0 ? 1 : size);
 }
 
 void* counted_aligned_alloc(std::size_t size, std::size_t align) {
-  ++g_news;
-  g_bytes += size;
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
   // aligned_alloc requires size to be a multiple of the alignment.
   const std::size_t rounded = (size + align - 1) / align * align;
   return std::aligned_alloc(align, rounded == 0 ? align : rounded);
@@ -30,18 +34,22 @@ void* counted_aligned_alloc(std::size_t size, std::size_t align) {
 
 void counted_free(void* p) {
   if (p == nullptr) return;
-  ++g_deletes;
+  g_deletes.fetch_add(1, std::memory_order_relaxed);
   std::free(p);
 }
 
 }  // namespace
 
-AllocCounts alloc_counts() { return AllocCounts{g_news, g_deletes, g_bytes}; }
+AllocCounts alloc_counts() {
+  return AllocCounts{g_news.load(std::memory_order_relaxed),
+                     g_deletes.load(std::memory_order_relaxed),
+                     g_bytes.load(std::memory_order_relaxed)};
+}
 
 void reset_alloc_counts() {
-  g_news = 0;
-  g_deletes = 0;
-  g_bytes = 0;
+  g_news.store(0, std::memory_order_relaxed);
+  g_deletes.store(0, std::memory_order_relaxed);
+  g_bytes.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace nezha::support

@@ -1,0 +1,163 @@
+// Sharded-engine determinism and conservation guarantees (DESIGN.md §13).
+//
+// The parallel engine's contract: a sharded run's outcome is a pure
+// function of (config, seed, shard_count) — independent of the number of
+// worker threads and of wall-clock interleaving — and the packet
+// conservation identity extends across shard boundaries (every exported
+// token is imported exactly once or still pending in a ring). These tests
+// pin that contract on a fleet-scale Clos scenario whose offloaded BE↔FE
+// traffic genuinely crosses shards:
+//  * shards=1 is exactly the legacy single-loop testbed (same fingerprint
+//    as a default-config run — the golden-fingerprint gates in CI cover
+//    the pinned burst/exact constants on this same path);
+//  * N-shard runs reproduce bit-for-bit across repeated runs;
+//  * N-shard runs are identical at 1 and 2 worker threads;
+//  * the invariant harness (including the cross-shard identity) stays
+//    green throughout a threaded run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "src/core/invariants.h"
+#include "src/core/testbed.h"
+#include "src/workload/fleet_model.h"
+
+namespace nezha {
+namespace {
+
+constexpr std::size_t kVSwitches = 64;
+constexpr std::size_t kPairs = 8;
+
+struct ShardRun {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t attempted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t exported = 0;
+  std::uint64_t imported = 0;
+  std::uint64_t tokens_pending = 0;
+  std::uint64_t late_tokens = 0;
+  std::uint64_t epochs = 0;
+  std::size_t violations = 0;
+  std::string report;
+};
+
+/// Clos fleet scenario with every server vNIC offloaded, driven in slices
+/// with quiescent invariant checks between them. `shards == 1` builds the
+/// classic engine-less testbed; `threads` only applies to the traffic
+/// phase (control-plane workflows run at 1 thread, per the Testbed rules).
+ShardRun run_sharded(std::size_t shards, int threads, std::uint64_t seed) {
+  // 4-host racks: the min-4-FE pools cannot fit beside their BE in one
+  // rack, so offload traffic is forced across leaves — and across shards.
+  core::TestbedConfig cfg = core::make_clos_testbed_config(
+      kVSwitches, /*hosts_per_leaf=*/4, /*num_spines=*/4,
+      /*oversubscription=*/2.0);
+  cfg.controller.auto_offload = false;
+  cfg.controller.auto_scale = false;
+  cfg.shards = shards;
+  cfg.threads = 1;
+  core::Testbed bed(cfg);
+
+  workload::FleetScenarioConfig sc;
+  sc.num_pairs = kPairs;
+  sc.base_attempts_per_sec = 400.0;
+  sc.seed = seed;
+  workload::FleetScenario scenario(bed, sc);
+  core::InvariantChecker checker(bed,
+                                 core::InvariantCheckerConfig{.seed = seed});
+
+  scenario.deploy();
+  scenario.offload_all();
+  bed.run_for(common::seconds(1));  // offload workflows, single-threaded
+  checker.check();
+
+  bed.set_threads(threads);
+  scenario.start_traffic();
+  for (int slice = 0; slice < 6; ++slice) {
+    bed.run_for(common::milliseconds(250));
+    checker.check();  // all shards quiescent between run_for() calls
+  }
+  scenario.stop_traffic();
+  bed.run_for(common::milliseconds(250));
+  checker.check();
+
+  ShardRun r;
+  r.fingerprint = scenario.fingerprint();
+  for (const auto& wl : scenario.workloads()) {
+    r.attempted += wl->attempted();
+    r.completed += wl->completed();
+  }
+  const core::Testbed::NetTotals t = bed.net_totals();
+  r.exported = t.exported;
+  r.imported = t.imported;
+  if (bed.engine() != nullptr) {
+    r.tokens_pending = bed.engine()->tokens_pending();
+    r.late_tokens = bed.engine()->late_tokens();
+    r.epochs = bed.engine()->epochs_run();
+  }
+  r.violations = checker.violations().size();
+  r.report = checker.ok() ? "" : checker.report();
+  return r;
+}
+
+TEST(ShardDeterminism, OneShardIsExactlyTheLegacyTestbed) {
+  // shards=1 must not construct an engine at all, and must reproduce a
+  // default-config (pre-shard) run bit-for-bit: same objects, same path.
+  const ShardRun legacy = run_sharded(1, 1, 7);
+  const ShardRun one = run_sharded(1, 4, 7);  // threads ignored w/o engine
+  EXPECT_EQ(one.fingerprint, legacy.fingerprint)
+      << "a 1-shard testbed diverged from the classic single-loop path";
+  EXPECT_EQ(one.exported, 0u);
+  EXPECT_EQ(one.imported, 0u);
+  EXPECT_EQ(one.epochs, 0u);
+  EXPECT_EQ(legacy.violations, 0u) << legacy.report;
+  EXPECT_GT(legacy.completed, 100u);
+}
+
+TEST(ShardDeterminism, ShardedRunsReproduceBitForBit) {
+  const ShardRun a = run_sharded(4, 1, 7);
+  const ShardRun b = run_sharded(4, 1, 7);
+  EXPECT_EQ(a.fingerprint, b.fingerprint)
+      << "same (config, seed, shard_count) runs diverged";
+  EXPECT_EQ(a.attempted, b.attempted);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.exported, b.exported);
+  EXPECT_EQ(a.violations, 0u) << a.report;
+  EXPECT_GT(a.completed, 100u);
+  // The offloaded BE↔FE legs must actually cross shard boundaries, or this
+  // suite is vacuous.
+  EXPECT_GT(a.exported, 0u) << "no cross-shard traffic was exercised";
+}
+
+TEST(ShardDeterminism, ThreadCountDoesNotChangeTheOutcome) {
+  const ShardRun t1 = run_sharded(4, 1, 7);
+  const ShardRun t2 = run_sharded(4, 2, 7);
+  EXPECT_EQ(t2.fingerprint, t1.fingerprint)
+      << "worker-thread count leaked into the simulation outcome";
+  EXPECT_EQ(t2.attempted, t1.attempted);
+  EXPECT_EQ(t2.completed, t1.completed);
+  EXPECT_EQ(t2.exported, t1.exported);
+  EXPECT_EQ(t2.imported, t1.imported);
+  EXPECT_EQ(t2.violations, 0u) << t2.report;
+}
+
+TEST(ShardDeterminism, CrossShardConservationHolds) {
+  const ShardRun r = run_sharded(4, 2, 11);
+  EXPECT_EQ(r.violations, 0u) << r.report;  // incl. per-shard identities
+  EXPECT_GT(r.exported, 0u);
+  EXPECT_EQ(r.exported, r.imported + r.tokens_pending)
+      << "a token was lost or duplicated across a shard boundary";
+  EXPECT_EQ(r.late_tokens, 0u)
+      << "conservative lookahead violated: the epoch exceeds the minimum "
+         "cross-shard latency";
+  EXPECT_GT(r.epochs, 0u);
+}
+
+TEST(ShardDeterminism, DifferentSeedsDiverge) {
+  const ShardRun a = run_sharded(4, 2, 7);
+  const ShardRun b = run_sharded(4, 2, 8);
+  EXPECT_NE(a.fingerprint, b.fingerprint);
+}
+
+}  // namespace
+}  // namespace nezha

@@ -223,7 +223,11 @@ int main(int argc, char** argv) {
     for (const auto& [path, bval] : base) {
       auto it = fresh.find(path);
       if (it == fresh.end()) {
-        std::printf("  [SCHEMA] %-52s only in baseline\n", path.c_str());
+        // Present only in the baseline: the metric was removed (or renamed)
+        // by a schema rev. Informational, never gated — show the stranded
+        // baseline value so re-baselining is a conscious act.
+        std::printf("  %-12s %-52s %14.4g -> (absent)\n", "[REMOVED]",
+                    path.c_str(), bval);
         continue;
       }
       const double fval = it->second;
@@ -242,9 +246,12 @@ int main(int argc, char** argv) {
       deltas.push_back(d);
     }
     for (const auto& [path, fval] : fresh) {
-      (void)fval;
+      // Present only in the fresh run: a new metric the baseline predates.
+      // Informational, never gated — it has nothing to regress against
+      // until the baseline is re-recorded.
       if (base.find(path) == base.end())
-        std::printf("  [SCHEMA] %-52s only in fresh\n", path.c_str());
+        std::printf("  %-12s %-52s %14s -> %-14.4g\n", "[NEW]", path.c_str(),
+                    "(absent)", fval);
     }
 
     for (const auto& d : deltas) {
