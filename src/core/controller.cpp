@@ -12,11 +12,13 @@ Controller::Controller(sim::EventLoop& loop, sim::Network& network,
                        tables::VnicServerMap& gateway,
                        ControllerConfig config)
     : loop_(loop), network_(network), gateway_(gateway), config_(config),
-      rng_(config.seed) {}
+      rng_(config.seed),
+      policy_(&policy::policy_for(config.fe_policy)) {}
 
 void Controller::add_vswitch(vswitch::VSwitch* vs) {
   fleet_index_[vs->id()] = fleet_.size();
   fleet_.push_back(SwitchState{vs, {}, 0.0});
+  vs->set_fe_policy(policy_);
 }
 
 void Controller::register_vnic(vswitch::VSwitch* home,
@@ -76,12 +78,7 @@ void Controller::publish_placement(const VnicRecord& rec) {
 std::vector<vswitch::VSwitch*> Controller::select_frontends(
     const vswitch::VSwitch& home, std::size_t count,
     const std::vector<sim::NodeId>& exclude) const {
-  struct Candidate {
-    vswitch::VSwitch* vs;
-    int tier;
-    double util;
-  };
-  std::vector<Candidate> candidates;
+  std::vector<policy::PlacementCandidate> candidates;
   const auto& topo = network_.topology();
   for (const auto& state : fleet_) {
     vswitch::VSwitch* vs = state.vs;
@@ -93,23 +90,126 @@ std::vector<vswitch::VSwitch*> Controller::select_frontends(
     // Idle enough to take load without becoming a bottleneck (App B.1), and
     // with spare rule memory for the table copy.
     if (state.last_cpu_util >= config_.scale_threshold) continue;
-    candidates.push_back(
-        Candidate{vs, topo.hop_tier(home.id(), vs->id()), state.last_cpu_util});
+    candidates.push_back(policy::PlacementCandidate{
+        vs->id(), topo.hop_tier(home.id(), vs->id()), state.last_cpu_util,
+        static_cast<double>(network_.port_queued_bytes(vs->id())),
+        static_cast<std::uint32_t>(vs->frontend_count())});
   }
-  // Prefer close (same ToR first) then least-loaded, so the selected set has
-  // similar performance-affecting attributes.
-  std::sort(candidates.begin(), candidates.end(),
-            [](const Candidate& a, const Candidate& b) {
-              if (a.tier != b.tier) return a.tier < b.tier;
-              if (a.util != b.util) return a.util < b.util;
-              return a.vs->id() < b.vs->id();
-            });
+  // The policy orders candidates best-first; the default rank is the
+  // paper's App B.1 preference (same ToR, then least-loaded).
+  policy_->rank(candidates);
   std::vector<vswitch::VSwitch*> out;
   for (const auto& c : candidates) {
     if (out.size() >= count) break;
-    out.push_back(c.vs);
+    out.push_back(fleet_[fleet_index_.at(c.node)].vs);
   }
   return out;
+}
+
+std::vector<vswitch::VSwitch*> Controller::displace_frontends(
+    tables::VnicId requester, const vswitch::VSwitch& home, std::size_t count,
+    std::vector<sim::NodeId>& exclude) {
+  // PAM-style push-aside: every idle host is already taken (or none
+  // exists), so look at busy neighbors that host FEs for *other* vNICs,
+  // least-loaded first — pushing the lightest neighbor aside costs the
+  // displaced pool the least. A donor pool must stay >= min_fes after the
+  // eviction, which also rules out two pools endlessly displacing each
+  // other's last spare FE.
+  struct Victim {
+    std::size_t fleet_idx;
+    double util;
+    std::uint32_t node;
+  };
+  std::vector<Victim> victims;
+  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+    const SwitchState& state = fleet_[i];
+    vswitch::VSwitch* vs = state.vs;
+    if (vs->id() == home.id()) continue;
+    if (network_.crashed(vs->id())) continue;
+    if (std::find(exclude.begin(), exclude.end(), vs->id()) != exclude.end()) {
+      continue;
+    }
+    if (state.last_cpu_util < config_.scale_threshold) continue;  // idle →
+    if (vs->frontend_count() == 0) continue;  // select_frontends territory
+    victims.push_back(Victim{i, state.last_cpu_util, vs->id()});
+  }
+  std::sort(victims.begin(), victims.end(),
+            [](const Victim& a, const Victim& b) {
+              if (a.util != b.util) return a.util < b.util;
+              return a.node < b.node;
+            });
+
+  std::vector<vswitch::VSwitch*> out;
+  for (const Victim& victim : victims) {
+    if (out.size() >= count) break;
+    vswitch::VSwitch* host = fleet_[victim.fleet_idx].vs;
+    // Deterministic donor choice on this host: the vNIC with the largest
+    // pool that can spare an FE (ties → smallest vNIC id). vnics_ is
+    // unordered, so iterate ids sorted.
+    tables::VnicId donor = 0;
+    std::size_t donor_pool = 0;
+    for (tables::VnicId vid : vnic_ids()) {
+      if (vid == requester) continue;
+      const VnicRecord& rec = vnics_.at(vid);
+      if (rec.transition_pending) continue;
+      if (std::find(rec.fe_nodes.begin(), rec.fe_nodes.end(), host->id()) ==
+          rec.fe_nodes.end()) {
+        continue;
+      }
+      if (rec.fe_nodes.size() <= config_.min_fes) continue;
+      if (rec.fe_nodes.size() > donor_pool) {
+        donor = vid;
+        donor_pool = rec.fe_nodes.size();
+      }
+    }
+    if (donor_pool == 0) continue;
+    evict_frontend(donor, host->id());
+    ++displacement_events_;
+    record_ctrl(telemetry::EventKind::kCtrlDisplace, host->id(), requester,
+                donor);
+    NEZHA_LOG_INFO("displaced vnic " + std::to_string(donor) + " FE on node " +
+                   std::to_string(host->id()) + " for vnic " +
+                   std::to_string(requester));
+    out.push_back(host);
+    exclude.push_back(host->id());
+  }
+  return out;
+}
+
+void Controller::evict_frontend(tables::VnicId id, sim::NodeId node) {
+  auto it = vnics_.find(id);
+  if (it == vnics_.end()) return;
+  VnicRecord& rec = it->second;
+  auto pos = std::find(rec.fe_nodes.begin(), rec.fe_nodes.end(), node);
+  if (pos == rec.fe_nodes.end()) return;
+  rec.fe_nodes.erase(pos);
+
+  // Same shape as scale_in_vswitch: update BE config + gateway after one
+  // config push; retain the FE's tables until stale senders drain
+  // (learning interval + RTT, §4.3).
+  vswitch::VSwitch* home = rec.home;
+  const common::TimePoint apply_at = loop_.now() + sample_config_latency();
+  loop_.schedule_at(apply_at, [this, home, id]() {
+    auto rit = vnics_.find(id);
+    if (rit == vnics_.end()) return;
+    std::vector<tables::Location> locations;
+    for (sim::NodeId n : rit->second.fe_nodes) {
+      auto fit = fleet_index_.find(n);
+      if (fit != fleet_index_.end()) {
+        locations.push_back(fleet_[fit->second].vs->location());
+      }
+    }
+    home->update_fe_locations(id, locations);
+    publish_placement(rit->second);
+  });
+  const common::TimePoint remove_at =
+      apply_at + config_.learning_interval + config_.rtt_allowance;
+  auto fe_it = fleet_index_.find(node);
+  if (fe_it != fleet_index_.end()) {
+    vswitch::VSwitch* fe = fleet_[fe_it->second].vs;
+    // Long drain tail → the table drop runs on the FE's own loop.
+    fe->loop().schedule_at(remove_at, [fe, id]() { fe->remove_frontend(id); });
+  }
 }
 
 common::Status Controller::trigger_offload(tables::VnicId id,
@@ -126,7 +226,14 @@ common::Status Controller::trigger_offload(tables::VnicId id,
   }
   if (num_fes == 0) num_fes = config_.initial_fes;
 
-  auto fes = select_frontends(*rec.home, num_fes, {});
+  std::vector<sim::NodeId> exclude;
+  auto fes = select_frontends(*rec.home, num_fes, exclude);
+  if (fes.size() < num_fes && policy_->displaces()) {
+    for (vswitch::VSwitch* fe : fes) exclude.push_back(fe->id());
+    auto pushed =
+        displace_frontends(id, *rec.home, num_fes - fes.size(), exclude);
+    fes.insert(fes.end(), pushed.begin(), pushed.end());
+  }
   if (fes.size() < num_fes) {
     return common::make_error("not enough idle vSwitches for FE pool");
   }
@@ -283,6 +390,12 @@ common::Status Controller::scale_out(
   std::vector<sim::NodeId> exclude = rec.fe_nodes;
   exclude.insert(exclude.end(), extra_exclude.begin(), extra_exclude.end());
   auto extra = select_frontends(*rec.home, additional, exclude);
+  if (extra.size() < additional && policy_->displaces()) {
+    for (vswitch::VSwitch* fe : extra) exclude.push_back(fe->id());
+    auto pushed =
+        displace_frontends(id, *rec.home, additional - extra.size(), exclude);
+    extra.insert(extra.end(), pushed.begin(), pushed.end());
+  }
   if (extra.empty()) return common::make_error("no idle vSwitches available");
 
   const common::TimePoint t0 = loop_.now();
@@ -466,6 +579,42 @@ void Controller::reseed_fe_hash(std::uint64_t seed) {
   for (auto& state : fleet_) state.vs->set_fe_hash_seed(seed);
 }
 
+void Controller::set_fe_policy(policy::PolicyKind kind) {
+  config_.fe_policy = kind;
+  policy_ = &policy::policy_for(kind);
+  for (auto& state : fleet_) {
+    state.vs->set_fe_policy(policy_);
+    state.vs->set_fe_weights(weight_book_);
+  }
+}
+
+void Controller::refresh_fleet_sample() {
+  const common::TimePoint now = loop_.now();
+  for (auto& state : fleet_) {
+    if (network_.crashed(state.vs->id())) continue;
+    state.last_cpu_util = state.sampler.sample(state.vs->cpu(), now);
+  }
+}
+
+void Controller::publish_fe_weights() {
+  ++weight_book_.version;
+  for (const auto& state : fleet_) {
+    const vswitch::VSwitch* vs = state.vs;
+    // Fold CPU with the egress-port backlog (the controller's shard view;
+    // nodes owned by other shards read 0 — conservative) so either
+    // saturated resource downweights the host. Quantize to [1, kMaxWeight]:
+    // never 0, so an FE still serving stale senders keeps draining.
+    const double queue = std::min(
+        1.0, network_.port_queued_bytes(vs->id()) /
+                 policy::LoadAwareWeightedPolicy::kQueueNormBytes);
+    const double load = std::min(1.0, std::max(state.last_cpu_util, queue));
+    const auto weight = static_cast<std::uint16_t>(
+        1 + std::lround((policy::FeWeightBook::kMaxWeight - 1) * (1.0 - load)));
+    weight_book_.set(vs->location().ip, weight);
+  }
+  for (auto& state : fleet_) state.vs->set_fe_weights(weight_book_);
+}
+
 common::Status Controller::migrate_backend(tables::VnicId id,
                                            vswitch::VSwitch* new_home) {
   auto it = vnics_.find(id);
@@ -597,6 +746,12 @@ void Controller::monitor_tick() {
         scale_in_vswitch(vs->id());
       }
     }
+  }
+
+  if (policy_->kind() == policy::PolicyKind::kLoadAwareWeighted &&
+      now - last_weight_push_ >= config_.weight_update_period) {
+    publish_fe_weights();
+    last_weight_push_ = now;
   }
 }
 

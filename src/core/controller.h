@@ -18,6 +18,7 @@
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/time.h"
+#include "src/policy/fe_policy.h"
 #include "src/sim/network.h"
 #include "src/tables/vnic_server_map.h"
 #include "src/telemetry/trace_event.h"
@@ -57,6 +58,13 @@ struct ControllerConfig {
   bool auto_offload = true;
   bool auto_scale = true;
   bool auto_fallback = false;
+  /// FE-selection strategy (DESIGN.md §14). The default static hash is the
+  /// paper's behavior and keeps the golden fingerprints bit-identical; the
+  /// controller pushes the policy to every vSwitch it manages.
+  policy::PolicyKind fe_policy = policy::PolicyKind::kStaticHash;
+  /// Minimum spacing between fleet-wide FE weight-book publications
+  /// (kLoadAwareWeighted only; recomputed from monitor samples).
+  common::Duration weight_update_period = common::seconds(1);
 };
 
 class Controller {
@@ -97,6 +105,24 @@ class Controller {
   /// and BE hashing must agree for session-consistent FE mapping). Used to
   /// redistribute traffic when 5-tuple hashing lands unevenly.
   void reseed_fe_hash(std::uint64_t seed);
+  /// Switches the FE-selection policy (DESIGN.md §14) and pushes it —
+  /// plus the current weight book — to the whole fleet, like a reseed:
+  /// sender and BE selection must agree, and like a reseed it is safe
+  /// mid-traffic (FEs are stateless; rehashed flows cost one rule lookup).
+  void set_fe_policy(policy::PolicyKind kind);
+  policy::PolicyKind fe_policy() const { return config_.fe_policy; }
+  /// Recomputes per-FE weights from the latest monitor samples (CPU folded
+  /// with the controller-shard port backlog — the same signals the
+  /// telemetry registry's vs<i>.cpu_util / vs<i>.port_q gauges export) and
+  /// pushes the book fleet-wide. monitor_tick calls this every
+  /// weight_update_period under kLoadAwareWeighted; tests and benches may
+  /// call it directly between quiescent windows.
+  void publish_fe_weights();
+  const policy::FeWeightBook& fe_weights() const { return weight_book_; }
+  /// Samples every vSwitch's CPU utilization now (what monitor_tick does
+  /// before deciding) without taking any scaling action — for driving
+  /// publish_fe_weights from a bench that never start()s the controller.
+  void refresh_fleet_sample();
   /// §7.2: VM live migration — re-point an offloaded vNIC's BE to a new
   /// vSwitch by updating the BE location config on its FEs (takes effect in
   /// <1ms, no gateway churn needed since senders address the FEs).
@@ -119,6 +145,8 @@ class Controller {
   std::uint64_t scale_out_events() const { return scale_out_events_; }
   std::uint64_t scale_in_events() const { return scale_in_events_; }
   std::uint64_t failover_events() const { return failover_events_; }
+  /// FEs evicted by the push-aside policy to make room for another vNIC.
+  std::uint64_t displacement_events() const { return displacement_events_; }
   std::uint64_t fes_provisioned_total() const { return fes_provisioned_; }
   /// Activation completion times (trigger → all traffic through FEs),
   /// one sample per offload event (Table 4).
@@ -167,6 +195,19 @@ class Controller {
       const vswitch::VSwitch& home, std::size_t count,
       const std::vector<sim::NodeId>& exclude) const;
 
+  /// PAM-style push-aside (kPushAsideDisplacement only): when
+  /// select_frontends comes up short, evicts FEs of *other* vNICs from the
+  /// least-loaded busy neighbors — only from pools that stay >= min_fes —
+  /// and returns those hosts for `requester`. Appends the chosen nodes to
+  /// `exclude`.
+  std::vector<vswitch::VSwitch*> displace_frontends(
+      tables::VnicId requester, const vswitch::VSwitch& home,
+      std::size_t count, std::vector<sim::NodeId>& exclude);
+
+  /// Scale-in of one vNIC's FE on one host: update BE config + gateway
+  /// after a config push, retire the FE instance after the drain interval.
+  void evict_frontend(tables::VnicId id, sim::NodeId node);
+
   /// Pushes the current placement (FE set or BE) to the gateway.
   void publish_placement(const VnicRecord& rec);
 
@@ -186,7 +227,11 @@ class Controller {
   std::uint64_t scale_out_events_ = 0;
   std::uint64_t scale_in_events_ = 0;
   std::uint64_t failover_events_ = 0;
+  std::uint64_t displacement_events_ = 0;
   std::uint64_t fes_provisioned_ = 0;
+  const policy::FeSelectionPolicy* policy_;
+  policy::FeWeightBook weight_book_;
+  common::TimePoint last_weight_push_ = 0;
   common::Percentiles offload_completion_;
   UtilizationHook utilization_hook_;
   telemetry::Hub* telemetry_ = nullptr;

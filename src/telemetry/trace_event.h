@@ -50,6 +50,9 @@ enum class EventKind : std::uint8_t {
   kProbeReply,        // monitor got a reply (a = target node, b = probe id)
   kCrashDeclared,     // monitor declared a target dead (a = target node)
   kCrashSuppressed,   // §C.2 widespread-failure guard tripped (a = target)
+  kCtrlDisplace,      // push-aside evicted an FE (node = host, a = requester
+                      // vNIC, b = displaced vNIC); appended last: kind
+                      // values are dump format
   kCount,
 };
 
@@ -104,7 +107,7 @@ inline constexpr std::array<std::string_view,
         "ctrl.fallback_begin", "ctrl.fallback_done", "ctrl.scale_out",
         "ctrl.scale_in",      "ctrl.fe_crash",     "ctrl.link_failover",
         "probe.sent",         "probe.reply",       "probe.crash_declared",
-        "probe.crash_suppressed",
+        "probe.crash_suppressed", "ctrl.displace",
 };
 
 inline constexpr std::array<std::string_view,

@@ -561,10 +561,12 @@ std::optional<tables::Location> VSwitch::resolve_dst(
   }
   const auto& locs = entry->placement.locations;
   if (locs.size() == 1) return locs[0];
-  // Offloaded destination: plain 5-tuple hashing across its FEs (§3.2.3).
+  // Offloaded destination: the FE-selection policy picks across its FEs
+  // (§3.2.3 5-tuple hashing under the default StaticHashPolicy).
   const net::FiveTuple hash_ft =
       config_.session_consistent_fe_hash ? ft.canonical() : ft;
-  return locs[net::flow_hash(hash_ft, fe_hash_seed_) % locs.size()];
+  return policy::pick_location(*fe_policy_, hash_ft, locs, fe_hash_seed_,
+                               fe_weights_);
 }
 
 void VSwitch::send_encapped(net::Packet pkt, const tables::Location& dst) {
@@ -741,8 +743,8 @@ void VSwitch::be_tx(Vnic& v, net::Packet pkt) {
   const net::FiveTuple hash_ft = config_.session_consistent_fe_hash
                                      ? pkt.inner.ft.canonical()
                                      : pkt.inner.ft;
-  tables::Location fe = fes[net::flow_hash(hash_ft, fe_hash_seed_) %
-                            fes.size()];
+  tables::Location fe = policy::pick_location(*fe_policy_, hash_ft, fes,
+                                              fe_hash_seed_, fe_weights_);
   if (auto pit = pinned_flows_.find(key); pit != pinned_flows_.end()) {
     fe = pit->second;
   }

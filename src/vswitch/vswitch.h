@@ -32,6 +32,7 @@
 #include "src/common/stats.h"
 #include "src/common/time.h"
 #include "src/flow/session_table.h"
+#include "src/policy/fe_policy.h"
 #include "src/net/packet.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/network.h"
@@ -185,6 +186,21 @@ class VSwitch : public sim::Node {
   /// lookup per flow at its new FE.
   void set_fe_hash_seed(std::uint64_t seed) { fe_hash_seed_ = seed; }
   std::uint64_t fe_hash_seed() const { return fe_hash_seed_; }
+
+  /// FE-selection policy (DESIGN.md §14) used by both hash sites (sender
+  /// resolve_dst and BE be_tx). Pushed fleet-wide by the controller — like
+  /// the hash seed, both directions must agree for session-consistent FE
+  /// mapping. Null resets to the default static hash.
+  void set_fe_policy(const policy::FeSelectionPolicy* p) {
+    fe_policy_ = p != nullptr
+                     ? p
+                     : &policy::policy_for(policy::PolicyKind::kStaticHash);
+  }
+  const policy::FeSelectionPolicy& fe_policy() const { return *fe_policy_; }
+  /// Fleet-wide FE weight book for load-aware policies (controller-pushed;
+  /// copied, so the control plane can keep mutating its own copy).
+  void set_fe_weights(const policy::FeWeightBook& book) { fe_weights_ = book; }
+  const policy::FeWeightBook& fe_weights() const { return fe_weights_; }
 
   /// §C.1 mutual FE-BE link probing: replies to probes sent by this node's
   /// prober land here.
@@ -364,6 +380,9 @@ class VSwitch : public sim::Node {
   std::unordered_map<flow::SessionKey, tables::Location, flow::SessionKeyHash>
       pinned_flows_;
   std::uint64_t fe_hash_seed_ = 0;
+  const policy::FeSelectionPolicy* fe_policy_ =
+      &policy::policy_for(policy::PolicyKind::kStaticHash);
+  policy::FeWeightBook fe_weights_;
   LinkProbeReplyFn link_probe_reply_;
   std::unordered_map<tables::VnicId, std::uint64_t> adapter_deliveries_;
 
