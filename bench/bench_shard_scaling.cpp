@@ -1,25 +1,36 @@
-// Sharded-engine scaling: a 10K-vswitch Clos fleet advanced in parallel.
+// Sharded-engine scaling: a 10K-vswitch Clos fleet advanced in parallel,
+// with the control plane live (fenced) inside the threaded window.
 //
 // The scenario is the FleetScenario heavy-hitter mix (servers strided
-// across the leaf tier, every server offloaded onto a cross-rack FE pool),
-// run once on the classic single-loop testbed as the wall-clock reference
-// and then on the sharded engine across a worker-thread sweep. Three things
-// are recorded per sweep point:
+// across the leaf tier, most server vNICs offloaded onto cross-rack FE
+// pools) plus the full churn script: a mid-window offload push for the
+// held-back servers, a monitor-detected FE crash and failover, and a
+// fleet-wide hash reseed — all fired through the epoch-fence protocol, so
+// the whole run (setup, churn and traffic) executes under worker threads.
+// Recorded per sweep point:
 //   * wall-clock speedup vs the unsharded reference and vs the 1-thread
-//     sharded run (the same epochs, rings and merges, minus parallelism);
+//     sharded run (the same epochs, rings, fences and merges, minus
+//     parallelism);
 //   * determinism: every thread count must produce the same fingerprint —
-//     this is a hard exit-code gate, not a report line;
+//     a hard exit-code gate, not a report line;
+//   * fence/fast-forward counters (fenced sections run, epochs skipped) —
+//     both must be non-zero or the bench is not exercising the protocol it
+//     claims to measure (also a gate, host-independent);
 //   * the per-shard busy-time balance, whose sum/max bounds the speedup any
 //     machine can extract from this partition (on hosts with fewer cores
-//     than shards, that bound is the honest headline — measured speedup on
-//     an oversubscribed host only measures the scheduler).
+//     than shards, that bound is the honest headline).
+// An ablation block at threads=1 toggles {fences, fast_forward}: the
+// fast-forward-off run must reproduce the fast-forward-on fingerprint
+// bit-for-bit (gate); the fences-off rows run the legacy single-threaded
+// control-plane semantics and are reported for wall-clock context only.
 //
-// Output: stdout tables + BENCH_shard.json (schema nezha-bench-shard-v1,
-// README.md) next to the binary's CWD, diffable with tools/nezha_report.
+// Output: stdout tables + BENCH_shard.json (schema nezha-bench-shard-v2,
+// README.md) in the CWD, diffable with tools/nezha_report.
 //
-// `--smoke` (CI): a small fleet, threads {1, 2}; exits non-zero unless the
-// 2-thread fingerprint equals the 1-thread one, traffic actually crossed
-// shards, and the cross-shard conservation identity closed. No JSON.
+// `--smoke` (CI): a small fleet, threads {1, 2}, churn enabled; exits
+// non-zero unless the 2-thread fingerprint equals the 1-thread one, traffic
+// crossed shards, conservation closed, the failover fired, and both the
+// skipped-epoch and fenced-section counters are non-zero. No JSON.
 //
 // Flags: --vswitches N (10240) --shards K (8) --pairs P (64)
 //        --window-ms W (1000) --max-threads T (8)
@@ -29,6 +40,7 @@
 #include <cstdlib>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -46,6 +58,18 @@ double wall_seconds(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+struct RunOpts {
+  std::size_t vswitches = 10240;
+  std::size_t shards = 8;
+  int threads = 1;
+  std::size_t pairs = 64;
+  int window_ms = 1000;
+  std::uint64_t seed = 7;
+  bool churn = true;
+  bool fences = true;
+  bool fast_forward = true;
+};
+
 struct RunResult {
   std::uint64_t fingerprint = 0;
   core::Testbed::NetTotals totals{};
@@ -59,42 +83,58 @@ struct RunResult {
   std::uint64_t pending = 0;
   std::uint64_t late = 0;
   std::uint64_t epochs = 0;
+  std::uint64_t epochs_skipped = 0;
+  std::uint64_t fenced_sections = 0;
+  std::uint64_t failovers = 0;
   double busy_balance = 0;   // mean/max of per-shard busy time (1.0 = even)
   double ideal_speedup = 0;  // sum/max of per-shard busy time
   std::size_t violations = 0;
   std::string report;
 };
 
-/// One full scenario run: deploy + offload at 1 worker (control plane),
-/// then a timed traffic window at `threads` workers, then a quiescent drain
-/// and invariant check. shards == 1 builds the engine-less reference bed.
-RunResult run_one(std::size_t vswitches, std::size_t shards, int threads,
-                  std::size_t pairs, int window_ms, std::uint64_t seed) {
-  core::TestbedConfig cfg = core::make_clos_testbed_config(vswitches);
+/// One full scenario run, threaded end-to-end when o.fences (deploy,
+/// offload, churn and the timed traffic window all execute under o.threads
+/// workers; the fence protocol keeps the outcome thread-count invariant).
+/// With o.fences == false the run is pinned to 1 worker — the legacy
+/// control-plane rule this bench's protocol removed — and serves as the
+/// ablation baseline. shards == 1 builds the engine-less reference bed.
+RunResult run_one(const RunOpts& o) {
+  core::TestbedConfig cfg = core::make_clos_testbed_config(o.vswitches);
   cfg.controller.auto_offload = false;
   cfg.controller.auto_scale = false;
-  cfg.shards = shards;
-  cfg.threads = 1;
+  cfg.monitor.probe_interval = common::milliseconds(100);
+  cfg.monitor.probe_timeout = common::milliseconds(50);
+  cfg.monitor.miss_threshold = 2;
+  cfg.shards = o.shards;
+  cfg.threads = o.fences ? o.threads : 1;
+  cfg.shard_fences = o.fences;
+  cfg.shard_fast_forward = o.fast_forward;
   core::Testbed bed(cfg);
 
   workload::FleetScenarioConfig sc;
-  sc.num_pairs = pairs;
+  sc.num_pairs = o.pairs;
   sc.base_attempts_per_sec = 400.0;
-  sc.seed = seed;
+  sc.seed = o.seed;
   workload::FleetScenario scenario(bed, sc);
   core::InvariantChecker checker(bed,
-                                 core::InvariantCheckerConfig{.seed = seed});
+                                 core::InvariantCheckerConfig{.seed = o.seed});
 
   scenario.deploy();
-  scenario.offload_all();
-  bed.run_for(common::seconds(1));  // offload workflows, single-threaded
+  scenario.offload_all(o.churn ? o.pairs / 4 : 0);
+  bed.run_for(common::seconds(1));  // offload workflows settle
   checker.check();
 
-  bed.set_threads(threads);
   scenario.start_traffic();
+  if (o.churn) {
+    // Offload push / FE crash / hash reseed inside the timed window,
+    // scaled so detection + failover complete before the window closes.
+    scenario.schedule_churn(common::milliseconds(o.window_ms / 10),
+                            common::milliseconds(o.window_ms / 4),
+                            common::milliseconds(o.window_ms * 3 / 5));
+  }
   const std::uint64_t delivered_before = bed.net_totals().delivered;
   const auto t0 = std::chrono::steady_clock::now();
-  bed.run_for(common::milliseconds(window_ms));
+  bed.run_for(common::milliseconds(o.window_ms));
   const double wall = wall_seconds(t0);
   scenario.stop_traffic();
   bed.run_for(common::milliseconds(250));
@@ -114,6 +154,7 @@ RunResult run_one(std::size_t vswitches, std::size_t shards, int threads,
                  bed.controller().scale_in_events() +
                  bed.controller().failover_events() +
                  bed.controller().fes_provisioned_total();
+  r.failovers = bed.controller().failover_events();
   const core::Testbed::NetTotals t = bed.net_totals();
   r.totals = t;
   r.exported = t.exported;
@@ -122,6 +163,8 @@ RunResult run_one(std::size_t vswitches, std::size_t shards, int threads,
     r.pending = bed.engine()->tokens_pending();
     r.late = bed.engine()->late_tokens();
     r.epochs = bed.engine()->epochs_run();
+    r.epochs_skipped = bed.engine()->epochs_skipped();
+    r.fenced_sections = bed.engine()->fenced_sections_run();
     std::uint64_t sum = 0, mx = 0;
     for (std::uint32_t s = 0; s < bed.shard_count(); ++s) {
       const std::uint64_t b = bed.engine()->shard_busy_ns(s);
@@ -144,52 +187,69 @@ RunResult run_one(std::size_t vswitches, std::size_t shards, int threads,
 
 int main(int argc, char** argv) {
   const bool smoke = benchutil::has_flag(argc, argv, "--smoke");
-  const std::size_t vswitches = static_cast<std::size_t>(std::max(
+  RunOpts base;
+  base.vswitches = static_cast<std::size_t>(std::max(
       64L, benchutil::int_flag(argc, argv, "--vswitches", smoke ? 128 : 10240)));
-  const std::size_t shards = static_cast<std::size_t>(
+  base.shards = static_cast<std::size_t>(
       std::max(1L, benchutil::int_flag(argc, argv, "--shards", 8)));
-  const std::size_t pairs = static_cast<std::size_t>(std::max(
-      1L, benchutil::int_flag(argc, argv, "--pairs", smoke ? 8 : 64)));
-  const int window_ms = static_cast<int>(std::max(
-      50L, benchutil::int_flag(argc, argv, "--window-ms", smoke ? 500 : 1000)));
+  base.pairs = static_cast<std::size_t>(std::max(
+      4L, benchutil::int_flag(argc, argv, "--pairs", smoke ? 8 : 64)));
+  base.window_ms = static_cast<int>(std::max(
+      200L, benchutil::int_flag(argc, argv, "--window-ms", smoke ? 600 : 1000)));
   const int max_threads = static_cast<int>(
       std::max(1L, benchutil::int_flag(argc, argv, "--max-threads", 8)));
-  constexpr std::uint64_t kSeed = 7;
   const unsigned hw = std::thread::hardware_concurrency();
 
   benchutil::banner(
-      "Sharded engine scaling — parallel fleet simulation",
-      smoke ? "smoke mode: N-thread fingerprint == 1-thread + conservation"
-            : "lockstep-epoch shards turn cores into simulated-fleet "
-              "wall-clock speedup without changing a single outcome");
-  std::printf("  %zu vswitches, %zu shards, %zu pairs, %dms window, host "
-              "has %u core(s)\n",
-              vswitches, shards, pairs, window_ms, hw);
+      "Sharded engine scaling — threaded control plane under churn",
+      smoke ? "smoke mode: N-thread fingerprint == 1-thread + conservation "
+              "+ failover under fences"
+            : "epoch fences let churn (offload push, FE crash, reseed) run "
+              "under worker threads without changing a single outcome");
+  std::printf("  %zu vswitches, %zu shards, %zu pairs, %dms window, churn "
+              "on, host has %u core(s)\n",
+              base.vswitches, base.shards, base.pairs, base.window_ms, hw);
 
   if (smoke) {
-    const RunResult t1 = run_one(vswitches, shards, 1, pairs, window_ms, kSeed);
-    const RunResult t2 = run_one(vswitches, shards, 2, pairs, window_ms, kSeed);
+    RunOpts o1 = base;
+    o1.threads = 1;
+    RunOpts o2 = base;
+    o2.threads = 2;
+    const RunResult t1 = run_one(o1);
+    const RunResult t2 = run_one(o2);
     const bool deterministic = t1.fingerprint == t2.fingerprint;
     const bool crossed = t1.exported > 0;
     const bool conserved = t1.violations == 0 && t2.violations == 0 &&
                            t2.exported == t2.imported + t2.pending &&
                            t2.late == 0;
+    const bool churned = t1.failovers > 0 && t2.failovers == t1.failovers;
+    const bool protocol = t1.epochs_skipped > 0 && t1.fenced_sections > 0 &&
+                          t2.fenced_sections > 0;
     benchutil::verdict(deterministic,
-                       "2-thread fingerprint == 1-thread fingerprint");
+                       "2-thread fingerprint == 1-thread fingerprint "
+                       "(churn included)");
     benchutil::verdict(crossed, "offload traffic crossed shard boundaries");
     benchutil::verdict(conserved,
                        "cross-shard conservation + conservative lookahead");
+    benchutil::verdict(churned, "FE crash detected and failed over at every "
+                                "thread count");
+    benchutil::verdict(protocol, "fenced sections ran and sparse epochs "
+                                 "were skipped");
     if (!t1.report.empty()) std::printf("%s\n", t1.report.c_str());
     if (!t2.report.empty()) std::printf("%s\n", t2.report.c_str());
-    return deterministic && crossed && conserved ? 0 : 1;
+    return deterministic && crossed && conserved && churned && protocol ? 0
+                                                                        : 1;
   }
 
   // Reference: the classic engine-less testbed (what every run before the
-  // sharded engine measured).
+  // sharded engine measured), same churn script via plain loop events.
   std::printf("\n  [unsharded reference]\n");
-  const RunResult ref = run_one(vswitches, 1, 1, pairs, window_ms, kSeed);
+  RunOpts oref = base;
+  oref.shards = 1;
+  oref.threads = 1;
+  const RunResult ref = run_one(oref);
   std::printf("    %.2fs wall for the %dms window, %llu packets\n",
-              ref.wall_sec, window_ms,
+              ref.wall_sec, base.window_ms,
               static_cast<unsigned long long>(ref.delivered));
 
   std::vector<int> sweep;
@@ -198,11 +258,14 @@ int main(int argc, char** argv) {
   for (const int t : sweep) {
     std::printf("  [%d thread(s)] running...\n", t);
     std::fflush(stdout);
-    results.push_back(run_one(vswitches, shards, t, pairs, window_ms, kSeed));
+    RunOpts o = base;
+    o.threads = t;
+    results.push_back(run_one(o));
   }
 
   benchutil::Table tab({"threads", "wall (s)", "vs unsharded", "vs 1-thread",
-                        "pkts/wall-sec", "busy balance"});
+                        "pkts/wall-sec", "busy balance", "skipped",
+                        "fences"});
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     const RunResult& r = results[i];
     tab.add_row({std::to_string(sweep[i]), benchutil::fmt(r.wall_sec, 2),
@@ -210,9 +273,43 @@ int main(int argc, char** argv) {
                  benchutil::fmt(results[0].wall_sec / r.wall_sec, 2) + "x",
                  benchutil::fmt_si(static_cast<double>(r.delivered) /
                                    r.wall_sec),
-                 benchutil::fmt_pct(r.busy_balance)});
+                 benchutil::fmt_pct(r.busy_balance),
+                 std::to_string(r.epochs_skipped),
+                 std::to_string(r.fenced_sections)});
   }
   tab.print();
+
+  // Ablation at threads=1: fast-forward off must reproduce the sweep
+  // fingerprint; fences off (legacy single-threaded control plane) is
+  // wall-clock context only — its event interleaving differs by design.
+  std::printf("\n  [ablation, threads=1]\n");
+  struct Ablation {
+    bool fences;
+    bool fast_forward;
+    RunResult r;
+  };
+  std::vector<Ablation> ablation;
+  for (const auto& [fen, ff] : std::vector<std::pair<bool, bool>>{
+           {true, false}, {false, true}, {false, false}}) {
+    RunOpts o = base;
+    o.threads = 1;
+    o.fences = fen;
+    o.fast_forward = ff;
+    std::printf("    fences=%d fast_forward=%d running...\n", fen ? 1 : 0,
+                ff ? 1 : 0);
+    std::fflush(stdout);
+    ablation.push_back(Ablation{fen, ff, run_one(o)});
+  }
+  benchutil::Table atab(
+      {"fences", "fast-fwd", "wall (s)", "epochs", "skipped", "sections"});
+  for (const Ablation& a : ablation) {
+    atab.add_row({a.fences ? "on" : "off", a.fast_forward ? "on" : "off",
+                  benchutil::fmt(a.r.wall_sec, 2),
+                  std::to_string(a.r.epochs),
+                  std::to_string(a.r.epochs_skipped),
+                  std::to_string(a.r.fenced_sections)});
+  }
+  atab.print();
 
   bool deterministic = true;
   for (const RunResult& r : results) {
@@ -224,29 +321,52 @@ int main(int argc, char** argv) {
                 r.exported == r.imported + r.pending && r.late == 0;
   }
   const RunResult& last = results.back();
-  const double best_speedup =
-      ref.wall_sec /
+  const double best_wall =
       std::min_element(results.begin(), results.end(),
                        [](const RunResult& a, const RunResult& b) {
                          return a.wall_sec < b.wall_sec;
                        })
           ->wall_sec;
+  const double best_vs_unsharded = ref.wall_sec / best_wall;
+  const double best_vs_1thread = results[0].wall_sec / best_wall;
+  const bool protocol_live =
+      results[0].epochs_skipped > 0 && results[0].fenced_sections > 0;
+  const bool ff_invariant =
+      ablation[0].r.fingerprint == results[0].fingerprint &&
+      ablation[0].r.epochs_skipped == 0;
+  bool churned = ref.failovers > 0;
+  for (const RunResult& r : results) {
+    churned = churned && r.failovers == results[0].failovers &&
+              r.failovers > 0;
+  }
 
   benchutil::verdict(deterministic,
-                     "every thread count produced the same fingerprint");
+                     "every thread count produced the same fingerprint "
+                     "(churn included)");
   benchutil::verdict(conserved,
                      "cross-shard conservation + 0 late tokens at every "
                      "thread count");
+  benchutil::verdict(churned,
+                     "FE crash detected and failed over identically at "
+                     "every thread count");
+  benchutil::verdict(protocol_live,
+                     "fenced sections ran and sparse epochs were skipped");
+  benchutil::verdict(ff_invariant,
+                     "fast-forward off reproduces the fast-forward-on "
+                     "fingerprint");
   benchutil::verdict(last.ideal_speedup >= 4.0,
                      "shard busy-time balance supports >= 4x (sum/max of "
                      "per-shard busy time)");
   if (hw >= 8) {
-    benchutil::verdict(best_speedup >= 4.0,
+    benchutil::verdict(best_vs_1thread >= 3.0,
+                       ">= 3x wall-clock vs the 1-thread sharded churn run");
+    benchutil::verdict(best_vs_unsharded >= 4.0,
                        ">= 4x wall-clock vs the unsharded single thread");
   } else {
-    std::printf("  [SKIP] wall-clock >=4x gate needs >= 8 cores; this host "
-                "has %u — measured best %.2fx, balance-bound %.2fx\n",
-                hw, best_speedup, last.ideal_speedup);
+    std::printf("  [SKIP] wall-clock gates (>=3x vs 1-thread, >=4x vs "
+                "unsharded) need >= 8 cores; this host has %u — measured "
+                "%.2fx / %.2fx, balance-bound %.2fx\n",
+                hw, best_vs_1thread, best_vs_unsharded, last.ideal_speedup);
   }
   if (!deterministic) {
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -275,19 +395,21 @@ int main(int argc, char** argv) {
   }
   std::fprintf(json,
                "{\n"
-               "  \"schema\": \"nezha-bench-shard-v1\",\n"
+               "  \"schema\": \"nezha-bench-shard-v2\",\n"
                "  \"config\": {\"num_vswitches\": %zu, \"shards\": %zu, "
                "\"pairs\": %zu, \"window_ms\": %d, \"seed\": %llu, "
-               "\"hardware_concurrency\": %u},\n"
+               "\"hardware_concurrency\": %u, \"quiesce_fences\": 1, "
+               "\"fast_forward\": 1, \"churn\": 1},\n"
                "  \"unsharded_reference\": {\"wall_seconds\": %.3f, "
                "\"pkts_per_wall_sec\": %.0f, \"delivered_packets\": %llu, "
-               "\"completed_connections\": %llu},\n"
+               "\"completed_connections\": %llu, \"failovers\": %llu},\n"
                "  \"sweep\": [\n",
-               vswitches, shards, pairs, window_ms,
-               static_cast<unsigned long long>(kSeed), hw, ref.wall_sec,
+               base.vswitches, base.shards, base.pairs, base.window_ms,
+               static_cast<unsigned long long>(base.seed), hw, ref.wall_sec,
                static_cast<double>(ref.delivered) / ref.wall_sec,
                static_cast<unsigned long long>(ref.delivered),
-               static_cast<unsigned long long>(ref.completed));
+               static_cast<unsigned long long>(ref.completed),
+               static_cast<unsigned long long>(ref.failovers));
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     const RunResult& r = results[i];
     std::fprintf(
@@ -296,28 +418,50 @@ int main(int argc, char** argv) {
         "\"speedup_vs_unsharded\": %.3f, \"speedup_vs_1thread\": %.3f, "
         "\"pkts_per_wall_sec\": %.0f, \"busy_balance\": %.4f, "
         "\"ideal_speedup_from_balance\": %.3f, \"exported_tokens\": %llu, "
-        "\"epochs\": %llu}%s\n",
+        "\"epochs\": %llu, \"epochs_skipped\": %llu, "
+        "\"fenced_sections\": %llu, \"failovers\": %llu}%s\n",
         sweep[i], r.wall_sec, ref.wall_sec / r.wall_sec,
         results[0].wall_sec / r.wall_sec,
         static_cast<double>(r.delivered) / r.wall_sec, r.busy_balance,
         r.ideal_speedup, static_cast<unsigned long long>(r.exported),
         static_cast<unsigned long long>(r.epochs),
+        static_cast<unsigned long long>(r.epochs_skipped),
+        static_cast<unsigned long long>(r.fenced_sections),
+        static_cast<unsigned long long>(r.failovers),
         i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n  \"ablation\": [\n");
+  for (std::size_t i = 0; i < ablation.size(); ++i) {
+    const Ablation& a = ablation[i];
+    std::fprintf(
+        json,
+        "    {\"fences\": %d, \"fast_forward\": %d, \"threads\": 1, "
+        "\"wall_seconds\": %.3f, \"fingerprint_hex\": \"%016llx\", "
+        "\"epochs\": %llu, \"epochs_skipped\": %llu, "
+        "\"fenced_sections\": %llu}%s\n",
+        a.fences ? 1 : 0, a.fast_forward ? 1 : 0, a.r.wall_sec,
+        static_cast<unsigned long long>(a.r.fingerprint),
+        static_cast<unsigned long long>(a.r.epochs),
+        static_cast<unsigned long long>(a.r.epochs_skipped),
+        static_cast<unsigned long long>(a.r.fenced_sections),
+        i + 1 < ablation.size() ? "," : "");
   }
   std::fprintf(json,
                "  ],\n"
                "  \"determinism\": {\"fingerprints_equal_across_threads\": "
-               "%d, \"fingerprint_hex\": \"%016llx\"}\n"
+               "%d, \"fast_forward_invariant\": %d, "
+               "\"fingerprint_hex\": \"%016llx\"}\n"
                "}\n",
-               deterministic ? 1 : 0,
+               deterministic ? 1 : 0, ff_invariant ? 1 : 0,
                static_cast<unsigned long long>(results[0].fingerprint));
   std::fclose(json);
   std::printf("\n  Wrote BENCH_shard.json\n");
 
-  // The wall-clock gate only applies on hosts with enough cores; the
-  // determinism/conservation/balance gates always do.
-  const bool gates_ok = deterministic && conserved &&
-                        last.ideal_speedup >= 4.0 &&
-                        (hw < 8 || best_speedup >= 4.0);
+  // Wall-clock gates only apply on hosts with enough cores; determinism,
+  // conservation, churn, protocol-liveness and balance gates always do.
+  const bool gates_ok =
+      deterministic && conserved && churned && protocol_live &&
+      ff_invariant && last.ideal_speedup >= 4.0 &&
+      (hw < 8 || (best_vs_1thread >= 3.0 && best_vs_unsharded >= 4.0));
   return gates_ok ? 0 : 1;
 }

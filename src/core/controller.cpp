@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/log.h"
+#include "src/sim/shard.h"
 #include "src/telemetry/hub.h"
 
 namespace nezha::core {
@@ -43,6 +44,22 @@ void Controller::record_ctrl(telemetry::EventKind kind, std::uint32_t node,
   e.a = a;
   e.b = b;
   telemetry_->record(e);
+}
+
+void Controller::schedule_ctrl(common::TimePoint at,
+                               std::function<void()> fn) {
+  if (fences_ != nullptr) {
+    fences_->schedule_fenced(at, std::move(fn));
+  } else {
+    loop_.schedule_at(at, std::move(fn));
+  }
+}
+
+void Controller::schedule_monitor_tick(common::TimePoint at) {
+  fences_->schedule_fenced(at, [this, at]() {
+    monitor_tick();
+    schedule_monitor_tick(at + config_.monitor_period);
+  });
 }
 
 common::Duration Controller::sample_config_latency() {
@@ -189,7 +206,9 @@ void Controller::evict_frontend(tables::VnicId id, sim::NodeId node) {
   // (learning interval + RTT, §4.3).
   vswitch::VSwitch* home = rec.home;
   const common::TimePoint apply_at = loop_.now() + sample_config_latency();
-  loop_.schedule_at(apply_at, [this, home, id]() {
+  // The apply touches the home vSwitch (possibly another shard's) and the
+  // gateway senders read fleet-wide → fenced under a threaded engine.
+  schedule_ctrl(apply_at, [this, home, id]() {
     auto rit = vnics_.find(id);
     if (rit == vnics_.end()) return;
     std::vector<tables::Location> locations;
@@ -285,8 +304,9 @@ common::Status Controller::trigger_offload(tables::VnicId id,
   });
 
   // (3) Gateway update, then the learning interval bounds sender staleness.
+  // Senders on every shard read the gateway → fenced under threads.
   const common::TimePoint gw_done = be_ready + sample_config_latency();
-  loop_.schedule_at(gw_done, [this, id]() {
+  schedule_ctrl(gw_done, [this, id]() {
     auto rit = vnics_.find(id);
     if (rit != vnics_.end()) publish_placement(rit->second);
   });
@@ -345,7 +365,7 @@ common::Status Controller::trigger_fallback(tables::VnicId id) {
     (void)home->begin_fallback(id, dual_until);
   });
   const common::TimePoint gw_done = local_ready + sample_config_latency();
-  loop_.schedule_at(gw_done, [this, id]() {
+  schedule_ctrl(gw_done, [this, id]() {
     auto rit = vnics_.find(id);
     if (rit == vnics_.end()) return;
     rit->second.offloaded = false;  // placement reverts to the BE
@@ -432,7 +452,7 @@ common::Status Controller::scale_out(
   // gateway's vNIC-server table (§4.3).
   const common::TimePoint apply_at = fe_ready + sample_config_latency();
   vswitch::VSwitch* home = rec.home;
-  loop_.schedule_at(apply_at, [this, home, id]() {
+  schedule_ctrl(apply_at, [this, home, id]() {
     auto rit = vnics_.find(id);
     if (rit == vnics_.end()) return;
     std::vector<tables::Location> locations;
@@ -467,7 +487,7 @@ void Controller::scale_in_vswitch(sim::NodeId node) {
     vswitch::VSwitch* home = rec.home;
     const tables::VnicId vnic_id = id;
     const common::TimePoint apply_at = loop_.now() + sample_config_latency();
-    loop_.schedule_at(apply_at, [this, home, vnic_id]() {
+    schedule_ctrl(apply_at, [this, home, vnic_id]() {
       auto rit = vnics_.find(vnic_id);
       if (rit == vnics_.end()) return;
       std::vector<tables::Location> locations;
@@ -684,7 +704,16 @@ bool Controller::transition_pending(tables::VnicId id) const {
 void Controller::start() {
   if (started_) return;
   started_ = true;
-  loop_.schedule_periodic(config_.monitor_period, [this]() { monitor_tick(); });
+  if (fences_ != nullptr) {
+    // Monitoring reads every shard's vSwitch CPU and can launch any
+    // workflow → the tick itself is a fenced section, self-rescheduling at
+    // nominal multiples of the period (the barrier quantizes actual
+    // execution to epoch boundaries, identically for every thread count).
+    schedule_monitor_tick(loop_.now() + config_.monitor_period);
+  } else {
+    loop_.schedule_periodic(config_.monitor_period,
+                            [this]() { monitor_tick(); });
+  }
 }
 
 void Controller::monitor_tick() {

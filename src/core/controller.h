@@ -28,6 +28,10 @@ namespace nezha::telemetry {
 class Hub;
 }
 
+namespace nezha::sim {
+class FenceScheduler;
+}
+
 namespace nezha::core {
 
 struct ControllerConfig {
@@ -159,6 +163,15 @@ class Controller {
   /// scale-out/-in, failover).
   void set_telemetry(telemetry::Hub* hub) { telemetry_ = hub; }
 
+  /// Threaded control plane (DESIGN.md §15): when set, every controller
+  /// continuation that touches cross-shard state — monitor ticks, gateway
+  /// publishes, fleet-wide config applies — runs as a fenced section at an
+  /// epoch barrier instead of as a plain shard-0 loop event, so the whole
+  /// lifecycle (offload, churn, failover) is safe while the engine is
+  /// multi-threaded. Null (the default) keeps the legacy single-loop
+  /// behavior bit-identical.
+  void set_fence_scheduler(sim::FenceScheduler* fences) { fences_ = fences; }
+
   /// Monitoring hook for experiments: called after each monitor tick with
   /// (node, cpu utilization) samples.
   using UtilizationHook =
@@ -187,6 +200,16 @@ class Controller {
   void monitor_tick();
   void record_ctrl(telemetry::EventKind kind, std::uint32_t node,
                    std::uint64_t a, std::uint64_t b = 0);
+
+  /// Schedules a control continuation that may touch cross-shard state
+  /// (gateway, other shards' vSwitch config, the whole fleet): a fenced
+  /// section when a scheduler is installed, a shard-0 loop event otherwise.
+  /// Continuations that only mutate the controller's own records stay on
+  /// loop_ unconditionally — they always execute on the controller's shard.
+  void schedule_ctrl(common::TimePoint at, std::function<void()> fn);
+  /// Self-rescheduling fenced monitor tick at nominal `at + k*period`
+  /// (periodic loop events cannot cross the quiesce protocol).
+  void schedule_monitor_tick(common::TimePoint at);
 
   /// Picks `count` idle vSwitches for a vNIC homed at `home`, preferring
   /// the same ToR, then the same aggregation block (App B.1), excluding
@@ -235,6 +258,7 @@ class Controller {
   common::Percentiles offload_completion_;
   UtilizationHook utilization_hook_;
   telemetry::Hub* telemetry_ = nullptr;
+  sim::FenceScheduler* fences_ = nullptr;
   bool started_ = false;
 };
 

@@ -50,6 +50,7 @@ Testbed::Testbed(TestbedConfig config) : topology_(config.topology) {
     sim::ShardedEngineConfig ecfg;
     ecfg.epoch = topology_.min_cross_rack_latency();
     ecfg.ring_capacity = config.shard_ring_capacity;
+    ecfg.fast_forward = config.shard_fast_forward;
     engine_ = std::make_unique<sim::ShardedEngine>(std::move(shards), ecfg);
     for (std::uint32_t s = 0; s < num_shards_; ++s) {
       network_of_shard(s).set_shard_router(engine_.get(), s);
@@ -66,10 +67,13 @@ Testbed::Testbed(TestbedConfig config) : topology_(config.topology) {
     if (engine_ != nullptr) engine_->map_ip(underlay_ip(i), s, vs->id());
     switches_.push_back(std::move(vs));
   }
-  // Control plane lives on shard 0 (see header: cross-shard control
-  // workflows run at threads == 1 or while the bed is quiescent).
+  // Control plane lives on shard 0. Under the fence protocol its
+  // cross-shard continuations run as fenced sections at epoch barriers;
+  // otherwise the legacy contract applies (threads == 1 or quiescent).
   controller_ = std::make_unique<Controller>(loop_, *network_, gateway_,
                                              config.controller);
+  fenced_control_ = engine_ != nullptr && config.shard_fences;
+  if (fenced_control_) controller_->set_fence_scheduler(engine_.get());
   for (auto& vs : switches_) controller_->add_vswitch(vs.get());
   const sim::NodeId monitor_id =
       static_cast<sim::NodeId>(config.num_vswitches + 1);
@@ -81,12 +85,27 @@ Testbed::Testbed(TestbedConfig config) : topology_(config.topology) {
   if (engine_ != nullptr) {
     engine_->map_ip(net::Ipv4Addr(10, 255, 0, 1), monitor_shard, monitor_id);
   }
-  monitor_->set_crash_callback(
-      [this](sim::NodeId node) { controller_->handle_fe_crash(node); });
+  // The monitor fires this from its own shard's advance phase; failover
+  // touches the whole fleet, so under fences it becomes a fenced section
+  // at the next barrier (due 0 = "as soon as everyone is parked").
+  monitor_->set_crash_callback([this](sim::NodeId node) {
+    if (fenced_control_) {
+      engine_->schedule_fenced(
+          0, [this, node]() { controller_->handle_fe_crash(node); });
+    } else {
+      controller_->handle_fe_crash(node);
+    }
+  });
   link_prober_ = std::make_unique<LinkProber>(loop_, *network_);
   link_prober_->set_failure_callback(
       [this](tables::VnicId id, sim::NodeId fe) {
-        controller_->handle_link_failure(id, fe);
+        if (fenced_control_) {
+          engine_->schedule_fenced(0, [this, id, fe]() {
+            controller_->handle_link_failure(id, fe);
+          });
+        } else {
+          controller_->handle_link_failure(id, fe);
+        }
       });
   if (config.telemetry.enabled) wire_telemetry(config.telemetry);
 }
@@ -111,6 +130,25 @@ void Testbed::wire_telemetry(const telemetry::TelemetryConfig& cfg) {
       shard_of_node(static_cast<sim::NodeId>(switches_.size() + 1))));
   for (std::uint32_t s = 0; s < num_shards_; ++s) {
     wire_shard_telemetry(s, telemetry_of_shard(s));
+  }
+  if (engine_ != nullptr) {
+    // Fence lifecycle into shard 0's flight recorder (fence taps always run
+    // in a quiescent context, on the thread that owns shard 0's hub). Node
+    // id = switches_.size(): the spare slot between the vSwitches [0, N)
+    // and the monitor N+1 — "the controller".
+    telemetry::Hub* hub0 = telemetry_.get();
+    const auto ctrl_node = static_cast<std::uint32_t>(switches_.size());
+    engine_->set_fence_trace(
+        [hub0, ctrl_node](const sim::ShardedEngine::FenceTracePoint& p) {
+          telemetry::TraceEvent e;
+          e.at = p.at;
+          e.node = ctrl_node;
+          e.kind = p.executed ? telemetry::EventKind::kFenceExec
+                              : telemetry::EventKind::kFenceSched;
+          e.a = static_cast<std::uint64_t>(p.due < 0 ? 0 : p.due);
+          e.b = p.seq;
+          hub0->record(e);
+        });
   }
 }
 
@@ -150,6 +188,28 @@ void Testbed::wire_shard_telemetry(std::uint32_t shard, telemetry::Hub* hub) {
       return static_cast<double>(net->fabric_queued_bytes(i));
     });
   }
+  if (engine_ != nullptr) {
+    sim::ShardedEngine* eng = engine_.get();
+    if (shard == 0) {
+      // Engine-global counters are written only by worker 0, which also
+      // drives shard 0's sampler — same thread, no race.
+      m.gauge("sim.epochs_skipped",
+              [eng] { return static_cast<double>(eng->epochs_skipped()); });
+      m.gauge("sim.fenced_sections", [eng] {
+        return static_cast<double>(eng->fenced_sections_run());
+      });
+      m.gauge("sim.fences_queued",
+              [eng] { return static_cast<double>(eng->fences_queued()); });
+    }
+    // Per-shard barrier-wait histogram: observed by the shard's owning
+    // worker, sampled by the same worker's advance phase — per-shard hubs
+    // keep the registries disjoint across threads.
+    const telemetry::MetricsRegistry::Id wait_id =
+        m.histogram("sim.barrier_wait_us", 0.0, 10000.0, 32);
+    telemetry::MetricsRegistry* reg = &m;
+    eng->set_barrier_wait_observer(
+        shard, [reg, wait_id](double us) { reg->observe(wait_id, us); });
+  }
   hub->start_sampler(*loop);
 }
 
@@ -179,6 +239,15 @@ void Testbed::dump_merged_trace(std::ostream& os) const {
   recs.push_back(&telemetry_->recorder());
   for (const auto& h : extra_hubs_) recs.push_back(&h->recorder());
   telemetry::dump_merged(os, recs);
+}
+
+void Testbed::schedule_control(common::TimePoint at,
+                               std::function<void()> fn) {
+  if (fenced_control_) {
+    engine_->schedule_fenced(at, std::move(fn));
+  } else {
+    loop_.schedule_at(at, std::move(fn));
+  }
 }
 
 void Testbed::watch_fe_links(tables::VnicId id) {

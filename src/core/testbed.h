@@ -14,10 +14,14 @@
 // Thread-affinity rules for sharded runs (enforced where cheap, documented
 // here otherwise):
 //  * Control-plane workflows (controller offload/scale/failover pushes,
-//    monitor crash callbacks) mutate vSwitches across shards directly, so
-//    they must run with threads == 1 (still sharded, still deterministic)
-//    or while the bed is quiescent. Benches do setup at threads = 1 and
-//    raise set_threads() for the steady-state measurement window.
+//    monitor crash callbacks) mutate vSwitches across shards. With
+//    config.shard_fences (the default) the Testbed routes them through the
+//    engine's epoch-fenced quiesce protocol (DESIGN.md §15): each runs at
+//    an epoch barrier with every worker parked, in deterministic (due,
+//    seq) order — so offload activation, churn and failover are safe and
+//    thread-invariant at ANY thread count. With fences disabled the
+//    legacy rule applies: such workflows must run at threads == 1 or
+//    while the bed is quiescent.
 //  * Workload callbacks (CpsWorkload) execute on the shard threads of
 //    their endpoint vSwitches; CpsWorkload therefore requires both of its
 //    endpoints in the same shard (checked in its constructor).
@@ -70,6 +74,15 @@ struct TestbedConfig {
   int threads = 1;
   /// Capacity of each (src, dst) cross-shard token ring.
   std::size_t shard_ring_capacity = 1024;
+  /// Route cross-shard control work (controller continuations, monitor
+  /// crash callbacks) through the engine's fenced-section protocol so the
+  /// whole lifecycle runs thread-safely at any thread count. Only
+  /// meaningful when shards > 1; disabling reverts to the legacy
+  /// "control at threads == 1" contract (ablation knob).
+  bool shard_fences = true;
+  /// Sparse-epoch fast-forward in the sharded engine (ablation knob;
+  /// outcome-invariant either way).
+  bool shard_fast_forward = true;
 };
 
 /// TestbedConfig preset for the fleet-scale 2-tier Clos testbed: enough
@@ -142,6 +155,16 @@ class Testbed {
   /// telemetry.
   void dump_merged_trace(std::ostream& os) const;
 
+  /// True when cross-shard control runs through the fence protocol
+  /// (shards > 1 and config.shard_fences).
+  bool fenced_control() const { return fenced_control_; }
+
+  /// Schedules a control-plane action at sim-time `at`: a fenced section
+  /// under fenced_control(), a plain shard-0 loop event otherwise. The
+  /// hook scenario drivers (FleetScenario churn, chaos scripts) use to
+  /// fire mid-window control that may touch any shard.
+  void schedule_control(common::TimePoint at, std::function<void()> fn);
+
   /// Starts §C.1 mutual probing on every (BE, FE) path of an offloaded
   /// vNIC; link failures route to Controller::handle_link_failure.
   void watch_fe_links(tables::VnicId id);
@@ -181,6 +204,7 @@ class Testbed {
   sim::ShardMap shard_map_;
   std::size_t num_shards_ = 1;
   int threads_ = 1;
+  bool fenced_control_ = false;
   std::unique_ptr<sim::Network> network_;
   // Shards 1..K-1 (shard 0 reuses loop_/network_ so the single-shard
   // testbed is object-for-object the pre-shard one).

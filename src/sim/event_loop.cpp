@@ -165,6 +165,11 @@ void EventLoop::drop_dead_heads() {
   }
 }
 
+common::TimePoint EventLoop::next_event_at() {
+  drop_dead_heads();
+  return heap_.empty() ? kNoEvent : heap_.front().at;
+}
+
 void EventLoop::run() {
   LogTimeScope scope(this);
   while (fire_next()) {

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <vector>
 
 #include "src/common/time.h"
@@ -65,6 +66,16 @@ class EventLoop {
 
   /// Runs exactly one event if any; returns false when the queue is empty.
   bool step();
+
+  /// Sentinel returned by next_event_at() when no live event is queued.
+  static constexpr common::TimePoint kNoEvent =
+      std::numeric_limits<common::TimePoint>::max();
+
+  /// Timestamp of the earliest live pending event, or kNoEvent. Pops
+  /// cancelled heads first (amortized O(1)), so it mutates the heap: call
+  /// it only from the thread that owns this loop, while it is quiescent.
+  /// The sharded engine uses it to decide sparse-epoch fast-forward.
+  common::TimePoint next_event_at();
 
   /// Number of scheduled-and-not-yet-fired events (a periodic series counts
   /// as one). Maintained as a live counter — cannot underflow.

@@ -19,10 +19,21 @@
 // barriers, so the schedule — and therefore every counter and fingerprint
 // — is a pure function of (config, seed, shard_count), independent of the
 // thread count and of wall-clock interleaving.
+//
+// Control-plane work that must touch cross-shard state (gateway placement
+// publishes, fleet-wide policy pushes, crash failover) registers *fenced
+// sections* through the FenceScheduler interface: each runs at the first
+// epoch barrier at or after its due time, executed by one designated
+// worker in (due, seq) order while every other worker is parked at the
+// barrier (DESIGN.md §15). Symmetrically, when every shard's next event
+// lies beyond the next epoch boundary and all rings are quiet, the engine
+// *fast-forwards* — jumping the lockstep clock over the empty epochs
+// instead of spinning barriers — without changing a single outcome.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -117,6 +128,25 @@ class SpscTokenRing {
   std::vector<ShardToken> overflow_;
 };
 
+/// Deterministic quiesce point for cross-shard control (DESIGN.md §15).
+///
+/// A fenced section runs at the first epoch barrier whose sim-time is
+/// >= `due` (any due <= now, including 0, means "the next barrier"), with
+/// every worker thread parked, so it may freely read or mutate state owned
+/// by any shard. Pending sections execute in (due, seq) order, where seq
+/// is assigned deterministically: registrations from a quiescent context
+/// (setup code, or another fence's body) take the next global sequence
+/// immediately; registrations made mid-epoch on a shard's worker thread
+/// are staged per shard and drained at the next barrier in the engine's
+/// seeded merge order — the same recipe that makes token injection a pure
+/// function of (config, seed, shard_count).
+class FenceScheduler {
+ public:
+  virtual ~FenceScheduler() = default;
+  virtual void schedule_fenced(common::TimePoint due,
+                               std::function<void()> fn) = 0;
+};
+
 /// The Network's view of the engine: resolve an underlay IP that is not
 /// local to this shard, and hand off a token to the owning shard.
 class ShardRouter {
@@ -162,9 +192,15 @@ struct ShardedEngineConfig {
   std::uint64_t seed = 0;
   /// Per-(src,dst) ring capacity (rounded up to a power of two).
   std::size_t ring_capacity = 1024;
+  /// Sparse-epoch fast-forward: when every shard's next event lies beyond
+  /// the next epoch boundary and all token rings are empty, jump the
+  /// lockstep clock to the boundary just before the earliest event (or
+  /// fence barrier) instead of running empty epochs. Pure wall-clock
+  /// optimization — outcomes are bit-identical either way.
+  bool fast_forward = true;
 };
 
-class ShardedEngine final : public ShardRouter {
+class ShardedEngine final : public ShardRouter, public FenceScheduler {
  public:
   struct Shard {
     EventLoop* loop = nullptr;
@@ -180,14 +216,21 @@ class ShardedEngine final : public ShardRouter {
 
   /// Advances every shard loop to `t` in lockstep epochs using `threads`
   /// workers (clamped to [1, shard_count]). Worker threads only exist for
-  /// the duration of the call; on return all loops are quiescent at `t`.
-  /// The result is identical for every thread count.
+  /// the duration of the call; on return all loops are quiescent at `t`
+  /// and every fenced section due <= t has executed. The result is
+  /// identical for every thread count.
   void run_until(common::TimePoint t, int threads);
 
   // --- ShardRouter ---
   const Remote* lookup_remote(net::Ipv4Addr ip) const override;
   void export_token(std::uint32_t src_shard, std::uint32_t dst_shard,
                     ShardToken tok) override;
+
+  // --- FenceScheduler ---
+  /// Safe from any shard's worker mid-epoch (stages per shard, drained at
+  /// the next barrier in seeded merge order), from inside another fenced
+  /// section, and from quiescent setup code between run_until calls.
+  void schedule_fenced(common::TimePoint due, std::function<void()> fn) override;
 
   // --- observability (quiescent reads) ---
   std::uint64_t epochs_run() const { return epochs_run_; }
@@ -208,6 +251,47 @@ class ShardedEngine final : public ShardRouter {
   const std::vector<std::uint32_t>& merge_order() const {
     return merge_order_;
   }
+  /// Epochs elided by sparse-epoch fast-forward (would have run empty).
+  std::uint64_t epochs_skipped() const { return epochs_skipped_; }
+  /// Fenced sections executed so far (across all run_until calls).
+  std::uint64_t fenced_sections_run() const { return fences_run_; }
+  /// Fenced sections registered but not yet executed. Between run_until
+  /// calls this counts exactly the fences whose due time lies beyond the
+  /// last run's end — a nonzero value after a "final" window is the
+  /// signature of a stuck fence.
+  std::uint64_t fences_queued() const { return fences_.size(); }
+
+  /// Wall-clock a shard's worker spent parked at epoch barriers while
+  /// driving this shard — the imbalance signal complementing busy_ns.
+  struct BarrierWaitStats {
+    std::uint64_t epochs = 0;    // barrier crossings measured
+    std::uint64_t total_ns = 0;  // summed wait
+    std::uint64_t max_ns = 0;    // worst single wait
+  };
+  const BarrierWaitStats& barrier_wait_stats(std::uint32_t shard) const {
+    return wait_.at(shard);
+  }
+  /// Called by shard `shard`'s owning worker with each epoch's barrier
+  /// wait in microseconds — feeds the per-shard metrics histogram. The
+  /// callback runs on that worker's thread; it must only touch state owned
+  /// by that shard (per-shard registries satisfy this).
+  void set_barrier_wait_observer(std::uint32_t shard,
+                                 std::function<void(double)> fn) {
+    wait_observers_.at(shard) = std::move(fn);
+  }
+
+  /// Fence lifecycle tap for the flight recorder: fired once when a fence
+  /// receives its global sequence number (executed=false) and once when it
+  /// runs (executed=true). Always invoked in a quiescent context.
+  struct FenceTracePoint {
+    bool executed = false;
+    common::TimePoint at = 0;   // sim-time of the tap
+    common::TimePoint due = 0;  // requested due time
+    std::uint64_t seq = 0;      // global deterministic sequence
+  };
+  void set_fence_trace(std::function<void(const FenceTracePoint&)> fn) {
+    trace_ = std::move(fn);
+  }
 
  private:
   SpscTokenRing& ring(std::uint32_t src, std::uint32_t dst) {
@@ -221,6 +305,27 @@ class ShardedEngine final : public ShardRouter {
   /// order, then run the shard's loop to the epoch end.
   void advance_shard(std::uint32_t s, common::TimePoint end);
 
+  struct Fence {
+    common::TimePoint due = 0;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+  };
+  /// True when a barrier at epoch-start `e` must stop for fence work:
+  /// either a staged registration waits for its sequence number, or the
+  /// earliest queued fence is due at or before `e`. Read-only; called
+  /// by every worker with all shards quiescent (barrier-separated from
+  /// the writes it observes).
+  bool fence_work_pending(common::TimePoint e) const;
+  /// Worker 0, everyone else parked: drain staged registrations in seeded
+  /// merge order, then execute every fence with due <= now in (due, seq)
+  /// order, then refresh every shard's next-event cache.
+  void run_fences(common::TimePoint now);
+  /// Sparse-epoch fast-forward decision at epoch-start `e` (run end `t`):
+  /// returns `e` when the next epoch must run normally, else the
+  /// epoch-aligned time (> e) to jump the lockstep clock to.
+  common::TimePoint fast_forward_target(common::TimePoint e,
+                                        common::TimePoint t) const;
+
   std::vector<Shard> shards_;
   ShardedEngineConfig config_;
   std::vector<SpscTokenRing> rings_;         // [src * K + dst]
@@ -231,6 +336,33 @@ class ShardedEngine final : public ShardRouter {
   std::uint64_t epochs_run_ = 0;
   std::vector<std::uint64_t> late_;          // per-shard, summed on read
   std::vector<std::uint64_t> busy_ns_;       // per-shard busy wall-clock
+
+  // Fence state. fences_ is kept sorted by (due, seq); only worker 0 (or
+  // quiescent setup code) touches it. fence_staged_[s] is written only by
+  // shard s's worker mid-epoch and drained by worker 0 at barriers.
+  std::vector<Fence> fences_;
+  std::vector<std::vector<Fence>> fence_staged_;
+  std::uint64_t fence_seq_ = 0;
+  std::uint64_t fences_run_ = 0;
+  std::uint64_t epochs_skipped_ = 0;
+  /// Per-shard cache of EventLoop::next_event_at(), refreshed by the
+  /// owning worker after each advance (and by worker 0 after fences).
+  std::vector<common::TimePoint> next_event_;
+  /// Deterministic in-flight accounting for the fast-forward decision,
+  /// indexed by *source* shard. Every token present in the rings at an
+  /// epoch boundary is injected during the following epoch, so "tokens in
+  /// flight from shard s" at a barrier is exactly "exports by s since its
+  /// last advance began". xfer_epoch_[s] counts exports during the current
+  /// phase (written only by the thread exclusively driving s: its owner
+  /// mid-advance, worker 0 inside fences, or quiescent setup code);
+  /// xfer_inflight_[s] is the barrier-published total still sitting in
+  /// s's outbound rings. fast_forward_target reads only xfer_inflight_ —
+  /// never live ring state, which snapshot_inbound mutates concurrently.
+  std::vector<std::uint64_t> xfer_epoch_;
+  std::vector<std::uint64_t> xfer_inflight_;
+  std::vector<BarrierWaitStats> wait_;
+  std::vector<std::function<void(double)>> wait_observers_;
+  std::function<void(const FenceTracePoint&)> trace_;
 };
 
 }  // namespace nezha::sim

@@ -51,8 +51,12 @@ enum class EventKind : std::uint8_t {
   kCrashDeclared,     // monitor declared a target dead (a = target node)
   kCrashSuppressed,   // §C.2 widespread-failure guard tripped (a = target)
   kCtrlDisplace,      // push-aside evicted an FE (node = host, a = requester
-                      // vNIC, b = displaced vNIC); appended last: kind
+                      // vNIC, b = displaced vNIC); appended after v1: kind
                       // values are dump format
+  kFenceSched,        // fenced section got its global seq (a = due, b = seq)
+  kFenceExec,         // fenced section executed at a barrier (a = due,
+                      // b = seq); a kFenceSched with no matching kFenceExec
+                      // after the run is a stuck fence
   kCount,
 };
 
@@ -107,7 +111,8 @@ inline constexpr std::array<std::string_view,
         "ctrl.fallback_begin", "ctrl.fallback_done", "ctrl.scale_out",
         "ctrl.scale_in",      "ctrl.fe_crash",     "ctrl.link_failover",
         "probe.sent",         "probe.reply",       "probe.crash_declared",
-        "probe.crash_suppressed", "ctrl.displace",
+        "probe.crash_suppressed", "ctrl.displace",  "shard.fence_sched",
+        "shard.fence_exec",
 };
 
 inline constexpr std::array<std::string_view,

@@ -242,14 +242,58 @@ void FleetScenario::deploy() {
   }
 }
 
-std::size_t FleetScenario::offload_all() {
+std::size_t FleetScenario::offload_all(std::size_t holdback) {
   std::size_t accepted = 0;
-  for (tables::VnicId id : servers_) {
-    if (bed_.controller().trigger_offload(id, config_.fes_per_vnic).ok()) {
+  const std::size_t n =
+      servers_.size() > holdback ? servers_.size() - holdback : 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (bed_.controller().trigger_offload(servers_[i], config_.fes_per_vnic)
+            .ok()) {
       ++accepted;
     }
   }
   return accepted;
+}
+
+void FleetScenario::schedule_churn(common::Duration offload_at,
+                                   common::Duration crash_at,
+                                   common::Duration reseed_at) {
+  const common::TimePoint t0 = bed_.loop().now();
+  // (1) Offload push: bring every still-local server vNIC online
+  // mid-window — the workflow offload_all's holdback left behind.
+  bed_.schedule_control(t0 + offload_at, [this]() {
+    for (tables::VnicId id : servers_) {
+      if (bed_.controller().is_offloaded(id) ||
+          bed_.controller().transition_pending(id)) {
+        continue;
+      }
+      (void)bed_.controller().trigger_offload(id, config_.fes_per_vnic);
+    }
+  });
+  // (2) FE crash, detected the honest way: the monitor watches every FE
+  // host (many targets keep the §C.2 widespread-failure fraction low),
+  // then the victim — the lowest-numbered FE of the first server's pool at
+  // fire time — stops answering on EVERY shard's network (each shard
+  // checks its own crash bit at the send source), and failover arrives via
+  // probe loss → crash declaration → the fenced handle_fe_crash callback.
+  bed_.schedule_control(t0 + crash_at, [this]() {
+    if (servers_.empty()) return;
+    const std::vector<sim::NodeId> fes =
+        bed_.controller().fe_nodes_of(servers_.front());
+    if (fes.empty()) return;
+    const sim::NodeId victim = *std::min_element(fes.begin(), fes.end());
+    crashed_fe_ = victim;
+    bed_.watch_fe_hosts();
+    bed_.monitor().start();
+    for (std::uint32_t s = 0; s < bed_.shard_count(); ++s) {
+      bed_.network_of_shard(static_cast<std::uint32_t>(s)).crash(victim);
+    }
+  });
+  // (3) Fleet-wide FE-selection reseed (§7.5) — the same push a production
+  // controller uses to fix an uneven 5-tuple hash landing.
+  bed_.schedule_control(t0 + reseed_at, [this]() {
+    bed_.controller().reseed_fe_hash(config_.seed ^ 0x9e3779b97f4a7c15ULL);
+  });
 }
 
 void FleetScenario::start_traffic() {

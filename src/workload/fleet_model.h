@@ -111,9 +111,25 @@ class FleetScenario {
   /// #leaves), its client on a host half the fabric away.
   void deploy();
 
-  /// Offloads every server vNIC to fes_per_vnic FEs; returns how many
-  /// offload workflows were accepted.
-  std::size_t offload_all();
+  /// Offloads the server vNICs to fes_per_vnic FEs each, skipping the last
+  /// `holdback` servers (left local so a mid-window churn push has work to
+  /// do); returns how many offload workflows were accepted.
+  std::size_t offload_all(std::size_t holdback = 0);
+
+  /// Full-churn script for threaded end-to-end runs, fired through
+  /// Testbed::schedule_control (fenced sections on a threaded bed, plain
+  /// loop events otherwise). Relative to now:
+  ///  * offload_at — offload every still-local server vNIC (the holdback);
+  ///  * crash_at   — crash the lowest-numbered FE of the first server's
+  ///    pool on every shard's network, with the health monitor watching
+  ///    all FE hosts, so failover flows probe-loss → declaration →
+  ///    handle_fe_crash;
+  ///  * reseed_at  — fleet-wide FE hash reseed (§7.5).
+  /// All three are pure functions of (config, seed) at fire time.
+  void schedule_churn(common::Duration offload_at, common::Duration crash_at,
+                      common::Duration reseed_at);
+  /// Node crashed by the churn script (0 until the crash fires).
+  sim::NodeId crashed_fe() const { return crashed_fe_; }
 
   void start_traffic();
   void stop_traffic();
@@ -135,6 +151,7 @@ class FleetScenario {
   std::vector<std::size_t> client_switches_;
   std::vector<std::unique_ptr<CpsWorkload>> workloads_;
   std::vector<double> pair_load_scale_;
+  sim::NodeId crashed_fe_ = 0;
 };
 
 }  // namespace nezha::workload

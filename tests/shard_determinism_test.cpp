@@ -159,5 +159,153 @@ TEST(ShardDeterminism, DifferentSeedsDiverge) {
   EXPECT_NE(a.fingerprint, b.fingerprint);
 }
 
+// ---------------------------------------------------------------------------
+// Threaded control plane (DESIGN.md §15): full churn — a mid-window offload
+// push, an FE crash detected by the health monitor, and a fleet-wide hash
+// reseed — runs end-to-end at any thread count through the fence protocol,
+// bit-identical to threads=1.
+
+struct ChurnRun {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t exported = 0;
+  std::uint64_t late_tokens = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t epochs_skipped = 0;
+  std::uint64_t fences_run = 0;
+  sim::NodeId crashed_fe = 0;
+  std::size_t violations = 0;
+  std::string report;
+};
+
+ChurnRun run_churn(std::size_t shards, int threads, std::uint64_t seed,
+                   bool fast_forward = true) {
+  core::TestbedConfig cfg = core::make_clos_testbed_config(
+      kVSwitches, /*hosts_per_leaf=*/4, /*num_spines=*/4,
+      /*oversubscription=*/2.0);
+  cfg.controller.auto_offload = false;
+  cfg.controller.auto_scale = false;
+  // Fast monitor so the crash is declared well inside the window.
+  cfg.monitor.probe_interval = common::milliseconds(100);
+  cfg.monitor.probe_timeout = common::milliseconds(50);
+  cfg.monitor.miss_threshold = 2;
+  cfg.shards = shards;
+  cfg.threads = threads;  // threaded from construction: no 1-thread phases
+  cfg.shard_fast_forward = fast_forward;
+  core::Testbed bed(cfg);
+
+  workload::FleetScenarioConfig sc;
+  sc.num_pairs = kPairs;
+  sc.base_attempts_per_sec = 400.0;
+  sc.seed = seed;
+  workload::FleetScenario scenario(bed, sc);
+  core::InvariantChecker checker(bed,
+                                 core::InvariantCheckerConfig{.seed = seed});
+
+  scenario.deploy();
+  // Hold a quarter of the servers back so the churn's offload push has
+  // real work; the initial workflows run under worker threads too.
+  scenario.offload_all(/*holdback=*/kPairs / 4);
+  bed.run_for(common::seconds(1));
+  checker.check();
+
+  scenario.start_traffic();
+  scenario.schedule_churn(common::milliseconds(100),
+                          common::milliseconds(250),
+                          common::milliseconds(600));
+  for (int slice = 0; slice < 6; ++slice) {
+    bed.run_for(common::milliseconds(250));
+    checker.check();
+  }
+  scenario.stop_traffic();
+  bed.run_for(common::milliseconds(500));
+  checker.check();
+
+  ChurnRun r;
+  r.fingerprint = scenario.fingerprint();
+  for (const auto& wl : scenario.workloads()) r.completed += wl->completed();
+  r.exported = bed.net_totals().exported;
+  if (bed.engine() != nullptr) {
+    r.late_tokens = bed.engine()->late_tokens();
+    r.epochs_skipped = bed.engine()->epochs_skipped();
+    r.fences_run = bed.engine()->fenced_sections_run();
+  }
+  r.failovers = bed.controller().failover_events();
+  r.crashed_fe = scenario.crashed_fe();
+  r.violations = checker.violations().size();
+  r.report = checker.ok() ? "" : checker.report();
+  return r;
+}
+
+TEST(ShardDeterminism, ThreadedChurnMatchesSingleThread) {
+  const ChurnRun t1 = run_churn(4, 1, 7);
+  const ChurnRun t2 = run_churn(4, 2, 7);
+  EXPECT_EQ(t2.fingerprint, t1.fingerprint)
+      << "thread count leaked into a churn (control-plane) outcome";
+  EXPECT_EQ(t2.completed, t1.completed);
+  EXPECT_EQ(t2.failovers, t1.failovers);
+  EXPECT_EQ(t2.epochs_skipped, t1.epochs_skipped)
+      << "fast-forward decisions depend on barrier-published state only, "
+         "so even the skipped-epoch count must be thread-invariant";
+  EXPECT_EQ(t1.violations, 0u) << t1.report;
+  EXPECT_EQ(t2.violations, 0u) << t2.report;
+  // The run must actually exercise the machinery it claims to test.
+  EXPECT_GT(t1.failovers, 0u) << "the churn's FE crash never failed over";
+  EXPECT_NE(t1.crashed_fe, 0u);
+  EXPECT_GT(t1.fences_run, 0u) << "no fenced sections executed";
+  EXPECT_GT(t1.completed, 100u);
+  EXPECT_GT(t1.exported, 0u);
+  EXPECT_EQ(t1.late_tokens, 0u);
+}
+
+TEST(ShardDeterminism, FastForwardDoesNotChangeOutcome) {
+  const ChurnRun on = run_churn(4, 2, 9, /*fast_forward=*/true);
+  const ChurnRun off = run_churn(4, 2, 9, /*fast_forward=*/false);
+  EXPECT_EQ(on.fingerprint, off.fingerprint)
+      << "sparse-epoch fast-forward changed an outcome (must be a pure "
+         "wall-clock optimization)";
+  EXPECT_EQ(on.completed, off.completed);
+  EXPECT_EQ(on.failovers, off.failovers);
+  EXPECT_GT(on.epochs_skipped, 0u) << "fast-forward never engaged";
+  EXPECT_EQ(off.epochs_skipped, 0u);
+  EXPECT_EQ(on.violations, 0u) << on.report;
+  EXPECT_EQ(off.violations, 0u) << off.report;
+}
+
+TEST(ShardDeterminism, FencesExecuteInDueThenSeqOrderAndStuckOnesKeep) {
+  core::TestbedConfig cfg = core::make_clos_testbed_config(
+      8, /*hosts_per_leaf=*/4, /*num_spines=*/2, /*oversubscription=*/2.0);
+  cfg.shards = 2;
+  cfg.threads = 2;
+  core::Testbed bed(cfg);
+  ASSERT_NE(bed.engine(), nullptr);
+
+  const common::TimePoint t0 = bed.loop().now();
+  std::vector<int> order;
+  // Registered out of due order; 0 means "next barrier" (earliest).
+  bed.engine()->schedule_fenced(t0 + common::milliseconds(2),
+                                [&order]() { order.push_back(0); });
+  bed.engine()->schedule_fenced(t0 + common::milliseconds(1),
+                                [&order]() { order.push_back(1); });
+  bed.engine()->schedule_fenced(t0 + common::milliseconds(1),
+                                [&order]() { order.push_back(2); });
+  bed.engine()->schedule_fenced(0, [&order]() { order.push_back(3); });
+  // Due beyond this window: must NOT run now, must survive to the next.
+  bed.engine()->schedule_fenced(t0 + common::milliseconds(10),
+                                [&order]() { order.push_back(4); });
+
+  bed.run_for(common::milliseconds(5));
+  EXPECT_EQ(order, (std::vector<int>{3, 1, 2, 0}))
+      << "fences must run in (due, registration) order";
+  EXPECT_EQ(bed.engine()->fences_queued(), 1u)
+      << "the not-yet-due fence should remain queued (the 'stuck fence' "
+         "signature nezha_trace audit reports)";
+  bed.run_for(common::milliseconds(10));
+  EXPECT_EQ(order.size(), 5u);
+  EXPECT_EQ(order.back(), 4);
+  EXPECT_EQ(bed.engine()->fences_queued(), 0u);
+  EXPECT_EQ(bed.engine()->fenced_sections_run(), 5u);
+}
+
 }  // namespace
 }  // namespace nezha

@@ -9,7 +9,9 @@
 //   audit    — the vNIC offload state machine as observed on one vSwitch,
 //              flagging transitions that break the legal
 //              local → dual-running → offloaded → dual-running → local
-//              cycle (exit code 1 when any illegal step is found);
+//              cycle (exit code 1 when any illegal step is found), plus a
+//              shard section summarizing fenced control sections
+//              (scheduled vs executed, flagging stuck fences);
 //   path     — checks that one connection's trace contains the complete
 //              BE → FE → peer forwarding detour (exit code 1 when not);
 //   dump     — every event in record order (debugging aid).
@@ -34,7 +36,8 @@ void usage(std::FILE* out) {
                "usage:\n"
                "  nezha_trace timeline <dump> (--flow <hex> | --packet <id>)\n"
                "  nezha_trace slowest  <dump> [--k <n>]\n"
-               "  nezha_trace audit    <dump> --node <id>\n"
+               "  nezha_trace audit    <dump> --node <id>   (also prints a\n"
+               "                       shard/fence summary across all nodes)\n"
                "  nezha_trace path     <dump> --flow <hex>\n"
                "  nezha_trace dump     <dump>\n"
                "\n"
@@ -131,6 +134,41 @@ int cmd_audit(const std::vector<nezha::telemetry::TraceEvent>& events,
                 t.legal ? "ok" : "ILLEGAL");
   }
   std::printf("%zu transitions, %zu illegal\n", steps.size(), illegal);
+
+  // Shard section: fenced-section lifecycle fleet-wide (not filtered by
+  // --node — fences are engine-global). A scheduled fence with no matching
+  // execution is "stuck": its due time lies beyond the last barrier, i.e.
+  // the run ended before the section could run. That is legal (fences_
+  // survive into the next window) but is exactly what to look at when a
+  // control workflow seems to have vanished. Exit code stays driven by
+  // illegal FSM transitions only.
+  std::size_t sched = 0;
+  std::size_t exec = 0;
+  std::vector<const nezha::telemetry::TraceEvent*> pending;
+  for (const auto& e : events) {
+    if (e.kind == nezha::telemetry::EventKind::kFenceSched) {
+      ++sched;
+      pending.push_back(&e);
+    } else if (e.kind == nezha::telemetry::EventKind::kFenceExec) {
+      ++exec;
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (pending[i]->b == e.b) {
+          pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+    }
+  }
+  if (sched != 0 || exec != 0) {
+    std::printf("shard: %zu fenced sections scheduled, %zu executed, "
+                "%zu stuck\n",
+                sched, exec, pending.size());
+    for (const auto* e : pending) {
+      std::printf("  stuck fence seq=%llu due=%lld (scheduled at %lld)\n",
+                  static_cast<unsigned long long>(e->b),
+                  static_cast<long long>(e->a), static_cast<long long>(e->at));
+    }
+  }
   return illegal == 0 ? 0 : 1;
 }
 
