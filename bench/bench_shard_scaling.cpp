@@ -18,14 +18,21 @@
 //     claims to measure (also a gate, host-independent);
 //   * the per-shard busy-time balance, whose sum/max bounds the speedup any
 //     machine can extract from this partition (on hosts with fewer cores
-//     than shards, that bound is the honest headline).
+//     than shards, that bound is the honest headline);
+//   * the phase profile: wall-clock attribution of each worker's time to
+//     {snapshot, advance, barrier-wait, fast-forward, fence} plus the
+//     deterministic event counts behind it (epochs, fence barriers,
+//     fast-forward jumps). The event counts must be identical at every
+//     thread count — a gate; the wall-clock fields are report-only and
+//     excluded from every determinism comparison.
 // An ablation block at threads=1 toggles {fences, fast_forward}: the
 // fast-forward-off run must reproduce the fast-forward-on fingerprint
 // bit-for-bit (gate); the fences-off rows run the legacy single-threaded
 // control-plane semantics and are reported for wall-clock context only.
 //
-// Output: stdout tables + BENCH_shard.json (schema nezha-bench-shard-v2,
-// README.md) in the CWD, diffable with tools/nezha_report.
+// Output: stdout tables + BENCH_shard.json (schema nezha-bench-shard-v3,
+// README.md) in the CWD, diffable with tools/nezha_report (wall-clock
+// profile fields classify as informational there, never regressions).
 //
 // `--smoke` (CI): a small fleet, threads {1, 2}, churn enabled; exits
 // non-zero unless the 2-thread fingerprint equals the 1-thread one, traffic
@@ -88,6 +95,17 @@ struct RunResult {
   std::uint64_t failovers = 0;
   double busy_balance = 0;   // mean/max of per-shard busy time (1.0 = even)
   double ideal_speedup = 0;  // sum/max of per-shard busy time
+  // Phase profile, summed across shards. The *_wall_ns fields are
+  // wall-clock (report-only); prof_epochs / fence_barriers / ff_jumps are
+  // deterministic event counts gated for thread-invariance.
+  std::uint64_t prof_epochs = 0;
+  std::uint64_t fence_barriers = 0;
+  std::uint64_t ff_jumps = 0;
+  std::uint64_t snapshot_wall_ns = 0;
+  std::uint64_t advance_wall_ns = 0;
+  std::uint64_t barrier_wait_wall_ns = 0;
+  std::uint64_t fast_forward_wall_ns = 0;
+  std::uint64_t fence_wall_ns = 0;
   std::size_t violations = 0;
   std::string report;
 };
@@ -177,6 +195,18 @@ RunResult run_one(const RunOpts& o) {
                         static_cast<double>(bed.shard_count()));
       r.ideal_speedup = static_cast<double>(sum) / static_cast<double>(mx);
     }
+    for (std::uint32_t s = 0; s < bed.shard_count(); ++s) {
+      const auto p = bed.engine()->phase_profile(s);
+      r.prof_epochs += p.epochs;
+      r.snapshot_wall_ns += p.snapshot_ns;
+      r.advance_wall_ns += p.advance_ns;
+      r.barrier_wait_wall_ns += p.barrier_wait_ns;
+      r.fast_forward_wall_ns += p.fast_forward_ns;
+    }
+    const auto ep = bed.engine()->engine_profile();
+    r.fence_wall_ns = ep.fence_wall_ns;
+    r.fence_barriers = ep.fence_barriers;
+    r.ff_jumps = ep.ff_jumps;
   }
   r.violations = checker.violations().size();
   r.report = checker.ok() ? "" : checker.report();
@@ -225,6 +255,9 @@ int main(int argc, char** argv) {
     const bool churned = t1.failovers > 0 && t2.failovers == t1.failovers;
     const bool protocol = t1.epochs_skipped > 0 && t1.fenced_sections > 0 &&
                           t2.fenced_sections > 0;
+    const bool profile_inv = t1.prof_epochs == t2.prof_epochs &&
+                             t1.fence_barriers == t2.fence_barriers &&
+                             t1.ff_jumps == t2.ff_jumps;
     benchutil::verdict(deterministic,
                        "2-thread fingerprint == 1-thread fingerprint "
                        "(churn included)");
@@ -235,10 +268,15 @@ int main(int argc, char** argv) {
                                 "thread count");
     benchutil::verdict(protocol, "fenced sections ran and sparse epochs "
                                  "were skipped");
+    benchutil::verdict(profile_inv,
+                       "profile event counts (epochs, fence barriers, "
+                       "ff jumps) match across thread counts");
     if (!t1.report.empty()) std::printf("%s\n", t1.report.c_str());
     if (!t2.report.empty()) std::printf("%s\n", t2.report.c_str());
-    return deterministic && crossed && conserved && churned && protocol ? 0
-                                                                        : 1;
+    return deterministic && crossed && conserved && churned && protocol &&
+                   profile_inv
+               ? 0
+               : 1;
   }
 
   // Reference: the classic engine-less testbed (what every run before the
@@ -278,6 +316,26 @@ int main(int argc, char** argv) {
                  std::to_string(r.fenced_sections)});
   }
   tab.print();
+
+  // Where the wall-clock went, per thread count (wall-clock columns are
+  // host-dependent; the three count columns must not move with threads).
+  std::printf("\n  [phase profile — worker wall-clock attribution]\n");
+  benchutil::Table ptab({"threads", "advance (ms)", "snapshot (ms)",
+                         "barrier (ms)", "fast-fwd (ms)", "fence (ms)",
+                         "epochs", "fence-barriers", "ff-jumps"});
+  const auto ms = [](std::uint64_t ns) {
+    return benchutil::fmt(static_cast<double>(ns) / 1e6, 1);
+  };
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const RunResult& r = results[i];
+    ptab.add_row({std::to_string(sweep[i]), ms(r.advance_wall_ns),
+                  ms(r.snapshot_wall_ns), ms(r.barrier_wait_wall_ns),
+                  ms(r.fast_forward_wall_ns), ms(r.fence_wall_ns),
+                  std::to_string(r.prof_epochs),
+                  std::to_string(r.fence_barriers),
+                  std::to_string(r.ff_jumps)});
+  }
+  ptab.print();
 
   // Ablation at threads=1: fast-forward off must reproduce the sweep
   // fingerprint; fences off (legacy single-threaded control plane) is
@@ -339,6 +397,12 @@ int main(int argc, char** argv) {
     churned = churned && r.failovers == results[0].failovers &&
               r.failovers > 0;
   }
+  bool profile_inv = true;
+  for (const RunResult& r : results) {
+    profile_inv = profile_inv && r.prof_epochs == results[0].prof_epochs &&
+                  r.fence_barriers == results[0].fence_barriers &&
+                  r.ff_jumps == results[0].ff_jumps;
+  }
 
   benchutil::verdict(deterministic,
                      "every thread count produced the same fingerprint "
@@ -354,6 +418,9 @@ int main(int argc, char** argv) {
   benchutil::verdict(ff_invariant,
                      "fast-forward off reproduces the fast-forward-on "
                      "fingerprint");
+  benchutil::verdict(profile_inv,
+                     "profile event counts (epochs, fence barriers, ff "
+                     "jumps) identical at every thread count");
   benchutil::verdict(last.ideal_speedup >= 4.0,
                      "shard busy-time balance supports >= 4x (sum/max of "
                      "per-shard busy time)");
@@ -395,7 +462,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(json,
                "{\n"
-               "  \"schema\": \"nezha-bench-shard-v2\",\n"
+               "  \"schema\": \"nezha-bench-shard-v3\",\n"
                "  \"config\": {\"num_vswitches\": %zu, \"shards\": %zu, "
                "\"pairs\": %zu, \"window_ms\": %d, \"seed\": %llu, "
                "\"hardware_concurrency\": %u, \"quiesce_fences\": 1, "
@@ -419,7 +486,11 @@ int main(int argc, char** argv) {
         "\"pkts_per_wall_sec\": %.0f, \"busy_balance\": %.4f, "
         "\"ideal_speedup_from_balance\": %.3f, \"exported_tokens\": %llu, "
         "\"epochs\": %llu, \"epochs_skipped\": %llu, "
-        "\"fenced_sections\": %llu, \"failovers\": %llu}%s\n",
+        "\"fenced_sections\": %llu, \"failovers\": %llu,\n"
+        "     \"profile\": {\"epochs\": %llu, \"fence_barriers\": %llu, "
+        "\"ff_jumps\": %llu, \"snapshot_wall_ns\": %llu, "
+        "\"advance_wall_ns\": %llu, \"barrier_wait_wall_ns\": %llu, "
+        "\"fast_forward_wall_ns\": %llu, \"fence_wall_ns\": %llu}}%s\n",
         sweep[i], r.wall_sec, ref.wall_sec / r.wall_sec,
         results[0].wall_sec / r.wall_sec,
         static_cast<double>(r.delivered) / r.wall_sec, r.busy_balance,
@@ -428,6 +499,14 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(r.epochs_skipped),
         static_cast<unsigned long long>(r.fenced_sections),
         static_cast<unsigned long long>(r.failovers),
+        static_cast<unsigned long long>(r.prof_epochs),
+        static_cast<unsigned long long>(r.fence_barriers),
+        static_cast<unsigned long long>(r.ff_jumps),
+        static_cast<unsigned long long>(r.snapshot_wall_ns),
+        static_cast<unsigned long long>(r.advance_wall_ns),
+        static_cast<unsigned long long>(r.barrier_wait_wall_ns),
+        static_cast<unsigned long long>(r.fast_forward_wall_ns),
+        static_cast<unsigned long long>(r.fence_wall_ns),
         i + 1 < sweep.size() ? "," : "");
   }
   std::fprintf(json, "  ],\n  \"ablation\": [\n");
@@ -450,9 +529,11 @@ int main(int argc, char** argv) {
                "  ],\n"
                "  \"determinism\": {\"fingerprints_equal_across_threads\": "
                "%d, \"fast_forward_invariant\": %d, "
+               "\"profile_counts_thread_invariant\": %d, "
                "\"fingerprint_hex\": \"%016llx\"}\n"
                "}\n",
                deterministic ? 1 : 0, ff_invariant ? 1 : 0,
+               profile_inv ? 1 : 0,
                static_cast<unsigned long long>(results[0].fingerprint));
   std::fclose(json);
   std::printf("\n  Wrote BENCH_shard.json\n");
@@ -461,7 +542,7 @@ int main(int argc, char** argv) {
   // conservation, churn, protocol-liveness and balance gates always do.
   const bool gates_ok =
       deterministic && conserved && churned && protocol_live &&
-      ff_invariant && last.ideal_speedup >= 4.0 &&
+      ff_invariant && profile_inv && last.ideal_speedup >= 4.0 &&
       (hw < 8 || (best_vs_1thread >= 3.0 && best_vs_unsharded >= 4.0));
   return gates_ok ? 0 : 1;
 }

@@ -1,5 +1,6 @@
 #include "src/core/testbed.h"
 
+#include <cstdio>
 #include <ostream>
 #include <stdexcept>
 #include <string>
@@ -107,7 +108,17 @@ Testbed::Testbed(TestbedConfig config) : topology_(config.topology) {
           controller_->handle_link_failure(id, fe);
         }
       });
-  if (config.telemetry.enabled) wire_telemetry(config.telemetry);
+  if (config.telemetry.enabled) {
+    // Probe replies trail probe sends by up to the probe timeout; the SLO
+    // tracker compares replies against the probe count from this many
+    // sampler ticks ago so in-flight probes never read as loss.
+    const common::Duration period = config.telemetry.sample_period < 1
+                                        ? 1
+                                        : config.telemetry.sample_period;
+    slo_probe_lag_ticks_ = static_cast<std::uint32_t>(
+        (config.monitor.probe_timeout + period - 1) / period + 1);
+    wire_telemetry(config.telemetry);
+  }
 }
 
 void Testbed::wire_telemetry(const telemetry::TelemetryConfig& cfg) {
@@ -188,6 +199,17 @@ void Testbed::wire_shard_telemetry(std::uint32_t shard, telemetry::Hub* hub) {
       return static_cast<double>(net->fabric_queued_bytes(i));
     });
   }
+  const sim::NodeId monitor_id =
+      static_cast<sim::NodeId>(switches_.size() + 1);
+  if (shard == shard_of_node(monitor_id)) {
+    // Probe-loss inputs for the SLO tracker; the monitor lives on exactly
+    // one shard, so only that shard's series carries these.
+    HealthMonitor* mon = monitor_.get();
+    m.gauge("mon.probes_sent",
+            [mon] { return static_cast<double>(mon->probes_sent()); });
+    m.gauge("mon.probe_replies",
+            [mon] { return static_cast<double>(mon->replies_received()); });
+  }
   if (engine_ != nullptr) {
     sim::ShardedEngine* eng = engine_.get();
     if (shard == 0) {
@@ -209,7 +231,44 @@ void Testbed::wire_shard_telemetry(std::uint32_t shard, telemetry::Hub* hub) {
     telemetry::MetricsRegistry* reg = &m;
     eng->set_barrier_wait_observer(
         shard, [reg, wait_id](double us) { reg->observe(wait_id, us); });
+    // Shard-phase profile section: every *_wall_ns field is wall-clock
+    // (report-excluded from determinism gates); `epochs` and the shard-0
+    // fence_barriers / ff_jumps counts are thread- and run-invariant.
+    // Written at write_json time, i.e. quiescent.
+    m.add_json_section("sim.profile", [eng, shard](std::string& out) {
+      const sim::ShardedEngine::PhaseProfile p = eng->phase_profile(shard);
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"shard\": %u, \"epochs\": %llu, "
+                    "\"snapshot_wall_ns\": %llu, \"advance_wall_ns\": %llu, "
+                    "\"barrier_wait_wall_ns\": %llu, "
+                    "\"fast_forward_wall_ns\": %llu",
+                    shard, static_cast<unsigned long long>(p.epochs),
+                    static_cast<unsigned long long>(p.snapshot_ns),
+                    static_cast<unsigned long long>(p.advance_ns),
+                    static_cast<unsigned long long>(p.barrier_wait_ns),
+                    static_cast<unsigned long long>(p.fast_forward_ns));
+      out += buf;
+      if (shard == 0) {
+        const sim::ShardedEngine::EngineProfile ep = eng->engine_profile();
+        std::snprintf(buf, sizeof(buf),
+                      ", \"fence_barriers\": %llu, \"ff_jumps\": %llu, "
+                      "\"fence_wall_ns\": %llu",
+                      static_cast<unsigned long long>(ep.fence_barriers),
+                      static_cast<unsigned long long>(ep.ff_jumps),
+                      static_cast<unsigned long long>(ep.fence_wall_ns));
+        out += buf;
+      }
+      out += '}';
+    });
   }
+  // SLO tracker last: it resolves ids against everything registered above
+  // and must precede start_sampler so its violation counters join the
+  // series and its tick observer sees every tick.
+  hub->enable_slo(telemetry::SloWiring{
+      static_cast<std::uint32_t>(switches_.size()),
+      static_cast<std::uint32_t>(switches_.size() + 1),
+      slo_probe_lag_ticks_});
   hub->start_sampler(*loop);
 }
 

@@ -217,6 +217,10 @@ class Testbed {
   std::unique_ptr<LinkProber> link_prober_;
   std::unique_ptr<telemetry::Hub> telemetry_;
   std::vector<std::unique_ptr<telemetry::Hub>> extra_hubs_;
+  /// SLO probe-loss lag, in sampler ticks: how long probe replies may
+  /// trail probe sends before counting as loss (derived from the monitor
+  /// probe timeout and the sampler period in the constructor).
+  std::uint32_t slo_probe_lag_ticks_ = 4;
 };
 
 }  // namespace nezha::core

@@ -71,6 +71,8 @@ ShardedEngine::ShardedEngine(std::vector<Shard> shards,
   staged_.resize(k * k);
   late_.assign(k, 0);
   busy_ns_.assign(k, 0);
+  snapshot_ns_.assign(k, 0);
+  ff_ns_.assign(k, 0);
   fence_staged_.resize(k);
   next_event_.assign(k, 0);
   xfer_epoch_.assign(k, 0);
@@ -305,7 +307,12 @@ void ShardedEngine::run_until(common::TimePoint t, int threads) {
         // worker still on its way in must not observe the drain.
         bar.arrive_and_wait();
         // Quiesce: worker 0 drains + executes while everyone else parks.
-        if (w == 0) run_fences(e);
+        if (w == 0) {
+          const auto f0 = std::chrono::steady_clock::now();
+          run_fences(e);
+          fence_ns_ += ns_between(f0, std::chrono::steady_clock::now());
+          ++fence_barriers_;
+        }
         bar.arrive_and_wait();
       }
       const common::TimePoint jump = fast_forward_target(e, t);
@@ -314,17 +321,24 @@ void ShardedEngine::run_until(common::TimePoint t, int threads) {
         // run_until executes no events here (jump < every next event) —
         // it only advances each loop's now.
         for (std::uint32_t s = w; s < k; s += w_count) {
+          const auto j0 = std::chrono::steady_clock::now();
           shards_[s].loop->run_until(jump);
+          ff_ns_[s] += ns_between(j0, std::chrono::steady_clock::now());
         }
         if (w == 0) {
           epochs_skipped_ += static_cast<std::uint64_t>((jump - e) / epoch);
+          ++ff_jumps_;
         }
         bar.arrive_and_wait();
         e = jump;
         continue;
       }
       const common::TimePoint end = e + epoch < t ? e + epoch : t;
-      for (std::uint32_t s = w; s < k; s += w_count) snapshot_inbound(s);
+      for (std::uint32_t s = w; s < k; s += w_count) {
+        const auto s0 = std::chrono::steady_clock::now();
+        snapshot_inbound(s);
+        snapshot_ns_[s] += ns_between(s0, std::chrono::steady_clock::now());
+      }
       const auto t0 = std::chrono::steady_clock::now();
       bar.arrive_and_wait();
       const auto t1 = std::chrono::steady_clock::now();
@@ -359,7 +373,23 @@ void ShardedEngine::run_until(common::TimePoint t, int threads) {
   for (std::thread& th : pool) th.join();
   // Fences due exactly at `t` (or staged during the final epoch) get their
   // barrier here — run_until's contract is "everything due <= t ran".
+  // Counted as a quiesce point like the in-loop barriers: one per
+  // run_until call, so the count stays thread- and run-invariant.
+  const auto f0 = std::chrono::steady_clock::now();
   run_fences(t);
+  fence_ns_ += ns_between(f0, std::chrono::steady_clock::now());
+  ++fence_barriers_;
+}
+
+ShardedEngine::PhaseProfile ShardedEngine::phase_profile(
+    std::uint32_t shard) const {
+  PhaseProfile p;
+  p.epochs = wait_.at(shard).epochs;
+  p.snapshot_ns = snapshot_ns_.at(shard);
+  p.advance_ns = busy_ns_.at(shard);
+  p.barrier_wait_ns = wait_.at(shard).total_ns;
+  p.fast_forward_ns = ff_ns_.at(shard);
+  return p;
 }
 
 std::uint64_t ShardedEngine::tokens_pending() const {

@@ -280,6 +280,32 @@ class ShardedEngine final : public ShardRouter, public FenceScheduler {
     wait_observers_.at(shard) = std::move(fn);
   }
 
+  /// Per-shard wall-clock attribution of run_until time to epoch phases
+  /// (DESIGN.md §16). The *_ns fields are wall-clock — never part of a
+  /// determinism gate — while `epochs` (barrier crossings, == the
+  /// BarrierWaitStats count) is a pure function of (config, seed,
+  /// shard_count) and is gated for thread- and run-invariance.
+  struct PhaseProfile {
+    std::uint64_t epochs = 0;           // barrier crossings measured
+    std::uint64_t snapshot_ns = 0;      // snapshot_inbound phases
+    std::uint64_t advance_ns = 0;       // advance phases (== shard_busy_ns)
+    std::uint64_t barrier_wait_ns = 0;  // parked at epoch barriers
+    std::uint64_t fast_forward_ns = 0;  // clock teleports in jump phases
+  };
+  PhaseProfile phase_profile(std::uint32_t shard) const;
+
+  /// Engine-global profile counters, owned by worker 0 (quiescent reads).
+  /// fence_barriers / ff_jumps are event counts (thread- and
+  /// run-invariant); fence_wall_ns is wall-clock.
+  struct EngineProfile {
+    std::uint64_t fence_wall_ns = 0;    // inside run_fences quiesce points
+    std::uint64_t fence_barriers = 0;   // quiesce points taken
+    std::uint64_t ff_jumps = 0;         // fast-forward teleports taken
+  };
+  EngineProfile engine_profile() const {
+    return EngineProfile{fence_ns_, fence_barriers_, ff_jumps_};
+  }
+
   /// Fence lifecycle tap for the flight recorder: fired once when a fence
   /// receives its global sequence number (executed=false) and once when it
   /// runs (executed=true). Always invoked in a quiescent context.
@@ -336,6 +362,14 @@ class ShardedEngine final : public ShardRouter, public FenceScheduler {
   std::uint64_t epochs_run_ = 0;
   std::vector<std::uint64_t> late_;          // per-shard, summed on read
   std::vector<std::uint64_t> busy_ns_;       // per-shard busy wall-clock
+  // Phase-profiler wall clocks: per-shard fields are written only by the
+  // shard's owning worker; the engine-global fence/jump fields only by
+  // worker 0 (or quiescent code) — same discipline as busy_ns_/wait_.
+  std::vector<std::uint64_t> snapshot_ns_;   // per-shard snapshot phases
+  std::vector<std::uint64_t> ff_ns_;         // per-shard fast-forward jumps
+  std::uint64_t fence_ns_ = 0;
+  std::uint64_t fence_barriers_ = 0;
+  std::uint64_t ff_jumps_ = 0;
 
   // Fence state. fences_ is kept sorted by (due, seq); only worker 0 (or
   // quiescent setup code) touches it. fence_staged_[s] is written only by

@@ -15,10 +15,12 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 
 #include "src/common/time.h"
 #include "src/telemetry/flight_recorder.h"
 #include "src/telemetry/metrics.h"
+#include "src/telemetry/slo.h"
 
 namespace nezha::net {
 struct Packet;
@@ -32,6 +34,7 @@ struct TelemetryConfig {
   std::size_t events_per_node = 1 << 14;  // ring capacity per node
   common::Duration sample_period = common::milliseconds(100);
   std::size_t max_samples = 1024;  // time-series rows preallocated
+  SloConfig slo;                   // thresholds for the in-sim SLO tracker
 };
 
 class Hub {
@@ -68,6 +71,17 @@ class Hub {
   }
   void stop_sampler() { metrics_.stop_sampler(); }
 
+  /// Constructs the SLO tracker against the current registry contents —
+  /// call after every gauge/histogram is registered and before
+  /// start_sampler(). No-op when cfg.slo.enabled is false.
+  void enable_slo(const SloWiring& wiring) {
+    if (cfg_.slo.enabled && slo_ == nullptr) {
+      slo_ = std::make_unique<SloTracker>(*this, cfg_.slo, wiring);
+    }
+  }
+  SloTracker* slo() { return slo_.get(); }
+  const SloTracker* slo() const { return slo_.get(); }
+
   /// Time-series + counters + histograms as JSON (see README schema).
   void write_json(std::ostream& os) const { metrics_.write_json(os); }
   /// Binary flight-recorder dump (see FlightRecorder::dump).
@@ -77,6 +91,7 @@ class Hub {
   TelemetryConfig cfg_;
   FlightRecorder recorder_;
   MetricsRegistry metrics_;
+  std::unique_ptr<SloTracker> slo_;
   bool trace_on_;
   std::uint64_t next_packet_id_;
 };

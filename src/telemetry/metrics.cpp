@@ -104,6 +104,8 @@ void MetricsRegistry::start_sampler(sim::EventLoop& loop,
   row_width_ = 1 + series_counters_ + series_gauges_;
   max_rows_ = max_samples;
   rows_.assign(max_rows_ * row_width_, 0.0);
+  last_row_.assign(row_width_, 0.0);
+  have_sample_ = false;
   rows_used_ = 0;
   dropped_ticks_ = 0;
   period_ = period;
@@ -121,11 +123,12 @@ void MetricsRegistry::stop_sampler() {
 }
 
 void MetricsRegistry::tick(common::TimePoint now) {
-  if (rows_used_ == max_rows_) {
-    ++dropped_ticks_;
-    return;
-  }
-  double* row = rows_.data() + rows_used_ * row_width_;
+  // Every tick fills the scratch row exactly once — gauge functions may
+  // advance an internal checkpoint when read, so neither the committed row
+  // nor any observer may re-invoke them. Rows beyond capacity are dropped
+  // from the series but still refresh the scratch row and still notify the
+  // observer, so last_sample_*() and the SLO tracker keep running.
+  double* row = last_row_.data();
   row[0] = static_cast<double>(now);
   for (std::size_t i = 0; i < series_counters_; ++i) {
     row[1 + i] = static_cast<double>(counters_[i].value);
@@ -133,17 +136,30 @@ void MetricsRegistry::tick(common::TimePoint now) {
   for (std::size_t j = 0; j < series_gauges_; ++j) {
     row[1 + series_counters_ + j] = gauges_[j].fn();
   }
-  ++rows_used_;
+  have_sample_ = true;
+  if (rows_used_ == max_rows_) {
+    ++dropped_ticks_;
+  } else {
+    double* dst = rows_.data() + rows_used_ * row_width_;
+    for (std::size_t c = 0; c < row_width_; ++c) dst[c] = row[c];
+    ++rows_used_;
+  }
+  if (tick_observer_) tick_observer_(now);
 }
 
 double MetricsRegistry::last_sample_counter(Id c) const {
-  if (rows_used_ == 0 || c >= series_counters_) return 0.0;
-  return rows_[(rows_used_ - 1) * row_width_ + 1 + c];
+  if (!have_sample_ || c >= series_counters_) return 0.0;
+  return last_row_[1 + c];
 }
 
 double MetricsRegistry::last_sample_gauge(Id g) const {
-  if (rows_used_ == 0 || g >= series_gauges_) return 0.0;
-  return rows_[(rows_used_ - 1) * row_width_ + 1 + series_counters_ + g];
+  if (!have_sample_ || g >= series_gauges_) return 0.0;
+  return last_row_[1 + series_counters_ + g];
+}
+
+void MetricsRegistry::add_json_section(
+    std::string name, std::function<void(std::string&)> writer) {
+  sections_.push_back(JsonSection{std::move(name), std::move(writer)});
 }
 
 void MetricsRegistry::write_json(std::ostream& os) const {
@@ -232,10 +248,18 @@ void MetricsRegistry::write_json(std::ostream& os) const {
     append_double(out, hist_quantile(static_cast<Id>(h), 90.0));
     out += ", \"p99\": ";
     append_double(out, hist_quantile(static_cast<Id>(h), 99.0));
+    out += ", \"p999\": ";
+    append_double(out, hist_quantile(static_cast<Id>(h), 99.9));
     out += "}";
   }
-  out += hists_.empty() ? "}\n" : "\n  }\n";
-  out += "}\n";
+  out += hists_.empty() ? "}" : "\n  }";
+  for (const JsonSection& s : sections_) {
+    out += ",\n  ";
+    append_json_string(out, s.name);
+    out += ": ";
+    s.writer(out);
+  }
+  out += "\n}\n";
   os << out;
 }
 

@@ -63,10 +63,18 @@ class MetricsRegistry {
   double hist_mean(Id h) const;
   /// Interpolated quantile (p in [0,100]) from the fixed buckets.
   double hist_quantile(Id h, double p) const;
+  /// Raw bucket access for consumers (SLO tracker) that window histogram
+  /// deltas between sampler ticks without re-deriving quantiles downstream.
+  const common::Histogram& hist_data(Id h) const { return hists_[h].hist; }
+  double hist_tracked_min(Id h) const { return hists_[h].min; }
+  double hist_tracked_max(Id h) const { return hists_[h].max; }
 
   std::size_t counter_count() const { return counters_.size(); }
   std::size_t gauge_count() const { return gauges_.size(); }
   std::size_t histogram_count() const { return hists_.size(); }
+  std::string_view counter_name(Id c) const { return counters_[c].name; }
+  std::string_view gauge_name(Id g) const { return gauges_[g].name; }
+  std::string_view histogram_name(Id h) const { return hists_[h].name; }
 
   // ---- sampler ----
   /// Starts the periodic snapshot series on `loop`. The series set is
@@ -84,9 +92,25 @@ class MetricsRegistry {
   std::uint64_t dropped_ticks() const { return dropped_ticks_; }
 
   /// Most recent sampled value of a series (0 when no tick yet). Benches
-  /// read these instead of keeping private accumulators.
+  /// read these instead of keeping private accumulators. Values stay fresh
+  /// even after the row store fills: every tick refreshes a scratch row and
+  /// gauges are invoked exactly once per tick (some gauges — e.g. the CPU
+  /// utilization sampler — advance an internal checkpoint when read).
   double last_sample_counter(Id c) const;
   double last_sample_gauge(Id g) const;
+
+  /// Called at the end of every sampler tick (including dropped ticks),
+  /// after the scratch row is filled — the SLO tracker's subscription
+  /// point. Single observer; set before start_sampler().
+  void set_tick_observer(std::function<void(common::TimePoint)> fn) {
+    tick_observer_ = std::move(fn);
+  }
+
+  /// Appends an extra top-level JSON section emitted by write_json just
+  /// before the closing brace. `writer` must append one JSON value and be
+  /// deterministic. Sections appear in registration order.
+  void add_json_section(std::string name,
+                        std::function<void(std::string&)> writer);
 
   /// Deterministic JSON dump of the time series + final counter values +
   /// histogram buckets/percentiles (schema documented in README.md).
@@ -109,15 +133,24 @@ class MetricsRegistry {
     double max = 0.0;
   };
 
+  struct JsonSection {
+    std::string name;
+    std::function<void(std::string&)> writer;
+  };
+
   void tick(common::TimePoint now);
 
   std::vector<CounterSlot> counters_;
   std::vector<GaugeSlot> gauges_;
   std::vector<HistSlot> hists_;
+  std::vector<JsonSection> sections_;
+  std::function<void(common::TimePoint)> tick_observer_;
 
   // Sampled row layout: [t_ns, counters[0..series_counters_),
   // gauges[0..series_gauges_)], all as double.
   std::vector<double> rows_;
+  std::vector<double> last_row_;  // scratch row; refreshed every tick
+  bool have_sample_ = false;
   std::size_t row_width_ = 0;
   std::size_t series_counters_ = 0;
   std::size_t series_gauges_ = 0;

@@ -57,6 +57,8 @@ enum class EventKind : std::uint8_t {
   kFenceExec,         // fenced section executed at a barrier (a = due,
                       // b = seq); a kFenceSched with no matching kFenceExec
                       // after the run is a stuck fence
+  kSloViolation,      // SLO tracker breach (a = SloRule, b = value * 1000
+                      // truncated, node = offending node)
   kCount,
 };
 
@@ -112,7 +114,7 @@ inline constexpr std::array<std::string_view,
         "ctrl.scale_in",      "ctrl.fe_crash",     "ctrl.link_failover",
         "probe.sent",         "probe.reply",       "probe.crash_declared",
         "probe.crash_suppressed", "ctrl.displace",  "shard.fence_sched",
-        "shard.fence_exec",
+        "shard.fence_exec",   "slo.violation",
 };
 
 inline constexpr std::array<std::string_view,

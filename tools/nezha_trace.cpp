@@ -11,7 +11,10 @@
 //              local → dual-running → offloaded → dual-running → local
 //              cycle (exit code 1 when any illegal step is found), plus a
 //              shard section summarizing fenced control sections
-//              (scheduled vs executed, flagging stuck fences);
+//              (scheduled vs executed, flagging stuck fences) and an slo
+//              section summarizing SLO-violation events per rule with
+//              first/last sim-time and the worst offending node (exit
+//              code 1 when any violation events are present);
 //   path     — checks that one connection's trace contains the complete
 //              BE → FE → peer forwarding detour (exit code 1 when not);
 //   dump     — every event in record order (debugging aid).
@@ -23,10 +26,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "src/common/time.h"
+#include "src/telemetry/slo.h"
 #include "src/telemetry/trace_query.h"
 
 namespace {
@@ -36,8 +41,9 @@ void usage(std::FILE* out) {
                "usage:\n"
                "  nezha_trace timeline <dump> (--flow <hex> | --packet <id>)\n"
                "  nezha_trace slowest  <dump> [--k <n>]\n"
-               "  nezha_trace audit    <dump> --node <id>   (also prints a\n"
-               "                       shard/fence summary across all nodes)\n"
+               "  nezha_trace audit    <dump> --node <id>   (also prints\n"
+               "                       shard/fence and slo summaries across\n"
+               "                       all nodes; exits 1 on SLO violations)\n"
                "  nezha_trace path     <dump> --flow <hex>\n"
                "  nezha_trace dump     <dump>\n"
                "\n"
@@ -169,7 +175,45 @@ int cmd_audit(const std::vector<nezha::telemetry::TraceEvent>& events,
                   static_cast<long long>(e->a), static_cast<long long>(e->at));
     }
   }
-  return illegal == 0 ? 0 : 1;
+
+  // SLO section (mirrors the fence section): violation events fleet-wide,
+  // grouped per rule with first/last sim-time, the offending node of the
+  // worst breach, and the count. Any violation fails the audit — these
+  // events only exist when the in-sim tracker saw a declared SLO breached.
+  struct SloGroup {
+    std::size_t count = 0;
+    long long first_at = 0;
+    long long last_at = 0;
+    double worst = 0.0;
+    unsigned long long worst_node = 0;
+  };
+  std::map<std::uint64_t, SloGroup> slo_groups;
+  for (const auto& e : events) {
+    if (e.kind != nezha::telemetry::EventKind::kSloViolation) continue;
+    SloGroup& g = slo_groups[e.a];
+    const double v = static_cast<double>(e.b) / 1000.0;
+    if (g.count == 0) {
+      g.first_at = static_cast<long long>(e.at);
+      g.worst = v;
+      g.worst_node = e.node;
+    } else if (v > g.worst) {
+      g.worst = v;
+      g.worst_node = e.node;
+    }
+    g.last_at = static_cast<long long>(e.at);
+    ++g.count;
+  }
+  std::size_t slo_total = 0;
+  if (!slo_groups.empty()) {
+    std::printf("slo: %zu rule(s) violated\n", slo_groups.size());
+    for (const auto& [rule, g] : slo_groups) {
+      slo_total += g.count;
+      std::printf("  %-18s x%-6zu first=%lld last=%lld worst=%.4g node=%llu\n",
+                  std::string(nezha::telemetry::slo_rule_name(rule)).c_str(),
+                  g.count, g.first_at, g.last_at, g.worst, g.worst_node);
+    }
+  }
+  return illegal == 0 && slo_total == 0 ? 0 : 1;
 }
 
 int cmd_path(const std::vector<nezha::telemetry::TraceEvent>& events,
